@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the table-reproduction benchmark binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation (section 3) and prints, side by side, the values the
+ * paper reports and the values measured on this reproduction. The
+ * absolute numbers differ (different compiler, different workload
+ * build), but the shape — who wins, by what factor, where the
+ * saturation points fall — is the reproduction target. Results are
+ * summarized in EXPERIMENTS.md.
+ */
+
+#ifndef SMTSIM_BENCH_BENCH_COMMON_HH
+#define SMTSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "base/strutil.hh"
+#include "base/table.hh"
+#include "harness/runner.hh"
+
+namespace smtsim::bench
+{
+
+/** Standard ray-tracing workload used by the Table 2/3 benches. */
+inline Workload
+standardRayTrace()
+{
+    RayTraceParams p;
+    p.width = 24;
+    p.height = 24;
+    p.num_spheres = 5;
+    p.seed = 42;
+    return makeRayTrace(p);
+}
+
+/** Run and abort loudly if the outcome is wrong. */
+inline RunStats
+mustRun(const Outcome &outcome, const std::string &what)
+{
+    if (!outcome.ok) {
+        std::cerr << "BENCH FAILURE (" << what
+                  << "): " << outcome.error << std::endl;
+        std::exit(1);
+    }
+    return outcome.stats;
+}
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    return formatDouble(v, prec);
+}
+
+} // namespace smtsim::bench
+
+#endif // SMTSIM_BENCH_BENCH_COMMON_HH

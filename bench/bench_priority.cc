@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4 — the dynamic instruction selection policy of the
+ * instruction schedule units, demonstrated directly: three thread
+ * slots (A, B, C) submit an ALU instruction every cycle; the
+ * schedule unit grants by rotating multi-level priority. The grant
+ * sequence printed here is the figure's pattern.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/schedule.hh"
+
+using namespace smtsim;
+
+int
+main()
+{
+    constexpr int kSlots = 3;
+    constexpr int kRotation = 4;    // rotate priorities every 4 cyc
+
+    ScheduleUnit alu(FuClass::IntAlu, 1, kSlots);
+    std::vector<int> ring = {0, 1, 2};
+
+    std::printf("Figure 4: rotating-priority selection "
+                "(3 thread slots, 1 ALU, rotation interval %d)\n\n",
+                kRotation);
+    std::printf("cycle | priority order | granted\n");
+    std::printf("------+----------------+--------\n");
+
+    const char *names = "ABC";
+    for (Cycle c = 1; c <= 16; ++c) {
+        // Every slot re-submits if its standby station is free
+        // (instructions stream in continuously).
+        for (int s = 0; s < kSlots; ++s) {
+            if (!alu.slotBusy(s)) {
+                IssuedOp op;
+                op.insn.op = Op::ADD;
+                op.slot = s;
+                op.arrive = c;
+                alu.submit(std::move(op));
+            }
+        }
+        const auto grants = alu.select(c, ring);
+        std::printf("%5llu | %c > %c > %c      |",
+                    (unsigned long long)c, names[ring[0]],
+                    names[ring[1]], names[ring[2]]);
+        for (const Grant &g : grants)
+            std::printf(" %c", names[g.op.slot]);
+        std::printf("\n");
+
+        if (c % kRotation == 0) {
+            ring.push_back(ring.front());
+            ring.erase(ring.begin());
+            std::printf("      | (rotate: lowest priority to the "
+                        "previous top)\n");
+        }
+    }
+
+    std::printf("\nEvery slot receives the grant while it holds "
+                "the highest priority;\nrotation prevents "
+                "starvation, as in the paper's Figure 4.\n");
+    return 0;
+}

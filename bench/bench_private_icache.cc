@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Section 3.2's private instruction cache experiment: thread slots
+ * with private instruction caches and fetch units versus the shared
+ * organization. The paper reports a barely measurable gain
+ * (1.79 -> 1.80 at 2 slots, 5.79 -> 5.80 at 8), concluding that
+ * sharing one instruction cache between thread slots is possible.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtsim;
+using namespace smtsim::bench;
+
+int
+main()
+{
+    const Workload ray = standardRayTrace();
+    const RunStats base =
+        mustRun(runBaseline(ray), "baseline raytrace");
+
+    TextTable table("Private vs shared instruction cache / fetch "
+                    "unit (ray tracing)");
+    table.addRow({"slots", "ls units", "shared speed-up",
+                  "private speed-up", "gain %"});
+
+    for (int lsu : {1, 2}) {
+        for (int slots : {2, 4, 8}) {
+            CoreConfig cfg;
+            cfg.num_slots = slots;
+            cfg.fus.load_store = lsu;
+
+            const RunStats shared =
+                mustRun(runCore(ray, cfg), "shared icache");
+            cfg.private_icache = true;
+            const RunStats priv =
+                mustRun(runCore(ray, cfg), "private icache");
+
+            const double su_shared = speedup(base, shared);
+            const double su_priv = speedup(base, priv);
+            table.addRow(
+                {std::to_string(slots), std::to_string(lsu),
+                 fmt(su_shared), fmt(su_priv),
+                 fmt(100.0 * (su_priv / su_shared - 1.0), 2)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\npaper: 1.79->1.80 and 5.79->5.80; instruction "
+                "fetch conflicts are hidden\n");
+    return 0;
+}

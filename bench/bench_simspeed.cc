@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): how many
+ * simulated cycles and instructions per second each engine
+ * achieves. Not a paper experiment — this tracks the usability of
+ * the reproduction itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/baseline.hh"
+#include "core/processor.hh"
+#include "interp/interpreter.hh"
+#include "trace/synth.hh"
+#include "workloads/workloads.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+Program
+benchKernel(bool parallel)
+{
+    SynthParams p;
+    p.seed = 101;
+    p.iterations = 256;
+    p.insns_per_block = 32;
+    p.parallel = parallel;
+    return makeSyntheticKernel(p);
+}
+
+} // namespace
+
+static void
+BM_Interpreter(benchmark::State &state)
+{
+    const Program prog = benchKernel(false);
+    std::uint64_t insns = 0;
+    for (auto _ : state) {
+        MainMemory mem;
+        prog.loadInto(mem);
+        Interpreter interp(prog, mem);
+        const InterpResult r = interp.run();
+        insns += r.steps;
+        benchmark::DoNotOptimize(r.steps);
+    }
+    state.counters["insns/s"] = benchmark::Counter(
+        static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Interpreter);
+
+static void
+BM_Baseline(benchmark::State &state)
+{
+    const Program prog = benchKernel(false);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        MainMemory mem;
+        prog.loadInto(mem);
+        BaselineProcessor cpu(prog, mem);
+        const RunStats s = cpu.run();
+        cycles += s.cycles;
+        benchmark::DoNotOptimize(s.cycles);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Baseline);
+
+static void
+BM_Core(benchmark::State &state)
+{
+    const Program prog = benchKernel(true);
+    CoreConfig cfg;
+    cfg.num_slots = static_cast<int>(state.range(0));
+    cfg.fus.load_store = 2;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        MainMemory mem;
+        prog.loadInto(mem);
+        MultithreadedProcessor cpu(prog, mem, cfg);
+        const RunStats s = cpu.run();
+        cycles += s.cycles;
+        benchmark::DoNotOptimize(s.cycles);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Core)->Arg(1)->Arg(4)->Arg(8);
+
+static void
+BM_RayTracePixel(benchmark::State &state)
+{
+    RayTraceParams p;
+    p.width = 8;
+    p.height = 8;
+    const Workload w = makeRayTrace(p);
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    for (auto _ : state) {
+        MainMemory mem;
+        w.program.loadInto(mem);
+        w.init(mem);
+        MultithreadedProcessor cpu(w.program, mem, cfg);
+        benchmark::DoNotOptimize(cpu.run().cycles);
+    }
+}
+BENCHMARK(BM_RayTracePixel);
+
+static void
+BM_Assembler(benchmark::State &state)
+{
+    SynthParams p;
+    p.seed = 55;
+    for (auto _ : state) {
+        p.seed += 1;    // defeat caching, keep work comparable
+        const Program prog = makeSyntheticKernel(p);
+        benchmark::DoNotOptimize(prog.text.size());
+    }
+}
+BENCHMARK(BM_Assembler);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table 2 — "Speed-up ratio by parallel multithreading".
+ *
+ * Ray-tracing workload; thread slots {1, 2, 4, 8} x load/store
+ * units {1, 2} x standby stations {without, with}. The speed-up
+ * denominator is the sequential program on the base RISC processor
+ * (one unit of each class, one load/store unit), as in section 3.1.
+ *
+ * Also reports the busiest-unit utilization, reproducing the text's
+ * observation that the load/store unit saturates (99%) at 8 slots
+ * with one unit.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtsim;
+using namespace smtsim::bench;
+
+namespace
+{
+
+/** Paper values for the matching cell (slots x lsu x standby). */
+double
+paperValue(int slots, int lsu, bool standby)
+{
+    // Rows: 2, 4, 8 thread slots (Table 2).
+    if (lsu == 1 && !standby) {
+        if (slots == 2) return 1.79;
+        if (slots == 4) return 2.84;
+        if (slots == 8) return 3.22;
+    } else if (lsu == 1 && standby) {
+        if (slots == 2) return 1.83;
+        if (slots == 4) return 2.89;
+        if (slots == 8) return 3.22;
+    } else if (lsu == 2 && !standby) {
+        if (slots == 2) return 2.01;
+        if (slots == 4) return 3.68;
+        if (slots == 8) return 5.68;
+    } else {
+        if (slots == 2) return 2.02;
+        if (slots == 4) return 3.72;
+        if (slots == 8) return 5.79;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Workload ray = standardRayTrace();
+
+    const RunStats base =
+        mustRun(runBaseline(ray), "baseline raytrace");
+    std::printf("sequential baseline: %llu cycles, %llu insns\n\n",
+                (unsigned long long)base.cycles,
+                (unsigned long long)base.instructions);
+
+    TextTable table(
+        "Table 2: speed-up ratio by parallel multithreading "
+        "(ray tracing, rotation interval 8)");
+    table.addRow({"slots", "ls units", "standby", "speed-up",
+                  "paper", "busiest FU util %", "ls util %"});
+
+    for (int lsu : {1, 2}) {
+        for (bool standby : {false, true}) {
+            for (int slots : {1, 2, 4, 8}) {
+                CoreConfig cfg;
+                cfg.num_slots = slots;
+                cfg.fus.load_store = lsu;
+                cfg.standby_enabled = standby;
+                cfg.rotation_interval = 8;
+                const RunStats s = mustRun(
+                    runCore(ray, cfg),
+                    "core s" + std::to_string(slots));
+                const double ls_util = std::max(
+                    s.unitUtilization(FuClass::LoadStore, 0),
+                    s.unitUtilization(FuClass::LoadStore, 1));
+                const double paper =
+                    paperValue(slots, lsu, standby);
+                table.addRow(
+                    {std::to_string(slots), std::to_string(lsu),
+                     standby ? "with" : "without",
+                     fmt(speedup(base, s)),
+                     paper > 0 ? fmt(paper) : "-",
+                     fmt(s.busiestUnitUtilization(), 1),
+                     fmt(ls_util, 1)});
+            }
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 5 — "Evaluation of eager execution of sequential loop
+ * iterations": the Figure 6 linked-list while loop, one iteration
+ * per logical processor, ptr relayed through queue registers.
+ *
+ * The paper: 56 cycles/iteration sequentially; 32.5 / 21.67 / 17
+ * cycles per iteration with 2 / 3 / 4 thread slots, saturating at
+ * the loop-carried ptr->next recurrence.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtsim;
+using namespace smtsim::bench;
+
+namespace
+{
+
+double
+paperValue(int slots)
+{
+    if (slots == 2) return 32.5;
+    if (slots == 3) return 21.67;
+    if (slots >= 4) return 17.0;
+    return 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int kNodes = 400;
+
+    ListWalkParams p;
+    p.num_nodes = kNodes;
+
+    const Workload seq = makeListWalk(p);
+    const RunStats base =
+        mustRun(runBaseline(seq), "sequential list walk");
+    const double seq_per_iter =
+        static_cast<double>(base.cycles) / kNodes;
+    std::printf("sequential execution: %s cycles/iteration "
+                "(paper: 56)\n\n",
+                fmt(seq_per_iter).c_str());
+
+    p.eager = true;
+    const Workload eager = makeListWalk(p);
+
+    TextTable table("Table 5: eager execution of sequential loop "
+                    "iterations (cycles per iteration)");
+    table.addRow({"thread slots", "cycles/iteration", "paper",
+                  "speed-up vs sequential"});
+
+    for (int slots : {1, 2, 3, 4, 6, 8}) {
+        CoreConfig cfg;
+        cfg.num_slots = slots;
+        cfg.rotation_mode = RotationMode::Explicit;
+        const RunStats s = mustRun(runCore(eager, cfg),
+                                   "eager " + std::to_string(slots));
+        const double per_iter =
+            static_cast<double>(s.cycles) / kNodes;
+        const double paper = paperValue(slots);
+        table.addRow({std::to_string(slots), fmt(per_iter),
+                      paper > 0 ? fmt(paper) : "-",
+                      fmt(seq_per_iter / per_iter)});
+    }
+    table.print(std::cout);
+    std::printf("\nsaturation: the inter-iteration dependence on "
+                "ptr->next bounds the speed-up\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 1's motivation, measured: per-functional-unit utilization
+ * U = N*L/T of the ray tracer as thread slots are added. Shows the
+ * mechanism behind Table 2 — utilization of the busiest unit climbs
+ * toward saturation, and the load/store unit reaches ~99% at eight
+ * slots with one unit (section 3.2).
+ */
+
+#include "bench_common.hh"
+
+using namespace smtsim;
+using namespace smtsim::bench;
+
+int
+main()
+{
+    const Workload ray = standardRayTrace();
+
+    for (int lsu : {1, 2}) {
+        TextTable table(
+            "Per-unit utilization [%], ray tracing, " +
+            std::to_string(lsu) + " load/store unit(s)");
+        table.addRow({"slots", "int_alu", "shifter", "int_mul",
+                      "fp_add", "fp_mul", "fp_div", "ls0", "ls1"});
+        for (int slots : {1, 2, 4, 8}) {
+            CoreConfig cfg;
+            cfg.num_slots = slots;
+            cfg.fus.load_store = lsu;
+            const RunStats s = mustRun(
+                runCore(ray, cfg),
+                "util s" + std::to_string(slots));
+            table.addRow(
+                {std::to_string(slots),
+                 fmt(s.unitUtilization(FuClass::IntAlu, 0), 1),
+                 fmt(s.unitUtilization(FuClass::Shifter, 0), 1),
+                 fmt(s.unitUtilization(FuClass::IntMul, 0), 1),
+                 fmt(s.unitUtilization(FuClass::FpAdd, 0), 1),
+                 fmt(s.unitUtilization(FuClass::FpMul, 0), 1),
+                 fmt(s.unitUtilization(FuClass::FpDiv, 0), 1),
+                 fmt(s.unitUtilization(FuClass::LoadStore, 0), 1),
+                 lsu > 1 ? fmt(s.unitUtilization(
+                               FuClass::LoadStore, 1), 1)
+                         : std::string("-")});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    std::printf("paper: with one load/store unit and 8 slots its "
+                "utilization reaches 99%%,\nexplaining the "
+                "saturation of Table 2's speed-up at 3.22\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Eager execution of a sequential while loop (sections 2.3.3 and
+ * 3.5): the Figure 6 linked-list traversal is parallelized across
+ * logical processors, with ptr relayed through queue registers and
+ * the loop exit killing the speculative iterations — a loop that
+ * vector and VLIW machines cannot parallelize.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+using namespace smtsim;
+
+int
+main()
+{
+    constexpr int kNodes = 300;
+
+    ListWalkParams params;
+    params.num_nodes = kNodes;
+
+    // Sequential reference on the base RISC machine.
+    const Workload seq = makeListWalk(params);
+    const Outcome base = runBaseline(seq);
+    if (!base.ok) {
+        std::fprintf(stderr, "%s\n", base.error.c_str());
+        return 1;
+    }
+    std::printf("sequential: %llu cycles (%.2f per iteration)\n\n",
+                (unsigned long long)base.stats.cycles,
+                static_cast<double>(base.stats.cycles) / kNodes);
+
+    // Eager version: the same loop, one iteration per logical
+    // processor.
+    params.eager = true;
+    const Workload eager = makeListWalk(params);
+
+    std::printf("%6s %12s %14s %10s\n", "slots", "cycles",
+                "cycles/iter", "speed-up");
+    for (int slots : {1, 2, 3, 4, 6, 8}) {
+        CoreConfig cfg;
+        cfg.num_slots = slots;
+        cfg.rotation_mode = RotationMode::Explicit;
+        const Outcome o = runCore(eager, cfg);
+        if (!o.ok) {
+            std::fprintf(stderr, "slots %d: %s\n", slots,
+                         o.error.c_str());
+            return 1;
+        }
+        std::printf("%6d %12llu %14.2f %9.2fx\n", slots,
+                    (unsigned long long)o.stats.cycles,
+                    static_cast<double>(o.stats.cycles) / kNodes,
+                    speedup(base.stats, o.stats));
+    }
+
+    std::printf("\nthe speed-up saturates at the loop-carried "
+                "ptr = ptr->next recurrence,\nas in the paper's "
+                "Table 5\n");
+
+    // A run that takes the break: sequential semantics preserved.
+    params.break_at = 123;
+    const Workload brk = makeListWalk(params);
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    cfg.rotation_mode = RotationMode::Explicit;
+    const Outcome o = runCore(brk, cfg);
+    std::printf("\nwith a data-dependent break at node 123: %s\n",
+                o.ok ? "sequential semantics preserved"
+                     : o.error.c_str());
+    return o.ok ? 0 : 1;
+}

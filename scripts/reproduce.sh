@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Reproduce every experiment: build, run the full test suite, and
+# regenerate all tables/figures into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "=== tests ==="
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+mkdir -p results
+echo "=== benches ==="
+for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "--- $name"
+    if [ "$name" = "bench_simspeed" ]; then
+        "$b" --benchmark_min_time=0.2 | tee "results/$name.txt"
+    else
+        "$b" | tee "results/$name.txt"
+    fi
+done
+
+echo
+echo "All outputs written to results/. Compare with EXPERIMENTS.md."

@@ -1,0 +1,749 @@
+#include "assembler.hh"
+
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+enum class Segment { Text, Data };
+
+/** One parsed source statement (after label extraction). */
+struct Statement
+{
+    int line = 0;
+    std::string label;          // optional, bound at this address
+    std::string mnemonic;       // lower-case; empty for label-only
+    std::vector<std::string> operands;
+    std::string raw;            // operand text before splitting
+    Segment segment = Segment::Text;
+    Addr addr = 0;              // assigned in pass 1
+};
+
+/** Mnemonic -> Op map built from the static metadata. */
+const std::map<std::string, Op> &
+mnemonicMap()
+{
+    static const std::map<std::string, Op> map = [] {
+        std::map<std::string, Op> m;
+        for (int i = 0; i < kNumOps; ++i) {
+            const Op op = static_cast<Op>(i);
+            m[opMeta(op).mnemonic] = op;
+        }
+        return m;
+    }();
+    return map;
+}
+
+class Assembler
+{
+  public:
+    Assembler(std::string_view source, const AsmOptions &opts)
+        : opts_(opts), source_(source)
+    {}
+
+    Program run();
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal("asm line ", line, ": ", msg);
+    }
+
+    void parseLines();
+    void pass1();
+    void pass2(Program &prog);
+
+    /** Size in text words occupied by an instruction statement. */
+    int insnWords(const Statement &st) const;
+
+    /** Bytes occupied by a data directive (pass 1 view). */
+    Addr dataBytes(const Statement &st, Addr at);
+
+    std::int64_t evalExpr(const Statement &st,
+                          std::string_view text) const;
+    std::vector<std::uint8_t>
+    parseStringLiteral(const Statement &st) const;
+    RegIndex parseReg(const Statement &st, std::string_view text,
+                      char kind) const;
+    void parseMemOperand(const Statement &st, std::string_view text,
+                         Insn &insn) const;
+    std::int32_t branchOffset(const Statement &st, Addr pc,
+                              std::string_view target) const;
+
+    void emitInsn(const Statement &st, Program &prog);
+    void emitData(const Statement &st, Program &prog, Addr &dloc);
+
+    AsmOptions opts_;
+    std::string_view source_;
+    std::vector<Statement> statements_;
+    std::map<std::string, std::int64_t> symbols_;
+};
+
+void
+Assembler::parseLines()
+{
+    int line_no = 0;
+    size_t pos = 0;
+    Segment segment = Segment::Text;
+
+    while (pos <= source_.size()) {
+        size_t eol = source_.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = source_.size();
+        std::string line(source_.substr(pos, eol - pos));
+        pos = eol + 1;
+        ++line_no;
+
+        // Strip comments (respecting string literals).
+        bool in_quote = false;
+        for (size_t c = 0; c < line.size(); ++c) {
+            if (line[c] == '"' &&
+                (c == 0 || line[c - 1] != '\\')) {
+                in_quote = !in_quote;
+            } else if (!in_quote &&
+                       (line[c] == '#' || line[c] == ';')) {
+                line.resize(c);
+                break;
+            }
+        }
+        std::string text = trim(line);
+        if (text.empty())
+            continue;
+
+        Statement st;
+        st.line = line_no;
+
+        // Extract an optional leading label.
+        size_t colon = text.find(':');
+        if (colon != std::string::npos) {
+            std::string head = trim(text.substr(0, colon));
+            bool is_label = !head.empty();
+            for (char c : head) {
+                if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                    c != '_' && c != '.') {
+                    is_label = false;
+                }
+            }
+            if (is_label) {
+                st.label = head;
+                text = trim(text.substr(colon + 1));
+            }
+        }
+
+        if (!text.empty()) {
+            size_t sp = text.find_first_of(" \t");
+            st.mnemonic = toLower(
+                sp == std::string::npos ? text : text.substr(0, sp));
+            if (sp != std::string::npos) {
+                st.raw = trim(text.substr(sp + 1));
+                for (std::string &operand :
+                     split(st.raw, ',')) {
+                    st.operands.push_back(trim(operand));
+                }
+            }
+        }
+
+        // Segment directives take effect immediately so labels in
+        // the same statement list bind into the right segment.
+        if (st.mnemonic == ".text")
+            segment = Segment::Text;
+        else if (st.mnemonic == ".data")
+            segment = Segment::Data;
+        st.segment = segment;
+
+        if (!st.mnemonic.empty() || !st.label.empty())
+            statements_.push_back(std::move(st));
+    }
+}
+
+int
+Assembler::insnWords(const Statement &st) const
+{
+    if (st.mnemonic == "la" || st.mnemonic == "li")
+        return 2;
+    if (st.mnemonic == "mv" || st.mnemonic == "b")
+        return 1;
+    if (mnemonicMap().count(st.mnemonic))
+        return 1;
+    err(st.line, "unknown mnemonic '" + st.mnemonic + "'");
+}
+
+Addr
+Assembler::dataBytes(const Statement &st, Addr at)
+{
+    if (st.mnemonic == ".word")
+        return static_cast<Addr>(4 * st.operands.size());
+    if (st.mnemonic == ".float")
+        return static_cast<Addr>(8 * st.operands.size());
+    if (st.mnemonic == ".space") {
+        if (st.operands.size() != 1)
+            err(st.line, ".space needs one operand");
+        return static_cast<Addr>(evalExpr(st, st.operands[0]));
+    }
+    if (st.mnemonic == ".align") {
+        if (st.operands.size() != 1)
+            err(st.line, ".align needs one operand");
+        const Addr a =
+            static_cast<Addr>(evalExpr(st, st.operands[0]));
+        if (a == 0 || (a & (a - 1)) != 0)
+            err(st.line, ".align operand must be a power of two");
+        return (a - at % a) % a;
+    }
+    if (st.mnemonic == ".ascii")
+        return static_cast<Addr>(parseStringLiteral(st).size());
+    if (st.mnemonic == ".asciiz") {
+        return static_cast<Addr>(parseStringLiteral(st).size()) +
+               1;
+    }
+    err(st.line, "unknown data directive '" + st.mnemonic + "'");
+}
+
+void
+Assembler::pass1()
+{
+    Addr tloc = opts_.text_base;
+    Addr dloc = opts_.data_base;
+
+    for (Statement &st : statements_) {
+        const bool in_text = st.segment == Segment::Text;
+        Addr &loc = in_text ? tloc : dloc;
+
+        if (!st.label.empty()) {
+            if (symbols_.count(st.label))
+                err(st.line, "duplicate label '" + st.label + "'");
+            symbols_[st.label] = loc;
+        }
+        st.addr = loc;
+
+        if (st.mnemonic.empty() || st.mnemonic == ".text" ||
+            st.mnemonic == ".data") {
+            continue;
+        }
+        if (st.mnemonic == ".equ") {
+            if (st.operands.size() != 2)
+                err(st.line, ".equ needs name, value");
+            symbols_[st.operands[0]] = evalExpr(st, st.operands[1]);
+            continue;
+        }
+        if (st.mnemonic[0] == '.') {
+            if (in_text)
+                err(st.line, "data directive in .text segment");
+            loc += dataBytes(st, loc);
+        } else {
+            if (!in_text)
+                err(st.line, "instruction in .data segment");
+            loc += static_cast<Addr>(insnWords(st)) * kInsnBytes;
+        }
+    }
+}
+
+std::vector<std::uint8_t>
+Assembler::parseStringLiteral(const Statement &st) const
+{
+    const std::string &raw = st.raw;
+    const size_t open = raw.find('"');
+    const size_t close = raw.rfind('"');
+    if (open == std::string::npos || close <= open)
+        err(st.line, ".ascii needs a quoted string");
+
+    std::vector<std::uint8_t> bytes;
+    for (size_t i = open + 1; i < close; ++i) {
+        char c = raw[i];
+        if (c == '\\' && i + 1 < close) {
+            ++i;
+            switch (raw[i]) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case 'r': c = '\r'; break;
+              case '0': c = '\0'; break;
+              case '\\': c = '\\'; break;
+              case '"': c = '"'; break;
+              default:
+                err(st.line, "unknown escape in string literal");
+            }
+        }
+        bytes.push_back(static_cast<std::uint8_t>(c));
+    }
+    return bytes;
+}
+
+std::int64_t
+Assembler::evalExpr(const Statement &st, std::string_view text) const
+{
+    // Tiny recursive-descent parser: sum of unary terms.
+    size_t pos = 0;
+    auto skip_ws = [&] {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    };
+
+    std::function<std::int64_t()> parse_prim =
+        [&]() -> std::int64_t {
+        skip_ws();
+        if (pos >= text.size())
+            err(st.line, "empty expression operand");
+        if (text[pos] == '-') {
+            ++pos;
+            return -parse_prim();
+        }
+        if (text[pos] == '(') {
+            ++pos;
+            std::int64_t v = 0;
+            // Parse a nested expression up to the matching ')'.
+            v = parse_prim();
+            skip_ws();
+            while (pos < text.size() && text[pos] != ')') {
+                char op = text[pos];
+                if (op != '+' && op != '-' && op != '*' &&
+                    op != '/') {
+                    err(st.line, "bad expression");
+                }
+                ++pos;
+                std::int64_t rhs = parse_prim();
+                switch (op) {
+                  case '+': v = v + rhs; break;
+                  case '-': v = v - rhs; break;
+                  case '*': v = v * rhs; break;
+                  case '/':
+                    if (rhs == 0)
+                        err(st.line, "division by zero");
+                    v = v / rhs;
+                    break;
+                }
+                skip_ws();
+            }
+            if (pos >= text.size())
+                err(st.line, "missing ')'");
+            ++pos;
+            return v;
+        }
+        if (text[pos] == '%') {
+            const bool hi = text.substr(pos, 3) == "%hi";
+            const bool lo = text.substr(pos, 3) == "%lo";
+            if (!hi && !lo)
+                err(st.line, "unknown % operator");
+            pos += 3;
+            skip_ws();
+            if (pos >= text.size() || text[pos] != '(')
+                err(st.line, "%hi/%lo need (expr)");
+            std::int64_t inner = parse_prim();  // consumes (...)
+            const std::uint32_t v =
+                static_cast<std::uint32_t>(inner);
+            return hi ? (v >> 16) & 0xffff : v & 0xffff;
+        }
+        if (std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            size_t consumed = 0;
+            const std::string rest(text.substr(pos));
+            const std::int64_t v = std::stoll(rest, &consumed, 0);
+            pos += consumed;
+            return v;
+        }
+        // Symbol.
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '_' || text[pos] == '.')) {
+            ++pos;
+        }
+        if (start == pos)
+            err(st.line, "bad expression token");
+        const std::string name(text.substr(start, pos - start));
+        auto it = symbols_.find(name);
+        if (it == symbols_.end())
+            err(st.line, "undefined symbol '" + name + "'");
+        return it->second;
+    };
+
+    // term := prim (('*' | '/') prim)*
+    std::function<std::int64_t()> parse_term =
+        [&]() -> std::int64_t {
+        std::int64_t v = parse_prim();
+        skip_ws();
+        while (pos < text.size() &&
+               (text[pos] == '*' || text[pos] == '/')) {
+            const char op = text[pos];
+            ++pos;
+            const std::int64_t rhs = parse_prim();
+            if (op == '*') {
+                v = v * rhs;
+            } else {
+                if (rhs == 0)
+                    err(st.line, "division by zero");
+                v = v / rhs;
+            }
+            skip_ws();
+        }
+        return v;
+    };
+
+    std::int64_t value = parse_term();
+    skip_ws();
+    while (pos < text.size()) {
+        char op = text[pos];
+        if (op != '+' && op != '-')
+            err(st.line, "trailing junk in expression");
+        ++pos;
+        std::int64_t rhs = parse_term();
+        value = op == '+' ? value + rhs : value - rhs;
+        skip_ws();
+    }
+    return value;
+}
+
+RegIndex
+Assembler::parseReg(const Statement &st, std::string_view text,
+                    char kind) const
+{
+    const std::string t = toLower(trim(text));
+    if (t.size() < 2 || t[0] != kind)
+        err(st.line, "expected '" + std::string(1, kind) +
+                         "' register, got '" + t + "'");
+    char *end = nullptr;
+    const long idx = std::strtol(t.c_str() + 1, &end, 10);
+    if (*end != '\0' || idx < 0 || idx >= kNumRegs)
+        err(st.line, "bad register '" + t + "'");
+    return static_cast<RegIndex>(idx);
+}
+
+void
+Assembler::parseMemOperand(const Statement &st, std::string_view text,
+                           Insn &insn) const
+{
+    const size_t open = text.rfind('(');
+    const size_t close = text.rfind(')');
+    if (open == std::string_view::npos ||
+        close == std::string_view::npos || close < open) {
+        err(st.line, "expected offset(reg) operand");
+    }
+    const std::string off(trim(text.substr(0, open)));
+    insn.rs = parseReg(
+        st, text.substr(open + 1, close - open - 1), 'r');
+    const std::int64_t value = off.empty() ? 0 : evalExpr(st, off);
+    if (!fitsSigned(value, 16))
+        err(st.line, "memory offset out of range");
+    insn.imm = static_cast<std::int32_t>(value);
+}
+
+std::int32_t
+Assembler::branchOffset(const Statement &st, Addr pc,
+                        std::string_view target) const
+{
+    const std::int64_t dest = evalExpr(st, target);
+    const std::int64_t delta =
+        (dest - (static_cast<std::int64_t>(pc) + kInsnBytes)) /
+        kInsnBytes;
+    if (!fitsSigned(delta, 16))
+        err(st.line, "branch target out of range");
+    return static_cast<std::int32_t>(delta);
+}
+
+void
+Assembler::emitInsn(const Statement &st, Program &prog)
+{
+    const Addr pc = st.addr;
+    auto push = [&](const Insn &insn) {
+        prog.text.push_back(encode(insn));
+    };
+    auto need = [&](size_t n) {
+        if (st.operands.size() != n)
+            err(st.line, "operand count mismatch for '" +
+                             st.mnemonic + "'");
+    };
+
+    // Pseudo-instructions first.
+    if (st.mnemonic == "la" || st.mnemonic == "li") {
+        need(2);
+        const RegIndex rt = parseReg(st, st.operands[0], 'r');
+        const std::uint32_t value = static_cast<std::uint32_t>(
+            evalExpr(st, st.operands[1]));
+        Insn hi{Op::LUI, 0, 0, rt,
+                static_cast<std::int32_t>(value >> 16)};
+        Insn lo{Op::ORI, 0, rt, rt,
+                static_cast<std::int32_t>(value & 0xffff)};
+        push(hi);
+        push(lo);
+        return;
+    }
+    if (st.mnemonic == "mv") {
+        need(2);
+        Insn insn;
+        insn.op = Op::ADD;
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'r');
+        insn.rt = 0;
+        push(insn);
+        return;
+    }
+    if (st.mnemonic == "b") {
+        need(1);
+        Insn insn;
+        insn.op = Op::BEQ;
+        insn.rs = 0;
+        insn.rt = 0;
+        insn.imm = branchOffset(st, pc, st.operands[0]);
+        push(insn);
+        return;
+    }
+
+    const Op op = mnemonicMap().at(st.mnemonic);
+    Insn insn;
+    insn.op = op;
+
+    switch (opMeta(op).format) {
+      case Format::R3:
+        need(3);
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'r');
+        insn.rt = parseReg(st, st.operands[2], 'r');
+        break;
+      case Format::R2:
+        need(2);
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'r');
+        break;
+      case Format::SHI: {
+        need(3);
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'r');
+        const std::int64_t sh = evalExpr(st, st.operands[2]);
+        if (sh < 0 || sh > 31)
+            err(st.line, "shift amount out of range");
+        insn.imm = static_cast<std::int32_t>(sh);
+        break;
+      }
+      case Format::I: {
+        need(3);
+        insn.rt = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'r');
+        const std::int64_t v = evalExpr(st, st.operands[2]);
+        const bool se = op == Op::ADDI || op == Op::SLTI;
+        if (se ? !fitsSigned(v, 16)
+               : !(fitsUnsigned(v, 16) || fitsSigned(v, 16))) {
+            err(st.line, "immediate out of range");
+        }
+        insn.imm = static_cast<std::int32_t>(
+            se ? v : (static_cast<std::uint32_t>(v) & 0xffff));
+        break;
+      }
+      case Format::LUIF: {
+        need(2);
+        insn.rt = parseReg(st, st.operands[0], 'r');
+        const std::int64_t v = evalExpr(st, st.operands[1]);
+        if (!fitsUnsigned(v, 16))
+            err(st.line, "lui immediate out of range");
+        insn.imm = static_cast<std::int32_t>(v);
+        break;
+      }
+      case Format::FR3:
+        need(3);
+        insn.rd = parseReg(st, st.operands[0], 'f');
+        insn.rs = parseReg(st, st.operands[1], 'f');
+        insn.rt = parseReg(st, st.operands[2], 'f');
+        break;
+      case Format::FR2:
+        need(2);
+        insn.rd = parseReg(st, st.operands[0], 'f');
+        insn.rs = parseReg(st, st.operands[1], 'f');
+        break;
+      case Format::FCMP:
+        need(3);
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'f');
+        insn.rt = parseReg(st, st.operands[2], 'f');
+        break;
+      case Format::ITOFF:
+        need(2);
+        insn.rd = parseReg(st, st.operands[0], 'f');
+        insn.rs = parseReg(st, st.operands[1], 'r');
+        break;
+      case Format::FTOIF:
+        need(2);
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'f');
+        break;
+      case Format::MEM:
+        need(2);
+        insn.rt = parseReg(st, st.operands[0],
+                           isFpFormatOp(op) ? 'f' : 'r');
+        parseMemOperand(st, st.operands[1], insn);
+        break;
+      case Format::BR2:
+        need(3);
+        insn.rs = parseReg(st, st.operands[0], 'r');
+        insn.rt = parseReg(st, st.operands[1], 'r');
+        insn.imm = branchOffset(st, pc, st.operands[2]);
+        break;
+      case Format::BR1:
+        need(2);
+        insn.rs = parseReg(st, st.operands[0], 'r');
+        insn.imm = branchOffset(st, pc, st.operands[1]);
+        break;
+      case Format::JF: {
+        need(1);
+        const std::int64_t dest = evalExpr(st, st.operands[0]);
+        if (dest % kInsnBytes != 0)
+            err(st.line, "jump target misaligned");
+        insn.imm = static_cast<std::int32_t>(
+            (static_cast<std::uint32_t>(dest) >> 2) & 0x03ffffff);
+        break;
+      }
+      case Format::JRF:
+        need(1);
+        insn.rs = parseReg(st, st.operands[0], 'r');
+        break;
+      case Format::JALRF:
+        need(2);
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        insn.rs = parseReg(st, st.operands[1], 'r');
+        break;
+      case Format::THR0:
+        need(0);
+        break;
+      case Format::THR1D:
+        need(1);
+        insn.rd = parseReg(st, st.operands[0], 'r');
+        break;
+      case Format::THR2: {
+        need(2);
+        const char kind = op == Op::QENF ? 'f' : 'r';
+        insn.rs = parseReg(st, st.operands[0], kind);
+        insn.rt = parseReg(st, st.operands[1], kind);
+        break;
+      }
+      case Format::ROT: {
+        need(2);
+        const std::string mode = toLower(trim(st.operands[0]));
+        if (mode == "implicit" || mode == "0")
+            insn.rt = 0;
+        else if (mode == "explicit" || mode == "1")
+            insn.rt = 1;
+        else
+            err(st.line, "setrmode mode must be implicit/explicit");
+        const std::int64_t interval = evalExpr(st, st.operands[1]);
+        if (!fitsUnsigned(interval, 16))
+            err(st.line, "rotation interval out of range");
+        insn.imm = static_cast<std::int32_t>(interval);
+        break;
+      }
+    }
+    push(insn);
+}
+
+void
+Assembler::emitData(const Statement &st, Program &prog, Addr &dloc)
+{
+    auto pad_to = [&](Addr target) {
+        while (dloc < target) {
+            prog.data.push_back(0);
+            ++dloc;
+        }
+    };
+    pad_to(st.addr);
+
+    if (st.mnemonic == ".word") {
+        for (const std::string &operand : st.operands) {
+            const std::uint32_t v = static_cast<std::uint32_t>(
+                evalExpr(st, operand));
+            for (int i = 0; i < 4; ++i)
+                prog.data.push_back(
+                    static_cast<std::uint8_t>(v >> (8 * i)));
+            dloc += 4;
+        }
+    } else if (st.mnemonic == ".float") {
+        for (const std::string &operand : st.operands) {
+            char *end = nullptr;
+            const double d =
+                std::strtod(trim(operand).c_str(), &end);
+            const std::uint64_t bits =
+                std::bit_cast<std::uint64_t>(d);
+            for (int i = 0; i < 8; ++i)
+                prog.data.push_back(
+                    static_cast<std::uint8_t>(bits >> (8 * i)));
+            dloc += 8;
+        }
+    } else if (st.mnemonic == ".ascii" ||
+               st.mnemonic == ".asciiz") {
+        for (std::uint8_t b : parseStringLiteral(st)) {
+            prog.data.push_back(b);
+            ++dloc;
+        }
+        if (st.mnemonic == ".asciiz") {
+            prog.data.push_back(0);
+            ++dloc;
+        }
+    } else if (st.mnemonic == ".space") {
+        const Addr n =
+            static_cast<Addr>(evalExpr(st, st.operands[0]));
+        pad_to(dloc + n);
+    } else if (st.mnemonic == ".align") {
+        // Padding was already emitted by pad_to(st.addr) plus the
+        // pass-1 size; nothing else to do.
+        const Addr a =
+            static_cast<Addr>(evalExpr(st, st.operands[0]));
+        pad_to(st.addr + (a - st.addr % a) % a);
+    } else {
+        err(st.line, "unknown data directive");
+    }
+}
+
+void
+Assembler::pass2(Program &prog)
+{
+    prog.text_base = opts_.text_base;
+    prog.data_base = opts_.data_base;
+
+    Addr dloc = opts_.data_base;
+    for (const Statement &st : statements_) {
+        if (st.mnemonic.empty() || st.mnemonic == ".text" ||
+            st.mnemonic == ".data" || st.mnemonic == ".equ") {
+            continue;
+        }
+        if (st.segment == Segment::Text)
+            emitInsn(st, prog);
+        else
+            emitData(st, prog, dloc);
+    }
+
+    for (const auto &[name, value] : symbols_)
+        prog.symbols[name] = static_cast<Addr>(value);
+
+    auto it = prog.symbols.find("main");
+    prog.entry = it != prog.symbols.end() ? it->second
+                                          : prog.text_base;
+}
+
+Program
+Assembler::run()
+{
+    parseLines();
+    pass1();
+    Program prog;
+    pass2(prog);
+    return prog;
+}
+
+} // namespace
+
+Program
+assemble(std::string_view source, const AsmOptions &opts)
+{
+    return Assembler(source, opts).run();
+}
+
+} // namespace smtsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Two-pass assembler for the smtsim ISA.
+ *
+ * Syntax overview:
+ *
+ *     # comment                 ; also a comment
+ *             .text             # switch to text segment
+ *     main:   la   r1, table    # pseudo: lui + ori
+ *             li   r2, 100
+ *     loop:   lw   r3, 0(r1)
+ *             addi r1, r1, 4
+ *             addi r2, r2, -1
+ *             bgtz r2, loop
+ *             halt
+ *             .data
+ *     table:  .word 1, 2, 3
+ *     vec:    .float 1.5, -2.25 # 8-byte doubles
+ *             .space 64
+ *             .align 8
+ *
+ * Expressions accept integers (decimal / 0x hex), symbols, sym+off,
+ * %hi(expr) and %lo(expr). Pseudo-instructions: la, li, mv, b.
+ */
+
+#ifndef SMTSIM_ASMR_ASSEMBLER_HH
+#define SMTSIM_ASMR_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "asmr/program.hh"
+
+namespace smtsim
+{
+
+/** Assembler configuration. */
+struct AsmOptions
+{
+    Addr text_base = kDefaultTextBase;
+    Addr data_base = kDefaultDataBase;
+};
+
+/**
+ * Assemble @p source into a Program. Throws FatalError with a
+ * line-numbered message on the first error.
+ */
+Program assemble(std::string_view source, const AsmOptions &opts = {});
+
+} // namespace smtsim
+
+#endif // SMTSIM_ASMR_ASSEMBLER_HH

@@ -1,0 +1,129 @@
+#include "program.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "base/logging.hh"
+#include "mem/memory.hh"
+
+namespace smtsim
+{
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '", name, "'");
+    return it->second;
+}
+
+void
+Program::loadInto(MainMemory &mem) const
+{
+    mem.loadWords(text_base, text);
+    mem.loadBytes(data_base, data);
+}
+
+Insn
+Program::insnAt(Addr addr) const
+{
+    if (addr < text_base || addr >= textEnd() ||
+        (addr - text_base) % kInsnBytes != 0) {
+        fatal("instruction fetch outside text segment: ", addr);
+    }
+    return decode(text[(addr - text_base) / kInsnBytes]);
+}
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x504d5453;    // "STMP" LE
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        fatal("program load: truncated input");
+    return v;
+}
+
+} // namespace
+
+void
+Program::save(std::ostream &os) const
+{
+    put(os, kMagic);
+    put(os, kVersion);
+    put(os, text_base);
+    put(os, static_cast<std::uint32_t>(text.size()));
+    for (std::uint32_t word : text)
+        put(os, word);
+    put(os, data_base);
+    put(os, static_cast<std::uint32_t>(data.size()));
+    if (!data.empty()) {
+        os.write(reinterpret_cast<const char *>(data.data()),
+                 static_cast<std::streamsize>(data.size()));
+    }
+    put(os, entry);
+    put(os, static_cast<std::uint32_t>(symbols.size()));
+    for (const auto &[name, value] : symbols) {
+        put(os, static_cast<std::uint32_t>(name.size()));
+        os.write(name.data(),
+                 static_cast<std::streamsize>(name.size()));
+        put(os, value);
+    }
+}
+
+Program
+Program::load(std::istream &is)
+{
+    if (get<std::uint32_t>(is) != kMagic)
+        fatal("program load: bad magic");
+    if (get<std::uint32_t>(is) != kVersion)
+        fatal("program load: unsupported version");
+
+    Program prog;
+    prog.text_base = get<Addr>(is);
+    const std::uint32_t nwords = get<std::uint32_t>(is);
+    prog.text.reserve(nwords);
+    for (std::uint32_t i = 0; i < nwords; ++i)
+        prog.text.push_back(get<std::uint32_t>(is));
+
+    prog.data_base = get<Addr>(is);
+    const std::uint32_t nbytes = get<std::uint32_t>(is);
+    prog.data.resize(nbytes);
+    if (nbytes > 0) {
+        is.read(reinterpret_cast<char *>(prog.data.data()),
+                nbytes);
+        if (!is)
+            fatal("program load: truncated data segment");
+    }
+
+    prog.entry = get<Addr>(is);
+    const std::uint32_t nsyms = get<std::uint32_t>(is);
+    for (std::uint32_t i = 0; i < nsyms; ++i) {
+        const std::uint32_t len = get<std::uint32_t>(is);
+        if (len > 4096)
+            fatal("program load: unreasonable symbol length");
+        std::string name(len, '\0');
+        is.read(name.data(), len);
+        if (!is)
+            fatal("program load: truncated symbol table");
+        prog.symbols[name] = get<Addr>(is);
+    }
+    return prog;
+}
+
+} // namespace smtsim

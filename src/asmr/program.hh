@@ -1,0 +1,74 @@
+/**
+ * @file
+ * An assembled program image: text, data, entry point, symbols.
+ */
+
+#ifndef SMTSIM_ASMR_PROGRAM_HH
+#define SMTSIM_ASMR_PROGRAM_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/insn.hh"
+
+namespace smtsim
+{
+
+class MainMemory;
+
+/** Default segment placement used by the assembler. */
+constexpr Addr kDefaultTextBase = 0x00001000;
+constexpr Addr kDefaultDataBase = 0x00100000;
+
+/**
+ * A fully linked program image produced by the assembler (or built
+ * programmatically by the schedulers).
+ */
+struct Program
+{
+    Addr text_base = kDefaultTextBase;
+    std::vector<std::uint32_t> text;
+
+    Addr data_base = kDefaultDataBase;
+    std::vector<std::uint8_t> data;
+
+    /** First instruction executed ("main" label if present). */
+    Addr entry = kDefaultTextBase;
+
+    /** Label name -> address. */
+    std::map<std::string, Addr> symbols;
+
+    /** Address of a required symbol; throws FatalError if missing. */
+    Addr symbol(const std::string &name) const;
+
+    /** Copy text and data into @p mem. */
+    void loadInto(MainMemory &mem) const;
+
+    /** Address one past the last text word. */
+    Addr
+    textEnd() const
+    {
+        return text_base +
+               static_cast<Addr>(text.size()) * kInsnBytes;
+    }
+
+    /** Decode the text word holding @p addr. */
+    Insn insnAt(Addr addr) const;
+
+    /**
+     * Serialize to / deserialize from a simple binary object
+     * format (magic "SMTP"), preserving segments, the entry point
+     * and the symbol table. load() throws FatalError on corrupt
+     * input.
+     */
+    void save(std::ostream &os) const;
+    static Program load(std::istream &is);
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_ASMR_PROGRAM_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction encoder/decoder.
+ */
+
+#ifndef SMTSIM_BASE_BITOPS_HH
+#define SMTSIM_BASE_BITOPS_HH
+
+#include <cstdint>
+
+namespace smtsim
+{
+
+/**
+ * Extract the bit field [hi:lo] (inclusive, hi >= lo) from @p value.
+ */
+constexpr std::uint32_t
+bits(std::uint32_t value, int hi, int lo)
+{
+    const std::uint32_t width = static_cast<std::uint32_t>(hi - lo + 1);
+    const std::uint32_t mask =
+        width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (value >> lo) & mask;
+}
+
+/**
+ * Return @p value with the bit field [hi:lo] replaced by @p field.
+ * Bits of @p field above the field width are ignored.
+ */
+constexpr std::uint32_t
+insertBits(std::uint32_t value, int hi, int lo, std::uint32_t field)
+{
+    const std::uint32_t width = static_cast<std::uint32_t>(hi - lo + 1);
+    const std::uint32_t mask =
+        width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (value & ~(mask << lo)) |
+           ((field & mask) << lo);
+}
+
+/**
+ * Sign-extend the low @p width bits of @p value to a signed 32-bit
+ * integer.
+ */
+constexpr std::int32_t
+sext(std::uint32_t value, int width)
+{
+    const std::uint32_t shift = static_cast<std::uint32_t>(32 - width);
+    return static_cast<std::int32_t>(value << shift) >>
+           static_cast<std::int32_t>(shift);
+}
+
+/** True iff @p value fits in a signed @p width-bit immediate. */
+constexpr bool
+fitsSigned(std::int64_t value, int width)
+{
+    const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** True iff @p value fits in an unsigned @p width-bit immediate. */
+constexpr bool
+fitsUnsigned(std::int64_t value, int width)
+{
+    return value >= 0 && value < (std::int64_t{1} << width);
+}
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_BITOPS_HH

@@ -1,0 +1,42 @@
+#include "logging.hh"
+
+#include <iostream>
+
+namespace smtsim
+{
+namespace logging
+{
+
+namespace
+{
+Level global_level = Level::Warnings;
+} // namespace
+
+Level
+verbosity()
+{
+    return global_level;
+}
+
+void
+setVerbosity(Level level)
+{
+    global_level = level;
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    if (global_level >= Level::Warnings)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (global_level >= Level::Verbose)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace logging
+} // namespace smtsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 spirit: panic() for simulator
+ * bugs, fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef SMTSIM_BASE_LOGGING_HH
+#define SMTSIM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smtsim
+{
+
+/** Thrown by panic(): an internal invariant of the simulator broke. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user supplied a bad program/configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace logging
+{
+
+/** Verbosity for warn()/inform(); tests may silence output. */
+enum class Level { Quiet, Warnings, Verbose };
+
+/** Get/set the global verbosity (default: Warnings). */
+Level verbosity();
+void setVerbosity(Level level);
+
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace logging
+
+/**
+ * Report an internal simulator bug and abort the simulation by
+ * throwing PanicError. Use when a condition can only arise from a bug
+ * in smtsim itself, never from user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError("panic: " +
+                     logging::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user error (bad assembly, impossible
+ * configuration) by throwing FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError("fatal: " +
+                     logging::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logging::emitWarn(logging::concat(std::forward<Args>(args)...));
+}
+
+/** Informative status message (printed only in Verbose mode). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logging::emitInform(logging::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given invariant holds. */
+#define SMTSIM_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::smtsim::panic("assertion '", #cond, "' failed: ",           \
+                            __VA_ARGS__);                                 \
+        }                                                                 \
+    } while (0)
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_LOGGING_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*) so that
+ * workload generation is reproducible across hosts and standard
+ * library versions.
+ */
+
+#ifndef SMTSIM_BASE_RANDOM_HH
+#define SMTSIM_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace smtsim
+{
+
+/** xorshift64* PRNG; identical sequences on every platform. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be positive. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextRange(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_RANDOM_HH

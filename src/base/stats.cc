@@ -1,0 +1,29 @@
+#include "stats.hh"
+
+namespace smtsim
+{
+namespace stats
+{
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[key, value] : counters_) {
+        if (!name_.empty())
+            os << name_ << '.';
+        os << key << ' ' << value << '\n';
+    }
+}
+
+double
+utilizationPercent(std::uint64_t invocations, std::uint64_t issue_latency,
+                   std::uint64_t total_cycles)
+{
+    if (total_cycles == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(invocations * issue_latency) /
+           static_cast<double>(total_cycles);
+}
+
+} // namespace stats
+} // namespace smtsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters grouped per
+ * component, in the spirit of gem5's stats. Groups can be dumped as
+ * text and queried programmatically by the benchmark harness.
+ */
+
+#ifndef SMTSIM_BASE_STATS_HH
+#define SMTSIM_BASE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace smtsim
+{
+namespace stats
+{
+
+/**
+ * A group of named scalar statistics. Counters are created lazily on
+ * first access and iterate in name order, which keeps dumps
+ * deterministic.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name = "") : name_(std::move(name)) {}
+
+    /** Mutable reference to the counter @p key (created at zero). */
+    std::uint64_t &
+    counter(const std::string &key)
+    {
+        return counters_[key];
+    }
+
+    /** Read-only lookup; returns 0 for unknown counters. */
+    std::uint64_t
+    get(const std::string &key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return counters_.find(key) != counters_.end();
+    }
+
+    /** Name the group was constructed with. */
+    const std::string &name() const { return name_; }
+
+    const std::map<std::string, std::uint64_t> &
+    all() const
+    {
+        return counters_;
+    }
+
+    void reset() { counters_.clear(); }
+
+    /** Dump "name.key value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Functional-unit utilization exactly as defined in the paper's
+ * section 1: U = N * L / T * 100 [%], where N is the number of
+ * invocations, L the issue latency and T the total cycles.
+ */
+double utilizationPercent(std::uint64_t invocations,
+                          std::uint64_t issue_latency,
+                          std::uint64_t total_cycles);
+
+} // namespace stats
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_STATS_HH

@@ -1,0 +1,64 @@
+#include "strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace smtsim
+{
+
+std::string
+trim(std::string_view s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace smtsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler and the table printer.
+ */
+
+#ifndef SMTSIM_BASE_STRUTIL_HH
+#define SMTSIM_BASE_STRUTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smtsim
+{
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view s);
+
+/** Split @p s at every occurrence of @p sep (separators not kept). */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True iff @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** printf-style float formatting with fixed precision. */
+std::string formatDouble(double v, int precision);
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_STRUTIL_HH

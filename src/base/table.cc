@@ -1,0 +1,60 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace smtsim
+{
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    if (!title_.empty())
+        os << title_ << '\n';
+    if (rows_.empty())
+        return;
+
+    size_t cols = 0;
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<size_t> width(cols, 0);
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "| ";
+        for (size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << cell << std::string(width[c] - cell.size(), ' ');
+            os << " | ";
+        }
+        os << '\n';
+    };
+
+    print_row(rows_.front());
+    os << '|';
+    for (size_t c = 0; c < cols; ++c)
+        os << std::string(width[c] + 2, '-') << '|';
+    os << '\n';
+    for (size_t r = 1; r < rows_.size(); ++r)
+        print_row(rows_[r]);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace smtsim

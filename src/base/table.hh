@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness to print the
+ * paper's tables.
+ */
+
+#ifndef SMTSIM_BASE_TABLE_HH
+#define SMTSIM_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smtsim
+{
+
+/**
+ * A simple right-padded text table. The first added row is the
+ * header; a separator line is drawn under it.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "")
+        : title_(std::move(title))
+    {}
+
+    /** Append a row of cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the whole table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (handy for tests). */
+    std::string str() const;
+
+  private:
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_TABLE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every smtsim module.
+ */
+
+#ifndef SMTSIM_BASE_TYPES_HH
+#define SMTSIM_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace smtsim
+{
+
+/** Simulated cycle count. Cycle 0 is the first simulated cycle. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated flat memory space. */
+using Addr = std::uint32_t;
+
+/** Architectural register index (0..31 for both int and FP files). */
+using RegIndex = std::uint8_t;
+
+/** Thread-slot (logical processor) index within a physical processor. */
+using SlotId = int;
+
+/** Context-frame index (concurrent multithreading). */
+using FrameId = int;
+
+/** Sentinel for "no cycle" / "not scheduled yet". */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Number of architectural registers per file (int and FP alike). */
+constexpr int kNumRegs = 32;
+
+/** Size in bytes of one encoded instruction. */
+constexpr Addr kInsnBytes = 4;
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_TYPES_HH

@@ -1,0 +1,366 @@
+#include "baseline.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "isa/dataop.hh"
+#include "isa/semantics.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/** Bit mask helpers over one register file. */
+inline bool
+inMask(std::uint32_t mask, RegIndex idx)
+{
+    return (mask >> idx) & 1u;
+}
+
+inline void
+addMask(std::uint32_t &mask, RegIndex idx)
+{
+    mask |= 1u << idx;
+}
+
+} // namespace
+
+BaselineProcessor::BaselineProcessor(const Program &prog,
+                                     MainMemory &mem,
+                                     const BaselineConfig &cfg)
+    : prog_(prog), mem_(mem), cfg_(cfg)
+{
+    SMTSIM_ASSERT(cfg_.width >= 1, "width must be positive");
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        const FuClass fc = static_cast<FuClass>(cls);
+        if (fc == FuClass::None)
+            continue;
+        fu_free_[cls].assign(cfg_.fus.count(fc), 0);
+        stats_.unit_busy[cls].assign(cfg_.fus.count(fc), 0);
+    }
+    fetch_pc_ = prog_.entry;
+}
+
+Cycle &
+BaselineProcessor::clearCycleOf(RegRef ref)
+{
+    static Cycle dummy;
+    if (ref.file == RF::Fp)
+        return fclear_[ref.idx];
+    if (ref.idx == 0) {
+        dummy = 0;
+        return dummy;
+    }
+    return iclear_[ref.idx];
+}
+
+Cycle
+BaselineProcessor::clearCycleOf(RegRef ref) const
+{
+    if (ref.file == RF::Fp)
+        return fclear_[ref.idx];
+    return ref.idx == 0 ? 0 : iclear_[ref.idx];
+}
+
+bool
+BaselineProcessor::srcsReady(const Insn &insn, Cycle c,
+                             std::uint32_t pending_w_int,
+                             std::uint32_t pending_w_fp) const
+{
+    RegRef srcs[3];
+    const int n = insn.srcs(srcs);
+    for (int i = 0; i < n; ++i) {
+        if (clearCycleOf(srcs[i]) >= c)
+            return false;
+        const std::uint32_t mask = srcs[i].file == RF::Fp
+                                       ? pending_w_fp
+                                       : pending_w_int;
+        if (inMask(mask, srcs[i].idx))
+            return false;
+    }
+    return true;
+}
+
+int
+BaselineProcessor::freeUnit(FuClass cls, Cycle c) const
+{
+    const auto &units = fu_free_[static_cast<int>(cls)];
+    for (size_t u = 0; u < units.size(); ++u) {
+        if (units[u] <= c)
+            return static_cast<int>(u);
+    }
+    return -1;
+}
+
+void
+BaselineProcessor::issueDataOp(const Insn &insn, Cycle c, int unit)
+{
+    OperandValues ops;
+    ops.rs_i = iregs_[insn.rs];
+    ops.rt_i = iregs_[insn.rt];
+    ops.rs_f = fregs_[insn.rs];
+    ops.rt_f = fregs_[insn.rt];
+    const DataResult r = execDataOp(insn, ops);
+
+    const RegRef dst = insn.dst();
+    if (dst.file == RF::Fp) {
+        fregs_[dst.idx] = r.fval;
+    } else if (dst.idx != 0) {
+        iregs_[dst.idx] = r.ival;
+    }
+    const OpMeta &meta = opMeta(insn.op);
+    const Cycle clear = c + static_cast<Cycle>(meta.result_latency);
+    clearCycleOf(dst) = clear;
+    last_activity_ = std::max(last_activity_, clear);
+
+    const int cls = static_cast<int>(meta.fu);
+    fu_free_[cls][unit] = c + static_cast<Cycle>(meta.issue_latency);
+    ++stats_.fu_grants[cls];
+    stats_.fu_busy[cls] += meta.issue_latency;
+    stats_.unit_busy[cls][unit] += meta.issue_latency;
+}
+
+void
+BaselineProcessor::issueMemOp(const Insn &insn, Cycle c, int unit)
+{
+    const Addr addr =
+        iregs_[insn.rs] + static_cast<std::uint32_t>(insn.imm);
+    const OpMeta &meta = opMeta(insn.op);
+
+    switch (insn.op) {
+      case Op::LW:
+        if (insn.rt != 0)
+            iregs_[insn.rt] = mem_.read32(addr);
+        ++stats_.loads;
+        break;
+      case Op::LF:
+        fregs_[insn.rt] = mem_.readDouble(addr);
+        ++stats_.loads;
+        break;
+      case Op::SW:
+      case Op::PSTW:
+        mem_.write32(addr, iregs_[insn.rt]);
+        ++stats_.stores;
+        break;
+      case Op::SF:
+      case Op::PSTF:
+        mem_.writeDouble(addr, fregs_[insn.rt]);
+        ++stats_.stores;
+        break;
+      default:
+        panic("issueMemOp: not a memory op");
+    }
+
+    const RegRef dst = insn.dst();
+    if (dst.valid()) {
+        const Cycle clear =
+            c + static_cast<Cycle>(meta.result_latency);
+        clearCycleOf(dst) = clear;
+        last_activity_ = std::max(last_activity_, clear);
+    }
+
+    const int cls = static_cast<int>(FuClass::LoadStore);
+    fu_free_[cls][unit] = c + static_cast<Cycle>(meta.issue_latency);
+    ++stats_.fu_grants[cls];
+    stats_.fu_busy[cls] += meta.issue_latency;
+    stats_.unit_busy[cls][unit] += meta.issue_latency;
+}
+
+Addr
+BaselineProcessor::resolveBranch(const Insn &insn, Addr pc, Cycle c)
+{
+    const std::uint32_t a = iregs_[insn.rs];
+    const std::uint32_t b = iregs_[insn.rt];
+    Addr next = pc + kInsnBytes;
+
+    switch (insn.op) {
+      case Op::J:
+        next = (pc & 0xf0000000u) |
+               (static_cast<std::uint32_t>(insn.imm) << 2);
+        break;
+      case Op::JAL:
+        iregs_[31] = pc + kInsnBytes;
+        iclear_[31] = c;
+        next = (pc & 0xf0000000u) |
+               (static_cast<std::uint32_t>(insn.imm) << 2);
+        break;
+      case Op::JR:
+        next = a;
+        break;
+      case Op::JALR:
+        if (insn.rd != 0) {
+            iregs_[insn.rd] = pc + kInsnBytes;
+            iclear_[insn.rd] = c;
+        }
+        next = a;
+        break;
+      default:
+        if (evalBranch(insn.op, a, b))
+            next = pc + kInsnBytes + static_cast<Addr>(insn.imm * 4);
+        break;
+    }
+    ++stats_.branches;
+    return next;
+}
+
+void
+BaselineProcessor::refillWindow()
+{
+    while (static_cast<int>(window_.size()) < cfg_.width &&
+           fetch_pc_ < prog_.textEnd()) {
+        WindowEntry e;
+        e.pc = fetch_pc_;
+        e.insn = prog_.insnAt(fetch_pc_);
+        fetch_pc_ += kInsnBytes;
+        window_.push_back(e);
+    }
+}
+
+RunStats
+BaselineProcessor::run()
+{
+    for (Cycle c = 1; running_; ++c) {
+        if (c > cfg_.max_cycles) {
+            stats_.cycles = cfg_.max_cycles;
+            stats_.finished = false;
+            return stats_;
+        }
+        if (c < stall_until_)
+            continue;
+        refillWindow();
+
+        int issues = 0;
+        bool mem_blocked = false;
+        bool flushed = false;
+        std::uint32_t pr_int = 0, pr_fp = 0;   // pending reads
+        std::uint32_t pw_int = 0, pw_fp = 0;   // pending writes
+        std::vector<char> done(window_.size(), 0);
+
+        for (size_t i = 0;
+             i < window_.size() && issues < cfg_.width; ++i) {
+            const Insn &insn = window_[i].insn;
+            const bool front =
+                pr_int == 0 && pr_fp == 0 && pw_int == 0 &&
+                pw_fp == 0 && !mem_blocked;
+
+            // Control instructions resolve in order, at the front
+            // of the window only.
+            if (insn.isBranch() || insn.isThreadCtl()) {
+                if (!front)
+                    break;
+                if (insn.isBranch()) {
+                    if (!srcsReady(insn, c, 0, 0))
+                        break;
+                    const Addr target =
+                        resolveBranch(insn, window_[i].pc, c);
+                    ++stats_.instructions;
+                    ++issues;
+                    // Predict-not-taken: the sequential stream
+                    // continues for free; a taken branch flushes
+                    // and pays the 4-cycle gap.
+                    if (target == window_[i].pc + kInsnBytes) {
+                        done[i] = 1;
+                        continue;
+                    }
+                    window_.clear();
+                    fetch_pc_ = target;
+                    stall_until_ =
+                        c + static_cast<Cycle>(cfg_.branch_gap);
+                    flushed = true;
+                    break;
+                }
+                // Thread-control op.
+                if (insn.op == Op::HALT) {
+                    ++stats_.instructions;
+                    running_ = false;
+                    stats_.cycles = std::max(c, last_activity_);
+                    stats_.finished = true;
+                    break;
+                }
+                if (insn.op == Op::TID || insn.op == Op::NSLOT) {
+                    const RegRef dst = insn.dst();
+                    if (clearCycleOf(dst) >= c)
+                        break;
+                    if (dst.idx != 0) {
+                        iregs_[dst.idx] =
+                            insn.op == Op::NSLOT ? 1 : 0;
+                        clearCycleOf(dst) = c;
+                    }
+                }
+                // FASTFORK/CHGPRI/KILLT/QEN/QDIS/SETRMODE/NOP are
+                // no-ops on the sequential machine.
+                ++stats_.instructions;
+                ++issues;
+                done[i] = 1;
+                continue;
+            }
+
+            // Data / memory instruction.
+            bool issuable =
+                srcsReady(insn, c, pw_int, pw_fp);
+            const RegRef dst = insn.dst();
+            if (issuable && dst.valid()) {
+                const std::uint32_t pr =
+                    dst.file == RF::Fp ? pr_fp : pr_int;
+                const std::uint32_t pw =
+                    dst.file == RF::Fp ? pw_fp : pw_int;
+                if (clearCycleOf(dst) >= c || inMask(pr, dst.idx) ||
+                    inMask(pw, dst.idx)) {
+                    issuable = false;
+                }
+            }
+            if (issuable && insn.isMem() && mem_blocked)
+                issuable = false;
+
+            int unit = -1;
+            if (issuable) {
+                unit = freeUnit(opMeta(insn.op).fu, c);
+                issuable = unit >= 0;
+            }
+
+            if (issuable) {
+                if (insn.isMem())
+                    issueMemOp(insn, c, unit);
+                else
+                    issueDataOp(insn, c, unit);
+                ++stats_.instructions;
+                ++issues;
+                done[i] = 1;
+            } else {
+                // Entry stays; record its hazards for later entries.
+                RegRef srcs[3];
+                const int n = insn.srcs(srcs);
+                for (int s = 0; s < n; ++s) {
+                    if (srcs[s].file == RF::Fp)
+                        addMask(pr_fp, srcs[s].idx);
+                    else
+                        addMask(pr_int, srcs[s].idx);
+                }
+                if (dst.valid()) {
+                    if (dst.file == RF::Fp)
+                        addMask(pw_fp, dst.idx);
+                    else if (dst.idx != 0)
+                        addMask(pw_int, dst.idx);
+                }
+                if (insn.isMem())
+                    mem_blocked = true;
+            }
+        }
+
+        if (!flushed && running_) {
+            // Compact the window, keeping unissued entries in order.
+            size_t w = 0;
+            for (size_t i = 0; i < window_.size(); ++i) {
+                if (!done[i])
+                    window_[w++] = window_[i];
+            }
+            window_.resize(w);
+        }
+    }
+
+    return stats_;
+}
+
+} // namespace smtsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The conventional RISC processor of Figure 3(b): the sequential
+ * machine every speed-up ratio in the paper is measured against.
+ *
+ * Pipeline contract (section 2.1.2):
+ *  - dependent instructions whose producer has result latency L are
+ *    separated by L+1 cycles (scoreboard interlock);
+ *  - any branch costs a 4-cycle gap between its issue and the issue
+ *    of the next instruction (no delay slots, no prediction);
+ *  - functional units accept a new instruction every issue-latency
+ *    cycles (load/store: 2).
+ *
+ * The same model doubles as the (D,1)-processor of Table 3: with
+ * width > 1 it issues up to D independent instructions per cycle
+ * from an instruction window that is refilled every cycle.
+ */
+
+#ifndef SMTSIM_BASELINE_BASELINE_HH
+#define SMTSIM_BASELINE_BASELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "base/types.hh"
+#include "isa/insn.hh"
+#include "machine/fu_pool.hh"
+#include "machine/run_stats.hh"
+#include "mem/memory.hh"
+
+namespace smtsim
+{
+
+/** Configuration of the baseline processor. */
+struct BaselineConfig
+{
+    /** Superscalar issue width D (Table 3's (D,1) processors). */
+    int width = 1;
+    /** Functional-unit inventory. */
+    FuPoolConfig fus;
+    /** Issue-to-issue gap after any branch (paper: 4 cycles). */
+    int branch_gap = 4;
+    /** Simulation budget. */
+    std::uint64_t max_cycles = 2'000'000'000ull;
+};
+
+/**
+ * Cycle-accurate single-thread RISC model. Thread-control
+ * instructions degenerate gracefully (fast-fork is a no-op, TID
+ * reads 0, priority stores behave as plain stores) so the sequential
+ * versions of all workloads run unchanged.
+ */
+class BaselineProcessor
+{
+  public:
+    BaselineProcessor(const Program &prog, MainMemory &mem,
+                      const BaselineConfig &cfg = {});
+
+    /** Run to completion (HALT) or until the cycle budget runs out. */
+    RunStats run();
+
+    /** Architectural register state (post-run, for checking). */
+    std::uint32_t intReg(RegIndex idx) const { return iregs_[idx]; }
+    double fpReg(RegIndex idx) const { return fregs_[idx]; }
+
+  private:
+    struct WindowEntry
+    {
+        Insn insn;
+        Addr pc = 0;
+    };
+
+    /** True iff every source of @p insn is readable in cycle @p c. */
+    bool srcsReady(const Insn &insn, Cycle c,
+                   std::uint32_t pending_w_int,
+                   std::uint32_t pending_w_fp) const;
+
+    Cycle &clearCycleOf(RegRef ref);
+    Cycle clearCycleOf(RegRef ref) const;
+
+    /** Find a unit of @p cls free in cycle @p c (or -1). */
+    int freeUnit(FuClass cls, Cycle c) const;
+
+    void issueDataOp(const Insn &insn, Cycle c, int unit);
+    void issueMemOp(const Insn &insn, Cycle c, int unit);
+    /** @return new next-PC after the branch. */
+    Addr resolveBranch(const Insn &insn, Addr pc, Cycle c);
+
+    void refillWindow();
+
+    const Program &prog_;
+    MainMemory &mem_;
+    BaselineConfig cfg_;
+
+    std::array<std::uint32_t, kNumRegs> iregs_{};
+    std::array<double, kNumRegs> fregs_{};
+    std::array<Cycle, kNumRegs> iclear_{};
+    std::array<Cycle, kNumRegs> fclear_{};
+
+    /** Per-class, per-unit earliest cycle the unit accepts again. */
+    std::array<std::vector<Cycle>, kNumFuClasses> fu_free_;
+
+    std::vector<WindowEntry> window_;
+    Addr fetch_pc_ = 0;
+    Cycle stall_until_ = 0;
+    Cycle last_activity_ = 0;
+    bool running_ = true;
+
+    RunStats stats_;
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASELINE_BASELINE_HH

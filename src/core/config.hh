@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Configuration of the multithreaded processor (the paper's machine
+ * model, section 2.1).
+ */
+
+#ifndef SMTSIM_CORE_CONFIG_HH
+#define SMTSIM_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "machine/fu_pool.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+
+namespace smtsim
+{
+
+/** Instruction-schedule-unit priority rotation mode (section 2.2). */
+enum class RotationMode
+{
+    Implicit,   ///< rotate every rotation_interval cycles
+    Explicit    ///< rotate on change-priority instructions only
+};
+
+/** Multithreaded-core configuration. */
+struct CoreConfig
+{
+    /** Number of thread slots S (logical processors). */
+    int num_slots = 4;
+    /**
+     * Number of context frames (register banks). -1 means "equal to
+     * num_slots"; larger values enable concurrent multithreading.
+     */
+    int num_frames = -1;
+    /** Per-slot issue width D (Table 3's hybrid processors). */
+    int width = 1;
+    /** Functional-unit inventory (shared by all slots). */
+    FuPoolConfig fus;
+    /** Standby stations present (Table 2 ablation). */
+    bool standby_enabled = true;
+
+    RotationMode rotation_mode = RotationMode::Implicit;
+    /** Rotation interval in cycles (paper sweeps 2^n, default 8). */
+    int rotation_interval = 8;
+
+    /** Private per-slot instruction cache + fetch unit (3.2). */
+    bool private_icache = false;
+    /** Instruction/data cache access cycles C (paper: 2). */
+    int icache_cycles = 2;
+    /**
+     * Instruction-queue capacity in words. -1 selects the paper's
+     * "at least B = S * C" (scaled by the issue width D) plus one
+     * cache access worth of slack, which covers the fetch latency
+     * so a lone thread is not starved.
+     */
+    int iqueue_words = -1;
+
+    /** Queue-register FIFO depth (Figure 5 shows 4 entries). */
+    int queue_reg_depth = 4;
+
+    /**
+     * Cycle gap between a branch resolving in decode and the next
+     * instruction of the same thread reaching decode, absent fetch
+     * contention (paper: 5 = D1 + 2-cycle cache + 2 IF stages).
+     */
+    int branch_gap = 5;
+
+    /** Pipeline refill cost when binding a context to a slot. */
+    int context_switch_cycles = 2;
+
+    /** Remote-memory region for concurrent multithreading (off by
+     *  default, matching the paper's all-hit assumption). */
+    RemoteRegion remote;
+
+    /**
+     * Finite cache models (the paper's future work; disabled by
+     * default, matching its all-hit simulation). The data cache
+     * adds miss_penalty cycles to a missing access's result
+     * latency; the instruction cache delays fetch-block delivery
+     * per missing line. Both are shared by all thread slots.
+     */
+    CacheConfig dcache;
+    CacheConfig icache;
+
+    std::uint64_t max_cycles = 2'000'000'000ull;
+
+    int
+    frames() const
+    {
+        return num_frames < 0 ? num_slots : num_frames;
+    }
+
+    /** One fetch operation brings at most this many words (B). */
+    int
+    fetchBlockWords() const
+    {
+        return num_slots * icache_cycles * width;
+    }
+
+    int
+    iqueueWords() const
+    {
+        return iqueue_words < 0
+                   ? fetchBlockWords() + icache_cycles * width
+                   : iqueue_words;
+    }
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_CORE_CONFIG_HH

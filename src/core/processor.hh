@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The multithreaded processor of section 2: several thread slots
+ * (instruction queue unit + decode unit pairs) sharing one fetch
+ * unit and one pool of functional units, with simultaneous issuing
+ * from multiple threads arbitrated by rotating-priority instruction
+ * schedule units and standby stations.
+ *
+ * Timing contract implemented here (see DESIGN.md):
+ *  - logical-processor pipeline IF1 IF2 D1 D2 S EX* W;
+ *  - an instruction issued from D2 in cycle t reaches S in t+1; if
+ *    granted in cycle g its result is usable by a D2 check in cycle
+ *    g + result_latency (dependent ALU ops are 3 cycles apart);
+ *  - branches execute in the decode unit; the next instruction of
+ *    the same thread decodes branch_gap (5) cycles later, more if
+ *    the shared fetch unit is busy with another thread;
+ *  - instructions that lose schedule-unit arbitration wait in a
+ *    depth-1 standby station per (FU class x slot); with standby
+ *    stations disabled the whole decode unit stalls instead;
+ *  - loads/stores have issue latency 2 (2-cycle data cache, always
+ *    hitting unless a RemoteRegion is configured).
+ */
+
+#ifndef SMTSIM_CORE_PROCESSOR_HH
+#define SMTSIM_CORE_PROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "core/config.hh"
+#include "core/queue_ring.hh"
+#include "core/schedule.hh"
+#include "isa/insn.hh"
+#include "machine/run_stats.hh"
+#include "mem/memory.hh"
+
+namespace smtsim
+{
+
+/**
+ * Cycle-accurate model of the multithreaded core.
+ *
+ * Basic use: construct, optionally spawnContext() extra threads
+ * (concurrent multithreading), then run(). The program's entry
+ * thread starts on thread slot 0; FASTFORK inside the program
+ * activates the remaining slots.
+ */
+class MultithreadedProcessor
+{
+  public:
+    MultithreadedProcessor(const Program &prog, MainMemory &mem,
+                           const CoreConfig &cfg = {});
+
+    /**
+     * Queue an additional software thread (context) to execute,
+     * starting at @p entry. It runs when a context frame and thread
+     * slot become available. Returns the context-frame id.
+     */
+    int spawnContext(Addr entry,
+                     const std::array<std::uint32_t, kNumRegs> &iregs =
+                         {},
+                     const std::array<double, kNumRegs> &fregs = {});
+
+    /** Simulate until every context finishes (or budget expires). */
+    RunStats run();
+
+    /** Post-run architectural state of a context frame. */
+    std::uint32_t intReg(int frame, RegIndex idx) const;
+    double fpReg(int frame, RegIndex idx) const;
+
+    /** Detailed counters (stall breakdown etc.). */
+    const stats::Group &detail() const { return detail_; }
+
+    /** Dump slot/context/queue state (debugging aid). */
+    void dumpState(std::ostream &os) const;
+
+    /**
+     * Stream a line per pipeline event (issue, grant, branch,
+     * trap, bind) to @p os — the cycle-by-cycle view of Figure 4.
+     * Pass nullptr to disable (the default).
+     */
+    void setPipeTrace(std::ostream *os) { pipe_trace_ = os; }
+
+  private:
+    // ----- contexts (section 2.1.3) ------------------------------
+    enum class CtxState
+    {
+        Unused,
+        Ready,      ///< waiting for a free thread slot
+        Running,    ///< bound to a slot
+        WaitRemote, ///< switched out on a data-absence trap
+        Finished
+    };
+
+    /** Access-requirement-buffer entry replayed after a resume. */
+    struct ReplayEntry
+    {
+        Insn insn;
+        Addr pc = 0;
+    };
+
+    struct Context
+    {
+        CtxState state = CtxState::Unused;
+        Addr resume_pc = 0;
+        std::array<std::uint32_t, kNumRegs> iregs{};
+        std::array<double, kNumRegs> fregs{};
+        std::optional<RegIndex> q_read_int, q_write_int;
+        std::optional<RegIndex> q_read_fp, q_write_fp;
+        std::vector<ReplayEntry> replay;
+        Cycle ready_at = 0;
+        /** Remote line now present; next access to it hits. */
+        std::optional<Addr> satisfied_addr;
+        std::uint64_t insns = 0;
+    };
+
+    // ----- thread slots ------------------------------------------
+    struct WindowEntry
+    {
+        Insn insn;
+        Addr pc = 0;
+        bool replay = false;
+    };
+
+    struct Slot
+    {
+        int frame = -1;             ///< bound context, -1 = free
+        bool trap_pending = false;  ///< draining for a switch-out
+
+        std::deque<Addr> iqueue;    ///< instruction queue unit
+        Addr fetch_addr = 0;        ///< next address to fetch
+        std::vector<WindowEntry> window;
+        Cycle d2_allowed = 0;       ///< front-end refill bubble
+
+        /** Scoreboard: result-clear cycle per register; kNeverCycle
+         *  while the producing instruction waits to be granted. */
+        std::array<Cycle, kNumRegs> isb{};
+        std::array<Cycle, kNumRegs> fsb{};
+
+        int ungranted_total = 0;
+        std::array<int, kNumFuClasses> ungranted_class{};
+        int ungranted_mem = 0;
+        /** Queue-register writes reserved but not yet deposited. */
+        int queue_push_pending = 0;
+
+        /** Write-back cycles seen recently, for the 1-write-port
+         *  conflict statistic (each bank has one write port). */
+        std::map<Cycle, int> wb_cycles;
+    };
+
+    // ----- fetch engine ------------------------------------------
+    struct FetchOp
+    {
+        int slot = -1;
+        Addr addr = 0;
+        int words = 0;
+        bool redirect = false;
+        Cycle done_at = 0;
+    };
+
+    struct FetchPort
+    {
+        Cycle free_at = 0;
+        std::vector<FetchOp> inflight;
+        int rr_next = 0;            ///< round-robin refill pointer
+    };
+
+    struct PendingPush
+    {
+        Cycle at = 0;
+        int slot = -1;
+        std::uint64_t value = 0;
+    };
+
+    // ----- per-phase helpers --------------------------------------
+    void fetchPhase(Cycle c);
+    void schedulePhase(Cycle c);
+    void contextPhase(Cycle c);
+    void decodePhase(Cycle c);
+    void rotationPhase(Cycle c);
+    bool allDone() const;
+
+    // decode helpers
+    enum class ControlOutcome { Blocked, Issued, Flushed };
+
+    void decodeSlot(int slot_id, Cycle c);
+    ControlOutcome handleControl(int slot_id,
+                                 const WindowEntry &entry, Cycle c);
+    OperandValues readOperands(int slot_id, const Insn &insn);
+    bool operandsReady(const Slot &slot, const Context &ctx,
+                       const Insn &insn, Cycle c,
+                       std::uint32_t pw_int,
+                       std::uint32_t pw_fp) const;
+    Cycle &sbOf(Slot &slot, RegRef ref);
+    Cycle sbOf(const Slot &slot, RegRef ref) const;
+
+    // grant-time execution
+    void performGrant(const Grant &grant, Cycle c);
+    void writeResult(int slot_id, const IssuedOp &op, bool is_fp,
+                     std::uint32_t ival, double fval, Cycle c);
+    void takeRemoteTrap(const IssuedOp &op, Cycle c);
+
+    // thread management
+    void bindContext(int frame, int slot_id, Cycle c);
+    void unbindSlot(int slot_id);
+    void flushFrontEnd(int slot_id);
+    void killOtherThreads(int killer_slot, Cycle c);
+    Addr nextUnissuedPc(const Slot &slot) const;
+
+    // fetch helpers
+    FetchPort &portOf(int slot_id);
+    Cycle scheduleRedirect(int slot_id, Addr target, Cycle earliest);
+    void cancelFetches(int slot_id);
+    /** Extra fetch cycles from instruction-cache misses. */
+    Cycle icacheDelay(Addr addr, int words);
+
+    // priority
+    bool slotActive(int slot_id) const;
+    bool hasTopPriority(int slot_id) const;
+    void rotateRing();
+
+    Context &ctxOf(int slot_id);
+    const Context &ctxOf(int slot_id) const;
+
+    const Program &prog_;
+    MainMemory &mem_;
+    CoreConfig cfg_;
+
+    std::vector<Context> contexts_;
+    std::vector<Slot> slots_;
+    std::optional<DirectMappedCache> dcache_;
+    std::optional<DirectMappedCache> icache_;
+    std::vector<ScheduleUnit> sched_units_;
+    std::vector<FetchPort> ports_;
+    QueueRing ring_regs_;
+    std::vector<PendingPush> pending_pushes_;
+
+    /** Thread-slot priority order, highest first. */
+    std::vector<int> ring_;
+    bool rotate_requested_ = false;
+    RotationMode rotation_mode_;
+    int rotation_interval_;
+
+    Cycle last_activity_ = 0;
+    Cycle now_ = 0;
+    std::vector<int> ready_fifo_;   ///< Ready contexts, FIFO order
+
+    RunStats stats_;
+    stats::Group detail_{"core"};
+    std::ostream *pipe_trace_ = nullptr;
+
+    /** Emit one pipeline-trace line (no-op unless enabled). */
+    template <typename... Args>
+    void
+    trace(Args &&...args)
+    {
+        if (!pipe_trace_)
+            return;
+        *pipe_trace_ << "[" << now_ << "] ";
+        ((*pipe_trace_ << args), ...);
+        *pipe_trace_ << '\n';
+    }
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_CORE_PROCESSOR_HH

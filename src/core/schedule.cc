@@ -1,0 +1,84 @@
+#include "schedule.hh"
+
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+ScheduleUnit::ScheduleUnit(FuClass cls, int num_units, int num_slots)
+    : cls_(cls), units_(static_cast<size_t>(num_units), 0),
+      standby_(static_cast<size_t>(num_slots))
+{
+}
+
+bool
+ScheduleUnit::slotBusy(int slot) const
+{
+    if (standby_[slot].has_value())
+        return true;
+    for (const IssuedOp &op : incoming_) {
+        if (op.slot == slot)
+            return true;
+    }
+    return false;
+}
+
+void
+ScheduleUnit::submit(IssuedOp op)
+{
+    SMTSIM_ASSERT(!slotBusy(op.slot),
+                  "double submit to one standby station");
+    incoming_.push_back(std::move(op));
+}
+
+std::vector<Grant>
+ScheduleUnit::select(Cycle c, const std::vector<int> &priority_order)
+{
+    // Latch newly arriving instructions into their standby stations.
+    for (auto it = incoming_.begin(); it != incoming_.end();) {
+        if (it->arrive <= c) {
+            SMTSIM_ASSERT(!standby_[it->slot].has_value(),
+                          "standby station collision");
+            standby_[it->slot] = std::move(*it);
+            it = incoming_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Grant in priority order while units can accept.
+    std::vector<Grant> grants;
+    for (int slot : priority_order) {
+        if (!standby_[slot].has_value())
+            continue;
+        int unit = -1;
+        for (size_t u = 0; u < units_.size(); ++u) {
+            if (units_[u] <= c) {
+                unit = static_cast<int>(u);
+                break;
+            }
+        }
+        if (unit < 0)
+            break;      // every unit busy: lower priorities wait too
+        IssuedOp op = std::move(*standby_[slot]);
+        standby_[slot].reset();
+        units_[unit] =
+            c + static_cast<Cycle>(opMeta(op.insn.op).issue_latency);
+        grants.push_back(Grant{std::move(op), unit});
+    }
+    return grants;
+}
+
+void
+ScheduleUnit::flushSlot(int slot)
+{
+    standby_[slot].reset();
+    for (auto it = incoming_.begin(); it != incoming_.end();) {
+        if (it->slot == slot)
+            it = incoming_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace smtsim

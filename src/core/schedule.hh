@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Instruction schedule units and standby stations (sections 2.1.1
+ * and 2.2).
+ *
+ * One ScheduleUnit manages every functional unit of a class. Each
+ * cycle it selects, in rotating thread-priority order, up to as many
+ * waiting instructions as units can accept. Losers stay in their
+ * depth-1 standby station (one per functional-unit class per thread
+ * slot), which lets the owning decode unit keep issuing instructions
+ * bound for *other* units — the paper's bounded out-of-order
+ * execution.
+ */
+
+#ifndef SMTSIM_CORE_SCHEDULE_HH
+#define SMTSIM_CORE_SCHEDULE_HH
+
+#include <optional>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/dataop.hh"
+#include "isa/insn.hh"
+
+namespace smtsim
+{
+
+/** An instruction in flight between decode (D2) and execution. */
+struct IssuedOp
+{
+    Insn insn;
+    Addr pc = 0;
+    int slot = -1;
+    /** Operand values captured at issue (register-read model). */
+    OperandValues ops;
+    /** Cycle the op reaches the schedule (S) stage. */
+    Cycle arrive = 0;
+    /** Destination is a queue-register mapping (push, not write). */
+    bool queue_write = false;
+};
+
+/** One granted instruction with its assigned functional unit. */
+struct Grant
+{
+    IssuedOp op;
+    int unit = 0;
+};
+
+/** Schedule unit for one functional-unit class. */
+class ScheduleUnit
+{
+  public:
+    ScheduleUnit(FuClass cls, int num_units, int num_slots);
+
+    /** True while @p slot has an instruction waiting here. */
+    bool slotBusy(int slot) const;
+
+    /** Accept an instruction issued by a decode unit. */
+    void submit(IssuedOp op);
+
+    /**
+     * Run the selection for cycle @p c. @p priority_order lists the
+     * thread slots from highest to lowest priority.
+     */
+    std::vector<Grant> select(Cycle c,
+                              const std::vector<int> &priority_order);
+
+    /** Discard any waiting instruction of @p slot (thread killed). */
+    void flushSlot(int slot);
+
+    int numUnits() const { return static_cast<int>(units_.size()); }
+    FuClass fuClass() const { return cls_; }
+
+  private:
+    FuClass cls_;
+    /** Earliest cycle each unit accepts a new instruction. */
+    std::vector<Cycle> units_;
+    /** Standby stations, one per thread slot, depth 1. */
+    std::vector<std::optional<IssuedOp>> standby_;
+    /** Instructions issued this cycle, arriving at S next cycle. */
+    std::vector<IssuedOp> incoming_;
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_CORE_SCHEDULE_HH

@@ -1,0 +1,57 @@
+#include "analytic.hh"
+
+#include <algorithm>
+
+namespace smtsim
+{
+
+AnalyticModel
+buildAnalyticModel(const RunStats &single_thread)
+{
+    AnalyticModel model;
+    if (single_thread.cycles == 0)
+        return model;
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        model.demand[cls] =
+            static_cast<double>(single_thread.fu_busy[cls]) /
+            static_cast<double>(single_thread.cycles);
+    }
+    return model;
+}
+
+double
+AnalyticModel::speedupBound(int threads,
+                            const FuPoolConfig &pool) const
+{
+    double bound = static_cast<double>(threads);
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        const FuClass fc = static_cast<FuClass>(cls);
+        if (fc == FuClass::None || demand[cls] <= 0.0)
+            continue;
+        bound = std::min(bound, static_cast<double>(
+                                    pool.count(fc)) /
+                                    demand[cls]);
+    }
+    return bound;
+}
+
+FuClass
+AnalyticModel::bottleneck(const FuPoolConfig &pool) const
+{
+    FuClass worst = FuClass::None;
+    double best_ratio = 0.0;
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        const FuClass fc = static_cast<FuClass>(cls);
+        if (fc == FuClass::None || demand[cls] <= 0.0)
+            continue;
+        const double ratio =
+            demand[cls] / static_cast<double>(pool.count(fc));
+        if (ratio > best_ratio) {
+            best_ratio = ratio;
+            worst = fc;
+        }
+    }
+    return worst;
+}
+
+} // namespace smtsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The paper's Figure 1 argument, as an analytic model: if the
+ * busiest functional unit of a single-thread run shows utilization
+ * U, then about 1/U threads can be merged onto one unit pool before
+ * it saturates, and the speed-up of S threads is bounded by every
+ * unit class's remaining headroom.
+ *
+ * Used to sanity-check the simulator: the measured Table 2 curve
+ * must track min(S, capacity bound) within the slack the pipeline's
+ * own overheads allow.
+ */
+
+#ifndef SMTSIM_HARNESS_ANALYTIC_HH
+#define SMTSIM_HARNESS_ANALYTIC_HH
+
+#include <array>
+
+#include "machine/fu_pool.hh"
+#include "machine/run_stats.hh"
+
+namespace smtsim
+{
+
+/** Per-class demand extracted from a single-thread reference run. */
+struct AnalyticModel
+{
+    /** Busy cycles per executed cycle, per class (N*L/T). */
+    std::array<double, kNumFuClasses> demand{};
+
+    /**
+     * Upper bound on the speed-up of @p threads identical threads
+     * sharing @p pool: each class c with single-thread demand d_c
+     * and u_c units caps the speed-up at u_c / d_c; the thread
+     * count itself caps it at S.
+     */
+    double speedupBound(int threads, const FuPoolConfig &pool) const;
+
+    /** The class that saturates first under @p pool (the paper's
+     *  "busiest functional unit"). */
+    FuClass bottleneck(const FuPoolConfig &pool) const;
+};
+
+/** Build the model from a single-thread run's statistics. */
+AnalyticModel buildAnalyticModel(const RunStats &single_thread);
+
+} // namespace smtsim
+
+#endif // SMTSIM_HARNESS_ANALYTIC_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Convenience harness used by the tests, the examples and the
+ * benchmark binaries: load a Workload, run it on one of the three
+ * engines, verify its outputs.
+ */
+
+#ifndef SMTSIM_HARNESS_RUNNER_HH
+#define SMTSIM_HARNESS_RUNNER_HH
+
+#include <string>
+
+#include "baseline/baseline.hh"
+#include "core/config.hh"
+#include "machine/run_stats.hh"
+#include "workloads/workloads.hh"
+
+namespace smtsim
+{
+
+/** Result of one run: timing stats + output verification. */
+struct Outcome
+{
+    RunStats stats;
+    bool ok = false;        ///< finished and outputs verified
+    std::string error;      ///< first failure description
+};
+
+/** Run on the multithreaded core. */
+Outcome runCore(const Workload &workload, const CoreConfig &cfg);
+
+/** Run on the baseline RISC processor. */
+Outcome runBaseline(const Workload &workload,
+                    const BaselineConfig &cfg = {});
+
+/**
+ * Run on the functional interpreter (stats.instructions = executed
+ * instructions; cycle fields are zero).
+ */
+Outcome runInterp(const Workload &workload, int num_threads = 1);
+
+/**
+ * The paper's speed-up ratio: sequential-baseline cycles over
+ * multithreaded cycles.
+ */
+double speedup(const RunStats &baseline, const RunStats &core);
+
+} // namespace smtsim
+
+#endif // SMTSIM_HARNESS_RUNNER_HH

@@ -1,0 +1,46 @@
+#include "dataop.hh"
+
+#include "base/logging.hh"
+#include "isa/semantics.hh"
+
+namespace smtsim
+{
+
+DataResult
+execDataOp(const Insn &insn, const OperandValues &ops)
+{
+    DataResult r;
+    switch (opMeta(insn.op).format) {
+      case Format::FR3:
+        r.is_fp = true;
+        r.fval = execFpOp(insn.op, ops.rs_f, ops.rt_f);
+        return r;
+      case Format::FR2:
+        r.is_fp = true;
+        r.fval = execFpOp(insn.op, ops.rs_f, 0.0);
+        return r;
+      case Format::FCMP:
+        r.ival = execFpToIntOp(insn.op, ops.rs_f, ops.rt_f);
+        return r;
+      case Format::ITOFF:
+        r.is_fp = true;
+        r.fval = static_cast<double>(
+            static_cast<std::int32_t>(ops.rs_i));
+        return r;
+      case Format::FTOIF:
+        r.ival = execFpToIntOp(insn.op, ops.rs_f, 0.0);
+        return r;
+      case Format::R3:
+      case Format::R2:
+      case Format::SHI:
+      case Format::I:
+      case Format::LUIF:
+        r.ival = execIntOp(insn, ops.rs_i, ops.rt_i);
+        return r;
+      default:
+        panic("execDataOp: not a data op: ",
+              opMeta(insn.op).mnemonic);
+    }
+}
+
+} // namespace smtsim

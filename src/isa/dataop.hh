@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Evaluation of register-to-register data operations (everything but
+ * memory, branch and thread-control instructions), shared by both
+ * pipeline models.
+ */
+
+#ifndef SMTSIM_ISA_DATAOP_HH
+#define SMTSIM_ISA_DATAOP_HH
+
+#include <cstdint>
+
+#include "isa/insn.hh"
+
+namespace smtsim
+{
+
+/** Operand values for one instruction (unused fields are zero). */
+struct OperandValues
+{
+    std::uint32_t rs_i = 0;
+    std::uint32_t rt_i = 0;
+    double rs_f = 0.0;
+    double rt_f = 0.0;
+};
+
+/** Result of a data operation. */
+struct DataResult
+{
+    bool is_fp = false;
+    std::uint32_t ival = 0;
+    double fval = 0.0;
+};
+
+/**
+ * Evaluate a non-memory, non-branch, non-thread-control instruction.
+ * The destination register is insn.dst().
+ */
+DataResult execDataOp(const Insn &insn, const OperandValues &ops);
+
+} // namespace smtsim
+
+#endif // SMTSIM_ISA_DATAOP_HH

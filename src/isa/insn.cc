@@ -1,0 +1,508 @@
+#include "insn.hh"
+
+#include <sstream>
+
+#include "base/bitops.hh"
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/** Primary opcode values (bits [31:26]). */
+enum Primary : std::uint32_t
+{
+    P_INTOP = 0x00,
+    P_FPOP = 0x01,
+    P_THROP = 0x02,
+    P_ADDI = 0x08,
+    P_SLTI = 0x09,
+    P_ANDI = 0x0a,
+    P_ORI = 0x0b,
+    P_XORI = 0x0c,
+    P_LUI = 0x0f,
+    P_SETRMODE = 0x10,
+    P_LW = 0x20,
+    P_SW = 0x21,
+    P_LF = 0x22,
+    P_SF = 0x23,
+    P_PSTW = 0x24,
+    P_PSTF = 0x25,
+    P_BEQ = 0x30,
+    P_BNE = 0x31,
+    P_BLEZ = 0x32,
+    P_BGTZ = 0x33,
+    P_BLTZ = 0x34,
+    P_BGEZ = 0x35,
+    P_J = 0x38,
+    P_JAL = 0x39,
+    P_JR = 0x3a,
+    P_JALR = 0x3b,
+};
+
+/** INTOP funct codes, indexable by (op - Op::ADD) for R-type ints. */
+constexpr Op int_functs[] = {
+    Op::ADD, Op::SUB, Op::AND_, Op::OR_, Op::XOR_, Op::NOR_,
+    Op::SLT, Op::SLTU, Op::SLL, Op::SRL, Op::SRA, Op::SLLV,
+    Op::SRLV, Op::SRAV, Op::MUL, Op::DIVQ, Op::REMQ,
+};
+
+constexpr Op fp_functs[] = {
+    Op::FADD, Op::FSUB, Op::FABS, Op::FNEG, Op::FMOV,
+    Op::FCMPLT, Op::FCMPLE, Op::FCMPEQ, Op::ITOF, Op::FTOI,
+    Op::FMUL, Op::FDIV, Op::FSQRT,
+};
+
+constexpr Op thr_functs[] = {
+    Op::NOP, Op::HALT, Op::FASTFORK, Op::CHGPRI, Op::KILLT,
+    Op::TID, Op::NSLOT, Op::QEN, Op::QENF, Op::QDIS,
+};
+
+template <size_t N>
+int
+functOf(const Op (&table)[N], Op op)
+{
+    for (size_t i = 0; i < N; ++i) {
+        if (table[i] == op)
+            return static_cast<int>(i);
+    }
+    panic("op ", opMeta(op).mnemonic, " not in funct table");
+}
+
+std::uint32_t
+encodeR(std::uint32_t primary, int funct, RegIndex rs, RegIndex rt,
+        RegIndex rd, std::uint32_t shamt)
+{
+    std::uint32_t w = 0;
+    w = insertBits(w, 31, 26, primary);
+    w = insertBits(w, 25, 21, rs);
+    w = insertBits(w, 20, 16, rt);
+    w = insertBits(w, 15, 11, rd);
+    w = insertBits(w, 10, 6, shamt);
+    w = insertBits(w, 5, 0, static_cast<std::uint32_t>(funct));
+    return w;
+}
+
+std::uint32_t
+encodeI(std::uint32_t primary, RegIndex rs, RegIndex rt,
+        std::int32_t imm)
+{
+    std::uint32_t w = 0;
+    w = insertBits(w, 31, 26, primary);
+    w = insertBits(w, 25, 21, rs);
+    w = insertBits(w, 20, 16, rt);
+    w = insertBits(w, 15, 0, static_cast<std::uint32_t>(imm));
+    return w;
+}
+
+/** True if the 16-bit immediate of this op is sign-extended. */
+bool
+signExtended(Op op)
+{
+    switch (op) {
+      case Op::ANDI:
+      case Op::ORI:
+      case Op::XORI:
+      case Op::LUI:
+        return false;
+      default:
+        return true;
+    }
+}
+
+const char *
+intRegName(RegIndex idx)
+{
+    static const char *names[kNumRegs] = {
+        "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+        "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+        "r16", "r17", "r18", "r19", "r20", "r21", "r22", "r23",
+        "r24", "r25", "r26", "r27", "r28", "r29", "r30", "r31",
+    };
+    return names[idx % kNumRegs];
+}
+
+const char *
+fpRegName(RegIndex idx)
+{
+    static const char *names[kNumRegs] = {
+        "f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
+        "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15",
+        "f16", "f17", "f18", "f19", "f20", "f21", "f22", "f23",
+        "f24", "f25", "f26", "f27", "f28", "f29", "f30", "f31",
+    };
+    return names[idx % kNumRegs];
+}
+
+} // namespace
+
+int
+Insn::srcs(RegRef out[3]) const
+{
+    int n = 0;
+    auto add = [&](RF file, RegIndex idx) {
+        // r0 is hardwired to zero: never a real dependence.
+        if (file == RF::Int && idx == 0)
+            return;
+        out[n++] = RegRef{file, idx};
+    };
+
+    switch (opMeta(op).format) {
+      case Format::R3:
+        add(RF::Int, rs);
+        add(RF::Int, rt);
+        break;
+      case Format::R2:
+        add(RF::Int, rs);
+        break;
+      case Format::SHI:
+      case Format::I:
+        add(RF::Int, rs);
+        break;
+      case Format::LUIF:
+        break;
+      case Format::FR3:
+        add(RF::Fp, rs);
+        add(RF::Fp, rt);
+        break;
+      case Format::FR2:
+        add(RF::Fp, rs);
+        break;
+      case Format::FCMP:
+        add(RF::Fp, rs);
+        add(RF::Fp, rt);
+        break;
+      case Format::ITOFF:
+        add(RF::Int, rs);
+        break;
+      case Format::FTOIF:
+        add(RF::Fp, rs);
+        break;
+      case Format::MEM:
+        add(RF::Int, rs);          // address base
+        if (isStoreOp(op))
+            add(isFpFormatOp(op) ? RF::Fp : RF::Int, rt);
+        break;
+      case Format::BR2:
+        add(RF::Int, rs);
+        add(RF::Int, rt);
+        break;
+      case Format::BR1:
+        add(RF::Int, rs);
+        break;
+      case Format::JRF:
+      case Format::JALRF:
+        add(RF::Int, rs);
+        break;
+      case Format::JF:
+      case Format::THR0:
+      case Format::THR1D:
+      case Format::THR2:
+      case Format::ROT:
+        break;
+    }
+    return n;
+}
+
+RegRef
+Insn::dst() const
+{
+    switch (opMeta(op).format) {
+      case Format::R3:
+      case Format::R2:
+      case Format::SHI:
+        return {RF::Int, rd};
+      case Format::I:
+      case Format::LUIF:
+        return {RF::Int, rt};
+      case Format::FR3:
+      case Format::FR2:
+        return {RF::Fp, rd};
+      case Format::FCMP:
+        return {RF::Int, rd};
+      case Format::ITOFF:
+        return {RF::Fp, rd};
+      case Format::FTOIF:
+        return {RF::Int, rd};
+      case Format::MEM:
+        if (isLoadOp(op))
+            return {isFpFormatOp(op) ? RF::Fp : RF::Int, rt};
+        return {};
+      case Format::JF:
+        if (op == Op::JAL)
+            return {RF::Int, 31};
+        return {};
+      case Format::JALRF:
+        return {RF::Int, rd};
+      case Format::THR1D:
+        return {RF::Int, rd};
+      default:
+        return {};
+    }
+}
+
+std::uint32_t
+encode(const Insn &insn)
+{
+    const OpMeta &meta = opMeta(insn.op);
+    switch (meta.format) {
+      case Format::R3:
+      case Format::R2:
+        if (insn.op >= Op::ADD && insn.op <= Op::REMQ) {
+            return encodeR(P_INTOP, functOf(int_functs, insn.op),
+                           insn.rs, insn.rt, insn.rd, 0);
+        }
+        panic("unexpected R-format op");
+      case Format::SHI:
+        return encodeR(P_INTOP, functOf(int_functs, insn.op),
+                       insn.rs, 0, insn.rd,
+                       static_cast<std::uint32_t>(insn.imm) & 0x1f);
+      case Format::I: {
+        std::uint32_t primary = 0;
+        switch (insn.op) {
+          case Op::ADDI: primary = P_ADDI; break;
+          case Op::SLTI: primary = P_SLTI; break;
+          case Op::ANDI: primary = P_ANDI; break;
+          case Op::ORI: primary = P_ORI; break;
+          case Op::XORI: primary = P_XORI; break;
+          default: panic("unexpected I-format op");
+        }
+        return encodeI(primary, insn.rs, insn.rt, insn.imm);
+      }
+      case Format::LUIF:
+        return encodeI(P_LUI, 0, insn.rt, insn.imm);
+      case Format::FR3:
+      case Format::FR2:
+      case Format::FCMP:
+      case Format::ITOFF:
+      case Format::FTOIF:
+        return encodeR(P_FPOP, functOf(fp_functs, insn.op),
+                       insn.rs, insn.rt, insn.rd, 0);
+      case Format::MEM: {
+        std::uint32_t primary = 0;
+        switch (insn.op) {
+          case Op::LW: primary = P_LW; break;
+          case Op::SW: primary = P_SW; break;
+          case Op::LF: primary = P_LF; break;
+          case Op::SF: primary = P_SF; break;
+          case Op::PSTW: primary = P_PSTW; break;
+          case Op::PSTF: primary = P_PSTF; break;
+          default: panic("unexpected MEM-format op");
+        }
+        return encodeI(primary, insn.rs, insn.rt, insn.imm);
+      }
+      case Format::BR2:
+        return encodeI(insn.op == Op::BEQ ? P_BEQ : P_BNE, insn.rs,
+                       insn.rt, insn.imm);
+      case Format::BR1: {
+        std::uint32_t primary = 0;
+        switch (insn.op) {
+          case Op::BLEZ: primary = P_BLEZ; break;
+          case Op::BGTZ: primary = P_BGTZ; break;
+          case Op::BLTZ: primary = P_BLTZ; break;
+          case Op::BGEZ: primary = P_BGEZ; break;
+          default: panic("unexpected BR1-format op");
+        }
+        return encodeI(primary, insn.rs, 0, insn.imm);
+      }
+      case Format::JF: {
+        std::uint32_t w = 0;
+        w = insertBits(w, 31, 26, insn.op == Op::J ? P_J : P_JAL);
+        w = insertBits(w, 25, 0,
+                       static_cast<std::uint32_t>(insn.imm));
+        return w;
+      }
+      case Format::JRF:
+        return encodeI(P_JR, insn.rs, 0, 0);
+      case Format::JALRF:
+        return encodeR(P_JALR, 0, insn.rs, 0, insn.rd, 0);
+      case Format::THR0:
+      case Format::THR1D:
+      case Format::THR2:
+        return encodeR(P_THROP, functOf(thr_functs, insn.op),
+                       insn.rs, insn.rt, insn.rd, 0);
+      case Format::ROT:
+        return encodeI(P_SETRMODE, 0, insn.rt, insn.imm);
+    }
+    panic("unhandled format in encode");
+}
+
+Insn
+decode(std::uint32_t word)
+{
+    Insn insn;
+    const std::uint32_t primary = bits(word, 31, 26);
+    const RegIndex rs = static_cast<RegIndex>(bits(word, 25, 21));
+    const RegIndex rt = static_cast<RegIndex>(bits(word, 20, 16));
+    const RegIndex rd = static_cast<RegIndex>(bits(word, 15, 11));
+    const std::uint32_t shamt = bits(word, 10, 6);
+    const std::uint32_t funct = bits(word, 5, 0);
+    const std::uint32_t imm16 = bits(word, 15, 0);
+
+    auto decode_funct = [&](const Op *table, size_t n) {
+        if (funct >= n)
+            fatal("bad funct ", funct, " in word ", word);
+        return table[funct];
+    };
+
+    insn.rs = rs;
+    insn.rt = rt;
+    insn.rd = rd;
+
+    switch (primary) {
+      case P_INTOP:
+        insn.op = decode_funct(int_functs,
+                               std::size(int_functs));
+        if (opMeta(insn.op).format == Format::SHI)
+            insn.imm = static_cast<std::int32_t>(shamt);
+        return insn;
+      case P_FPOP:
+        insn.op = decode_funct(fp_functs, std::size(fp_functs));
+        return insn;
+      case P_THROP:
+        insn.op = decode_funct(thr_functs, std::size(thr_functs));
+        return insn;
+      case P_ADDI: insn.op = Op::ADDI; break;
+      case P_SLTI: insn.op = Op::SLTI; break;
+      case P_ANDI: insn.op = Op::ANDI; break;
+      case P_ORI: insn.op = Op::ORI; break;
+      case P_XORI: insn.op = Op::XORI; break;
+      case P_LUI: insn.op = Op::LUI; break;
+      case P_SETRMODE: insn.op = Op::SETRMODE; break;
+      case P_LW: insn.op = Op::LW; break;
+      case P_SW: insn.op = Op::SW; break;
+      case P_LF: insn.op = Op::LF; break;
+      case P_SF: insn.op = Op::SF; break;
+      case P_PSTW: insn.op = Op::PSTW; break;
+      case P_PSTF: insn.op = Op::PSTF; break;
+      case P_BEQ: insn.op = Op::BEQ; break;
+      case P_BNE: insn.op = Op::BNE; break;
+      case P_BLEZ: insn.op = Op::BLEZ; break;
+      case P_BGTZ: insn.op = Op::BGTZ; break;
+      case P_BLTZ: insn.op = Op::BLTZ; break;
+      case P_BGEZ: insn.op = Op::BGEZ; break;
+      case P_J:
+      case P_JAL:
+        insn.op = primary == P_J ? Op::J : Op::JAL;
+        insn.imm = static_cast<std::int32_t>(bits(word, 25, 0));
+        return insn;
+      case P_JR: insn.op = Op::JR; return insn;
+      case P_JALR: insn.op = Op::JALR; return insn;
+      default:
+        fatal("unknown primary opcode ", primary, " in word ", word);
+    }
+
+    // All remaining formats carry a 16-bit immediate.
+    insn.imm = signExtended(insn.op)
+                   ? sext(imm16, 16)
+                   : static_cast<std::int32_t>(imm16);
+    return insn;
+}
+
+std::string
+disassemble(const Insn &insn)
+{
+    const OpMeta &meta = opMeta(insn.op);
+    std::ostringstream oss;
+    oss << meta.mnemonic;
+
+    auto sep = [&, first = true]() mutable {
+        oss << (first ? " " : ", ");
+        first = false;
+    };
+
+    switch (meta.format) {
+      case Format::R3:
+        sep(); oss << intRegName(insn.rd);
+        sep(); oss << intRegName(insn.rs);
+        sep(); oss << intRegName(insn.rt);
+        break;
+      case Format::R2:
+        sep(); oss << intRegName(insn.rd);
+        sep(); oss << intRegName(insn.rs);
+        break;
+      case Format::SHI:
+        sep(); oss << intRegName(insn.rd);
+        sep(); oss << intRegName(insn.rs);
+        sep(); oss << insn.imm;
+        break;
+      case Format::I:
+        sep(); oss << intRegName(insn.rt);
+        sep(); oss << intRegName(insn.rs);
+        sep(); oss << insn.imm;
+        break;
+      case Format::LUIF:
+        sep(); oss << intRegName(insn.rt);
+        sep(); oss << insn.imm;
+        break;
+      case Format::FR3:
+        sep(); oss << fpRegName(insn.rd);
+        sep(); oss << fpRegName(insn.rs);
+        sep(); oss << fpRegName(insn.rt);
+        break;
+      case Format::FR2:
+        sep(); oss << fpRegName(insn.rd);
+        sep(); oss << fpRegName(insn.rs);
+        break;
+      case Format::FCMP:
+        sep(); oss << intRegName(insn.rd);
+        sep(); oss << fpRegName(insn.rs);
+        sep(); oss << fpRegName(insn.rt);
+        break;
+      case Format::ITOFF:
+        sep(); oss << fpRegName(insn.rd);
+        sep(); oss << intRegName(insn.rs);
+        break;
+      case Format::FTOIF:
+        sep(); oss << intRegName(insn.rd);
+        sep(); oss << fpRegName(insn.rs);
+        break;
+      case Format::MEM:
+        sep();
+        oss << (isFpFormatOp(insn.op) ? fpRegName(insn.rt)
+                                      : intRegName(insn.rt));
+        sep(); oss << insn.imm << '(' << intRegName(insn.rs) << ')';
+        break;
+      case Format::BR2:
+        sep(); oss << intRegName(insn.rs);
+        sep(); oss << intRegName(insn.rt);
+        sep(); oss << insn.imm;
+        break;
+      case Format::BR1:
+        sep(); oss << intRegName(insn.rs);
+        sep(); oss << insn.imm;
+        break;
+      case Format::JF:
+        sep(); oss << insn.imm;
+        break;
+      case Format::JRF:
+        sep(); oss << intRegName(insn.rs);
+        break;
+      case Format::JALRF:
+        sep(); oss << intRegName(insn.rd);
+        sep(); oss << intRegName(insn.rs);
+        break;
+      case Format::THR0:
+        break;
+      case Format::THR1D:
+        sep(); oss << intRegName(insn.rd);
+        break;
+      case Format::THR2:
+        sep();
+        oss << (insn.op == Op::QENF ? fpRegName(insn.rs)
+                                    : intRegName(insn.rs));
+        sep();
+        oss << (insn.op == Op::QENF ? fpRegName(insn.rt)
+                                    : intRegName(insn.rt));
+        break;
+      case Format::ROT:
+        sep(); oss << static_cast<int>(insn.rt);
+        sep(); oss << insn.imm;
+        break;
+    }
+    return oss.str();
+}
+
+} // namespace smtsim

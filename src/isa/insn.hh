@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Decoded instruction representation and register-operand queries
+ * shared by the assembler, the functional interpreter and both
+ * pipeline models.
+ */
+
+#ifndef SMTSIM_ISA_INSN_HH
+#define SMTSIM_ISA_INSN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "isa/op.hh"
+
+namespace smtsim
+{
+
+/** Which register file an operand lives in. */
+enum class RF : std::uint8_t { None, Int, Fp };
+
+/** Reference to one architectural register. */
+struct RegRef
+{
+    RF file = RF::None;
+    RegIndex idx = 0;
+
+    bool valid() const { return file != RF::None; }
+
+    bool
+    operator==(const RegRef &other) const
+    {
+        return file == other.file && idx == other.idx;
+    }
+};
+
+/**
+ * A decoded instruction. Field meaning depends on opMeta(op).format;
+ * see the Format enum. @c imm holds, depending on format, the
+ * sign/zero-extended 16-bit immediate, the shift amount, or the
+ * 26-bit jump target (word index).
+ */
+struct Insn
+{
+    Op op = Op::NOP;
+    RegIndex rd = 0;
+    RegIndex rs = 0;
+    RegIndex rt = 0;
+    std::int32_t imm = 0;
+
+    /** Source registers; returns the count written into @p out[3]. */
+    int srcs(RegRef out[3]) const;
+
+    /** Destination register (invalid RegRef if none). */
+    RegRef dst() const;
+
+    /** Functional-unit class executing this instruction. */
+    FuClass fu() const { return opMeta(op).fu; }
+
+    bool isBranch() const { return isBranchOp(op); }
+    bool isMem() const { return isMemOp(op); }
+    bool isLoad() const { return isLoadOp(op); }
+    bool isStore() const { return isStoreOp(op); }
+    bool isThreadCtl() const { return isThreadCtlOp(op); }
+
+    bool operator==(const Insn &other) const = default;
+};
+
+/** Encode @p insn into its 32-bit machine form. */
+std::uint32_t encode(const Insn &insn);
+
+/** Decode a 32-bit machine word. Throws FatalError on bad encodings. */
+Insn decode(std::uint32_t word);
+
+/** Human-readable disassembly, e.g. "addi r1, r2, 10". */
+std::string disassemble(const Insn &insn);
+
+} // namespace smtsim
+
+#endif // SMTSIM_ISA_INSN_HH

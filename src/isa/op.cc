@@ -1,0 +1,151 @@
+#include "op.hh"
+
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/**
+ * One row per Op, in enum order. Latencies are the paper's Table 1;
+ * rows the scan garbled are reconstructed as documented in DESIGN.md
+ * section 2.
+ */
+const OpMeta op_table[kNumOps] = {
+    // mnemonic  format        fu                 issue result
+    {"add",      Format::R3,   FuClass::IntAlu,    1, 2},
+    {"sub",      Format::R3,   FuClass::IntAlu,    1, 2},
+    {"and",      Format::R3,   FuClass::IntAlu,    1, 2},
+    {"or",       Format::R3,   FuClass::IntAlu,    1, 2},
+    {"xor",      Format::R3,   FuClass::IntAlu,    1, 2},
+    {"nor",      Format::R3,   FuClass::IntAlu,    1, 2},
+    {"slt",      Format::R3,   FuClass::IntAlu,    1, 2},
+    {"sltu",     Format::R3,   FuClass::IntAlu,    1, 2},
+    {"addi",     Format::I,    FuClass::IntAlu,    1, 2},
+    {"slti",     Format::I,    FuClass::IntAlu,    1, 2},
+    {"andi",     Format::I,    FuClass::IntAlu,    1, 2},
+    {"ori",      Format::I,    FuClass::IntAlu,    1, 2},
+    {"xori",     Format::I,    FuClass::IntAlu,    1, 2},
+    {"lui",      Format::LUIF, FuClass::IntAlu,    1, 2},
+    {"sll",      Format::SHI,  FuClass::Shifter,   1, 2},
+    {"srl",      Format::SHI,  FuClass::Shifter,   1, 2},
+    {"sra",      Format::SHI,  FuClass::Shifter,   1, 2},
+    {"sllv",     Format::R3,   FuClass::Shifter,   1, 2},
+    {"srlv",     Format::R3,   FuClass::Shifter,   1, 2},
+    {"srav",     Format::R3,   FuClass::Shifter,   1, 2},
+    {"mul",      Format::R3,   FuClass::IntMul,    1, 6},
+    {"divq",     Format::R3,   FuClass::IntMul,    1, 6},
+    {"remq",     Format::R3,   FuClass::IntMul,    1, 6},
+    {"fadd",     Format::FR3,  FuClass::FpAdd,     1, 4},
+    {"fsub",     Format::FR3,  FuClass::FpAdd,     1, 4},
+    {"fabs",     Format::FR2,  FuClass::FpAdd,     1, 2},
+    {"fneg",     Format::FR2,  FuClass::FpAdd,     1, 2},
+    {"fmov",     Format::FR2,  FuClass::FpAdd,     1, 2},
+    {"fcmplt",   Format::FCMP, FuClass::FpAdd,     1, 4},
+    {"fcmple",   Format::FCMP, FuClass::FpAdd,     1, 4},
+    {"fcmpeq",   Format::FCMP, FuClass::FpAdd,     1, 4},
+    {"itof",     Format::ITOFF, FuClass::FpAdd,    1, 4},
+    {"ftoi",     Format::FTOIF, FuClass::FpAdd,    1, 4},
+    {"fmul",     Format::FR3,  FuClass::FpMul,     1, 6},
+    {"fdiv",     Format::FR3,  FuClass::FpDiv,     1, 12},
+    {"fsqrt",    Format::FR2,  FuClass::FpDiv,     1, 12},
+    {"lw",       Format::MEM,  FuClass::LoadStore, 2, 4},
+    {"sw",       Format::MEM,  FuClass::LoadStore, 2, 2},
+    {"lf",       Format::MEM,  FuClass::LoadStore, 2, 4},
+    {"sf",       Format::MEM,  FuClass::LoadStore, 2, 2},
+    {"pstw",     Format::MEM,  FuClass::LoadStore, 2, 2},
+    {"pstf",     Format::MEM,  FuClass::LoadStore, 2, 2},
+    {"beq",      Format::BR2,  FuClass::None,      1, 1},
+    {"bne",      Format::BR2,  FuClass::None,      1, 1},
+    {"blez",     Format::BR1,  FuClass::None,      1, 1},
+    {"bgtz",     Format::BR1,  FuClass::None,      1, 1},
+    {"bltz",     Format::BR1,  FuClass::None,      1, 1},
+    {"bgez",     Format::BR1,  FuClass::None,      1, 1},
+    {"j",        Format::JF,   FuClass::None,      1, 1},
+    {"jal",      Format::JF,   FuClass::None,      1, 1},
+    {"jr",       Format::JRF,  FuClass::None,      1, 1},
+    {"jalr",     Format::JALRF, FuClass::None,     1, 1},
+    {"nop",      Format::THR0, FuClass::None,      1, 1},
+    {"halt",     Format::THR0, FuClass::None,      1, 1},
+    {"fastfork", Format::THR0, FuClass::None,      1, 1},
+    {"chgpri",   Format::THR0, FuClass::None,      1, 1},
+    {"killt",    Format::THR0, FuClass::None,      1, 1},
+    {"tid",      Format::THR1D, FuClass::None,     1, 1},
+    {"nslot",    Format::THR1D, FuClass::None,     1, 1},
+    {"qen",      Format::THR2, FuClass::None,      1, 1},
+    {"qenf",     Format::THR2, FuClass::None,      1, 1},
+    {"qdis",     Format::THR0, FuClass::None,      1, 1},
+    {"setrmode", Format::ROT,  FuClass::None,      1, 1},
+};
+
+} // namespace
+
+const OpMeta &
+opMeta(Op op)
+{
+    const int idx = static_cast<int>(op);
+    SMTSIM_ASSERT(idx >= 0 && idx < kNumOps, "bad op ", idx);
+    return op_table[idx];
+}
+
+bool
+isBranchOp(Op op)
+{
+    return op >= Op::BEQ && op <= Op::JALR;
+}
+
+bool
+isCondBranchOp(Op op)
+{
+    return op >= Op::BEQ && op <= Op::BGEZ;
+}
+
+bool
+isMemOp(Op op)
+{
+    return op >= Op::LW && op <= Op::PSTF;
+}
+
+bool
+isLoadOp(Op op)
+{
+    return op == Op::LW || op == Op::LF;
+}
+
+bool
+isStoreOp(Op op)
+{
+    return op == Op::SW || op == Op::SF || op == Op::PSTW ||
+           op == Op::PSTF;
+}
+
+bool
+isPriorityStoreOp(Op op)
+{
+    return op == Op::PSTW || op == Op::PSTF;
+}
+
+bool
+isThreadCtlOp(Op op)
+{
+    return op >= Op::NOP && op <= Op::SETRMODE;
+}
+
+bool
+isFpFormatOp(Op op)
+{
+    switch (opMeta(op).format) {
+      case Format::FR3:
+      case Format::FR2:
+      case Format::FCMP:
+      case Format::ITOFF:
+      case Format::FTOIF:
+        return true;
+      default:
+        return op == Op::LF || op == Op::SF || op == Op::PSTF;
+    }
+}
+
+} // namespace smtsim

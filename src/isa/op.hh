@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Operation enumeration and static per-operation metadata for the
+ * smtsim RISC ISA.
+ *
+ * The ISA follows the paper's description: a RISC load/store
+ * architecture whose instructions map onto seven heterogeneous
+ * functional-unit classes (Table 1) plus the special thread-control
+ * instructions of sections 2.2 and 2.3 (fast-fork, change-priority,
+ * kill-threads, queue-register enable/disable, priority store, ...).
+ */
+
+#ifndef SMTSIM_ISA_OP_HH
+#define SMTSIM_ISA_OP_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace smtsim
+{
+
+/** All architectural operations, one enumerator per mnemonic. */
+enum class Op : std::uint8_t
+{
+    // Integer ALU (issue 1 / result 2).
+    ADD, SUB, AND_, OR_, XOR_, NOR_, SLT, SLTU,
+    ADDI, SLTI, ANDI, ORI, XORI, LUI,
+    // Barrel shifter (issue 1 / result 2).
+    SLL, SRL, SRA, SLLV, SRLV, SRAV,
+    // Integer multiplier (issue 1 / result 6).
+    MUL, DIVQ, REMQ,
+    // FP adder (issue 1 / result 4; abs/neg/mov result 2).
+    FADD, FSUB, FABS, FNEG, FMOV,
+    FCMPLT, FCMPLE, FCMPEQ,     ///< compare; integer destination
+    ITOF, FTOI,                 ///< conversions
+    // FP multiplier (issue 1 / result 6).
+    FMUL,
+    // FP divider (issue 1 / result 12).
+    FDIV, FSQRT,
+    // Load/store unit (issue 2; load result 4, store result 2).
+    LW, SW, LF, SF,
+    PSTW, PSTF,                 ///< priority store (highest prio only)
+    // Branches; executed inside the decode unit, no functional unit.
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ,
+    J, JAL, JR, JALR,
+    // Thread control; executed inside the decode unit.
+    NOP, HALT,
+    FASTFORK,                   ///< start all other thread slots here
+    CHGPRI,                     ///< explicit priority rotation
+    KILLT,                      ///< kill all other running threads
+    TID,                        ///< read logical-processor identifier
+    NSLOT,                      ///< read number of thread slots
+    QEN,                        ///< map int regs onto queue registers
+    QENF,                       ///< map FP regs onto queue registers
+    QDIS,                       ///< unmap all queue registers
+    SETRMODE,                   ///< select rotation mode / interval
+    NumOps
+};
+
+constexpr int kNumOps = static_cast<int>(Op::NumOps);
+
+/**
+ * Functional-unit classes (the paper's Figure 2 / Table 1). Branch
+ * and thread-control instructions execute inside the decode unit and
+ * therefore have class None.
+ */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,
+    Shifter,
+    IntMul,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    LoadStore,
+    None,
+    NumClasses
+};
+
+constexpr int kNumFuClasses = static_cast<int>(FuClass::NumClasses);
+
+/** Instruction encoding formats. */
+enum class Format : std::uint8_t
+{
+    R3,     ///< op rd, rs, rt
+    R2,     ///< op rd, rs
+    SHI,    ///< op rd, rs, shamt
+    I,      ///< op rt, rs, imm16
+    LUIF,   ///< op rt, imm16
+    FR3,    ///< op fd, fs, ft
+    FR2,    ///< op fd, fs
+    FCMP,   ///< op rd, fs, ft (integer destination)
+    ITOFF,  ///< op fd, rs
+    FTOIF,  ///< op rd, fs
+    MEM,    ///< op rt|ft, imm16(rs)
+    BR2,    ///< op rs, rt, label
+    BR1,    ///< op rs, label
+    JF,     ///< op label (26-bit region target)
+    JRF,    ///< op rs
+    JALRF,  ///< op rd, rs
+    THR0,   ///< op               (no operands)
+    THR1D,  ///< op rd            (integer destination)
+    THR2,   ///< op r_read, r_write (queue enable)
+    ROT     ///< op mode, interval
+};
+
+/** Static metadata describing one operation. */
+struct OpMeta
+{
+    const char *mnemonic;
+    Format format;
+    FuClass fu;
+    /** Cycles before the FU accepts another instruction. */
+    int issue_latency;
+    /** Number of EX stages (cycles until the result is available). */
+    int result_latency;
+};
+
+/** Metadata for @p op (static table defined in op.cc). */
+const OpMeta &opMeta(Op op);
+
+/** Shorthand queries. */
+bool isBranchOp(Op op);     ///< conditional or unconditional branch
+bool isCondBranchOp(Op op);
+bool isMemOp(Op op);
+bool isLoadOp(Op op);
+bool isStoreOp(Op op);
+bool isPriorityStoreOp(Op op);
+bool isThreadCtlOp(Op op);  ///< NOP..SETRMODE (decode-executed)
+bool isFpFormatOp(Op op);   ///< operates on the FP register file
+
+} // namespace smtsim
+
+#endif // SMTSIM_ISA_OP_HH

@@ -1,0 +1,134 @@
+#include "semantics.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+std::int32_t
+asSigned(std::uint32_t v)
+{
+    return static_cast<std::int32_t>(v);
+}
+
+} // namespace
+
+std::uint32_t
+execIntOp(const Insn &insn, std::uint32_t rs_val, std::uint32_t rt_val)
+{
+    const std::uint32_t uimm =
+        static_cast<std::uint32_t>(insn.imm) & 0xffffu;
+    const std::int32_t simm = insn.imm;
+
+    switch (insn.op) {
+      case Op::ADD: return rs_val + rt_val;
+      case Op::SUB: return rs_val - rt_val;
+      case Op::AND_: return rs_val & rt_val;
+      case Op::OR_: return rs_val | rt_val;
+      case Op::XOR_: return rs_val ^ rt_val;
+      case Op::NOR_: return ~(rs_val | rt_val);
+      case Op::SLT:
+        return asSigned(rs_val) < asSigned(rt_val) ? 1 : 0;
+      case Op::SLTU: return rs_val < rt_val ? 1 : 0;
+      case Op::ADDI:
+        return rs_val + static_cast<std::uint32_t>(simm);
+      case Op::SLTI:
+        return asSigned(rs_val) < simm ? 1 : 0;
+      case Op::ANDI: return rs_val & uimm;
+      case Op::ORI: return rs_val | uimm;
+      case Op::XORI: return rs_val ^ uimm;
+      case Op::LUI: return uimm << 16;
+      case Op::SLL:
+        return rs_val << (insn.imm & 31);
+      case Op::SRL:
+        return rs_val >> (insn.imm & 31);
+      case Op::SRA:
+        return static_cast<std::uint32_t>(asSigned(rs_val) >>
+                                          (insn.imm & 31));
+      case Op::SLLV: return rs_val << (rt_val & 31);
+      case Op::SRLV: return rs_val >> (rt_val & 31);
+      case Op::SRAV:
+        return static_cast<std::uint32_t>(asSigned(rs_val) >>
+                                          (rt_val & 31));
+      case Op::MUL:
+        return static_cast<std::uint32_t>(
+            asSigned(rs_val) * std::int64_t{asSigned(rt_val)});
+      case Op::DIVQ:
+        // Division by zero is architecturally defined to yield zero
+        // so every engine (and host) agrees.
+        if (rt_val == 0)
+            return 0;
+        if (rs_val == 0x80000000u && rt_val == 0xffffffffu)
+            return 0x80000000u;
+        return static_cast<std::uint32_t>(asSigned(rs_val) /
+                                          asSigned(rt_val));
+      case Op::REMQ:
+        if (rt_val == 0)
+            return 0;
+        if (rs_val == 0x80000000u && rt_val == 0xffffffffu)
+            return 0;
+        return static_cast<std::uint32_t>(asSigned(rs_val) %
+                                          asSigned(rt_val));
+      default:
+        panic("execIntOp: not an int op: ", opMeta(insn.op).mnemonic);
+    }
+}
+
+double
+execFpOp(Op op, double a, double b)
+{
+    switch (op) {
+      case Op::FADD: return a + b;
+      case Op::FSUB: return a - b;
+      case Op::FMUL: return a * b;
+      case Op::FDIV: return a / b;
+      case Op::FSQRT: return std::sqrt(a);
+      case Op::FABS: return std::fabs(a);
+      case Op::FNEG: return -a;
+      case Op::FMOV: return a;
+      default:
+        panic("execFpOp: not an FP op: ", opMeta(op).mnemonic);
+    }
+}
+
+std::uint32_t
+execFpToIntOp(Op op, double a, double b)
+{
+    switch (op) {
+      case Op::FCMPLT: return a < b ? 1 : 0;
+      case Op::FCMPLE: return a <= b ? 1 : 0;
+      case Op::FCMPEQ: return a == b ? 1 : 0;
+      case Op::FTOI:
+        return static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a));
+      default:
+        panic("execFpToIntOp: bad op: ", opMeta(op).mnemonic);
+    }
+}
+
+bool
+evalBranch(Op op, std::uint32_t rs_val, std::uint32_t rt_val)
+{
+    switch (op) {
+      case Op::BEQ: return rs_val == rt_val;
+      case Op::BNE: return rs_val != rt_val;
+      case Op::BLEZ: return asSigned(rs_val) <= 0;
+      case Op::BGTZ: return asSigned(rs_val) > 0;
+      case Op::BLTZ: return asSigned(rs_val) < 0;
+      case Op::BGEZ: return asSigned(rs_val) >= 0;
+      case Op::J:
+      case Op::JAL:
+      case Op::JR:
+      case Op::JALR:
+        return true;
+      default:
+        panic("evalBranch: not a branch: ", opMeta(op).mnemonic);
+    }
+}
+
+} // namespace smtsim

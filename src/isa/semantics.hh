@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Architectural semantics of arithmetic, compare and branch
+ * operations, shared by the functional interpreter and both timing
+ * models so every engine computes identical values.
+ */
+
+#ifndef SMTSIM_ISA_SEMANTICS_HH
+#define SMTSIM_ISA_SEMANTICS_HH
+
+#include <cstdint>
+
+#include "isa/insn.hh"
+
+namespace smtsim
+{
+
+/**
+ * Evaluate an integer ALU / shifter / multiplier operation.
+ *
+ * @param insn decoded instruction (imm/shamt read from insn.imm)
+ * @param rs_val value of the rs register
+ * @param rt_val value of the rt register (ignored by I-formats)
+ * @return the 32-bit result
+ */
+std::uint32_t execIntOp(const Insn &insn, std::uint32_t rs_val,
+                        std::uint32_t rt_val);
+
+/**
+ * Evaluate an FP-register-producing operation (FADD..FSQRT, FMOV,
+ * ITOF). For ITOF, @p a carries the integer source value reinterpreted
+ * via static_cast from its signed reading.
+ */
+double execFpOp(Op op, double a, double b);
+
+/** Evaluate an FP compare / FTOI; produces an integer result. */
+std::uint32_t execFpToIntOp(Op op, double a, double b);
+
+/** Evaluate a conditional branch predicate. */
+bool evalBranch(Op op, std::uint32_t rs_val, std::uint32_t rt_val);
+
+} // namespace smtsim
+
+#endif // SMTSIM_ISA_SEMANTICS_HH

@@ -1,0 +1,49 @@
+#include "machine/fu_pool.hh"
+#include "machine/run_stats.hh"
+
+namespace smtsim
+{
+
+const char *
+fuClassName(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::IntAlu: return "int_alu";
+      case FuClass::Shifter: return "shifter";
+      case FuClass::IntMul: return "int_mul";
+      case FuClass::FpAdd: return "fp_add";
+      case FuClass::FpMul: return "fp_mul";
+      case FuClass::FpDiv: return "fp_div";
+      case FuClass::LoadStore: return "load_store";
+      case FuClass::None: return "none";
+      default: return "?";
+    }
+}
+
+double
+RunStats::unitUtilization(FuClass cls, int unit) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const auto &per_unit = unit_busy[static_cast<int>(cls)];
+    if (unit < 0 || unit >= static_cast<int>(per_unit.size()))
+        return 0.0;
+    return 100.0 * static_cast<double>(per_unit[unit]) /
+           static_cast<double>(cycles);
+}
+
+double
+RunStats::busiestUnitUtilization() const
+{
+    double best = 0.0;
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        for (size_t u = 0; u < unit_busy[cls].size(); ++u) {
+            const double util = unitUtilization(
+                static_cast<FuClass>(cls), static_cast<int>(u));
+            best = util > best ? util : best;
+        }
+    }
+    return best;
+}
+
+} // namespace smtsim

@@ -1,0 +1,83 @@
+#include "cache.hh"
+
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
+int
+log2of(Addr v)
+{
+    int shift = 0;
+    while ((Addr{1} << shift) < v)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+DirectMappedCache::DirectMappedCache(const CacheConfig &cfg)
+    : cfg_(cfg)
+{
+    SMTSIM_ASSERT(cfg_.enabled(), "constructing a disabled cache");
+    SMTSIM_ASSERT(cfg_.line_bytes > 0 &&
+                      (cfg_.line_bytes & (cfg_.line_bytes - 1)) ==
+                          0,
+                  "line size must be a power of two");
+    SMTSIM_ASSERT(cfg_.ways >= 1, "need at least one way");
+    SMTSIM_ASSERT(cfg_.size_bytes >=
+                      cfg_.line_bytes *
+                          static_cast<Addr>(cfg_.ways),
+                  "cache smaller than one set");
+    line_shift_ = log2of(cfg_.line_bytes);
+    num_sets_ = static_cast<int>(
+        cfg_.size_bytes /
+        (cfg_.line_bytes * static_cast<Addr>(cfg_.ways)));
+    SMTSIM_ASSERT(num_sets_ >= 1, "no sets");
+    ways_.assign(static_cast<size_t>(num_sets_) * cfg_.ways,
+                 Way{kInvalidTag, 0});
+}
+
+bool
+DirectMappedCache::access(Addr addr)
+{
+    const std::uint64_t line = addr >> line_shift_;
+    const size_t set =
+        static_cast<size_t>(line % static_cast<std::uint64_t>(
+                                       num_sets_)) *
+        static_cast<size_t>(cfg_.ways);
+    ++tick_;
+
+    size_t victim = set;
+    for (int w = 0; w < cfg_.ways; ++w) {
+        Way &way = ways_[set + w];
+        if (way.tag == line) {
+            way.last_used = tick_;
+            ++hits_;
+            return true;
+        }
+        if (way.last_used < ways_[victim].last_used)
+            victim = set + w;
+    }
+
+    ways_[victim].tag = line;
+    ways_[victim].last_used = tick_;
+    ++misses_;
+    return false;
+}
+
+void
+DirectMappedCache::reset()
+{
+    ways_.assign(ways_.size(), Way{kInvalidTag, 0});
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace smtsim

@@ -1,0 +1,92 @@
+#include "memory.hh"
+
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+const MainMemory::Page *
+MainMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Page &
+MainMemory::touchPage(Addr addr)
+{
+    Page &page = pages_[addr / kPageBytes];
+    if (page.empty())
+        page.assign(kPageBytes, 0);
+    return page;
+}
+
+std::uint8_t
+MainMemory::read8(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr % kPageBytes] : 0;
+}
+
+void
+MainMemory::write8(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr % kPageBytes] = value;
+}
+
+std::uint32_t
+MainMemory::read32(Addr addr) const
+{
+    // Fast path for accesses that do not straddle a page.
+    if (addr % kPageBytes <= kPageBytes - 4) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        const Addr off = addr % kPageBytes;
+        return static_cast<std::uint32_t>((*page)[off]) |
+               static_cast<std::uint32_t>((*page)[off + 1]) << 8 |
+               static_cast<std::uint32_t>((*page)[off + 2]) << 16 |
+               static_cast<std::uint32_t>((*page)[off + 3]) << 24;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(read8(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+MainMemory::write32(Addr addr, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::uint64_t
+MainMemory::read64(Addr addr) const
+{
+    return static_cast<std::uint64_t>(read32(addr)) |
+           static_cast<std::uint64_t>(read32(addr + 4)) << 32;
+}
+
+void
+MainMemory::write64(Addr addr, std::uint64_t value)
+{
+    write32(addr, static_cast<std::uint32_t>(value));
+    write32(addr + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+void
+MainMemory::loadBytes(Addr base, const std::vector<std::uint8_t> &bytes)
+{
+    for (size_t i = 0; i < bytes.size(); ++i)
+        write8(base + static_cast<Addr>(i), bytes[i]);
+}
+
+void
+MainMemory::loadWords(Addr base, const std::vector<std::uint32_t> &words)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        write32(base + static_cast<Addr>(4 * i), words[i]);
+}
+
+} // namespace smtsim

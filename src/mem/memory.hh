@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Flat simulated memory with sparse backing storage.
+ *
+ * The paper's evaluation assumes perfect caches ("attempts to access
+ * caches were all hit"), so functional memory plus fixed access
+ * latencies in the pipeline models is the faithful reproduction. A
+ * remote-region model (RemoteRegion) supports the concurrent-
+ * multithreading extension, where accesses to a distinguished address
+ * range take a long, configurable latency and trigger the
+ * data-absence trap of section 2.1.3.
+ */
+
+#ifndef SMTSIM_MEM_MEMORY_HH
+#define SMTSIM_MEM_MEMORY_HH
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace smtsim
+{
+
+/**
+ * Byte-addressable sparse memory. Pages are allocated (zero-filled)
+ * on first touch; unwritten memory reads as zero.
+ */
+class MainMemory
+{
+  public:
+    static constexpr Addr kPageBytes = 1u << 16;
+
+    std::uint8_t read8(Addr addr) const;
+    void write8(Addr addr, std::uint8_t value);
+
+    std::uint32_t read32(Addr addr) const;
+    void write32(Addr addr, std::uint32_t value);
+
+    std::uint64_t read64(Addr addr) const;
+    void write64(Addr addr, std::uint64_t value);
+
+    double
+    readDouble(Addr addr) const
+    {
+        return std::bit_cast<double>(read64(addr));
+    }
+
+    void
+    writeDouble(Addr addr, double value)
+    {
+        write64(addr, std::bit_cast<std::uint64_t>(value));
+    }
+
+    /** Copy a block of bytes into memory (program loading). */
+    void loadBytes(Addr base, const std::vector<std::uint8_t> &bytes);
+
+    /** Copy a block of 32-bit words into memory (text loading). */
+    void loadWords(Addr base, const std::vector<std::uint32_t> &words);
+
+    /** Number of resident pages (for tests). */
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+/**
+ * Marks an address range as "remote" for concurrent multithreading:
+ * loads/stores inside it miss locally and complete only after
+ * @c latency cycles, triggering a context switch in the core model.
+ */
+struct RemoteRegion
+{
+    Addr base = 0;
+    Addr size = 0;
+    Cycle latency = 0;
+
+    bool
+    contains(Addr addr) const
+    {
+        return size > 0 && addr >= base && addr - base < size;
+    }
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_MEM_MEMORY_HH

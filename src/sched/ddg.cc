@@ -1,0 +1,102 @@
+#include "ddg.hh"
+
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+DepGraph::DepGraph(const std::vector<Insn> &body) : insns_(body)
+{
+    const int n = size();
+    succs_.resize(n);
+    preds_.resize(n);
+
+    for (const Insn &insn : insns_) {
+        if (insn.isBranch() || insn.isThreadCtl()) {
+            fatal("DepGraph: control instruction in loop body: ",
+                  disassemble(insn));
+        }
+    }
+
+    auto add_edge = [&](int from, int to, int dist) {
+        const int e = static_cast<int>(edges_.size());
+        edges_.push_back(DepEdge{from, to, dist});
+        succs_[from].push_back(e);
+        preds_[to].push_back(e);
+    };
+
+    int last_mem = -1;
+    for (int j = 0; j < n; ++j) {
+        const Insn &cons = insns_[j];
+        RegRef srcs[3];
+        const int ns = cons.srcs(srcs);
+
+        // True dependences: latest earlier writer of each source.
+        for (int s = 0; s < ns; ++s) {
+            for (int i = j - 1; i >= 0; --i) {
+                if (insns_[i].dst() == srcs[s]) {
+                    add_edge(i, j,
+                             opMeta(insns_[i].op).result_latency +
+                                 1);
+                    break;
+                }
+            }
+        }
+
+        const RegRef dst = cons.dst();
+        if (dst.valid()) {
+            // Output dependence: latest earlier writer. The
+            // pipelines block WAW at issue until the earlier write
+            // completes, so the distance mirrors a true dependence.
+            for (int i = j - 1; i >= 0; --i) {
+                if (insns_[i].dst() == dst) {
+                    add_edge(i, j,
+                             opMeta(insns_[i].op).result_latency +
+                                 1);
+                    break;
+                }
+            }
+            // Anti dependences: earlier readers since that writer.
+            for (int i = j - 1; i >= 0; --i) {
+                if (insns_[i].dst() == dst)
+                    break;
+                RegRef rsrcs[3];
+                const int nr = insns_[i].srcs(rsrcs);
+                for (int r = 0; r < nr; ++r) {
+                    if (rsrcs[r] == dst) {
+                        add_edge(i, j, 1);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Memory operations stay in program order (the models do
+        // not disambiguate addresses).
+        if (cons.isMem()) {
+            if (last_mem >= 0)
+                add_edge(last_mem, j, 1);
+            last_mem = j;
+        }
+    }
+}
+
+int
+DepGraph::criticalPathFrom(int i) const
+{
+    if (cp_cache_.empty())
+        cp_cache_.assign(size(), -1);
+    if (cp_cache_[i] >= 0)
+        return cp_cache_[i];
+
+    int best = opMeta(insns_[i].op).result_latency;
+    for (int e : succs_[i]) {
+        const DepEdge &edge = edges_[e];
+        const int via = edge.min_distance + criticalPathFrom(edge.to);
+        best = via > best ? via : best;
+    }
+    cp_cache_[i] = best;
+    return best;
+}
+
+} // namespace smtsim

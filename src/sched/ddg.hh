@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Data-dependence graph over a straight-line instruction sequence
+ * (one loop body), used by both static code schedulers of section
+ * 2.3.2.
+ */
+
+#ifndef SMTSIM_SCHED_DDG_HH
+#define SMTSIM_SCHED_DDG_HH
+
+#include <vector>
+
+#include "isa/insn.hh"
+
+namespace smtsim
+{
+
+/** One dependence edge: @c from must precede @c to. */
+struct DepEdge
+{
+    int from = 0;
+    int to = 0;
+    /**
+     * Minimum issue distance in cycles: result latency + 1 for true
+     * dependences (the pipeline's 3-cycle rule for latency-2 ops),
+     * 1 for anti/output/memory-order edges.
+     */
+    int min_distance = 1;
+};
+
+/** Dependence graph of a basic block. */
+class DepGraph
+{
+  public:
+    /**
+     * Build the graph for @p body. Memory operations are kept in
+     * program order (no disambiguation), matching both pipeline
+     * models.
+     */
+    explicit DepGraph(const std::vector<Insn> &body);
+
+    int size() const { return static_cast<int>(insns_.size()); }
+    const std::vector<Insn> &insns() const { return insns_; }
+    const std::vector<DepEdge> &edges() const { return edges_; }
+
+    /** Successor edges of node @p i. */
+    const std::vector<int> &succs(int i) const { return succs_[i]; }
+    /** Predecessor edges of node @p i. */
+    const std::vector<int> &preds(int i) const { return preds_[i]; }
+    const DepEdge &edge(int e) const { return edges_[e]; }
+
+    /**
+     * Length (in cycles) of the longest dependence path starting at
+     * node @p i, the classic list-scheduling priority.
+     */
+    int criticalPathFrom(int i) const;
+
+  private:
+    std::vector<Insn> insns_;
+    std::vector<DepEdge> edges_;
+    std::vector<std::vector<int>> succs_;   // edge indices
+    std::vector<std::vector<int>> preds_;   // edge indices
+    mutable std::vector<int> cp_cache_;
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_SCHED_DDG_HH

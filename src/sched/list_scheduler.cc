@@ -1,0 +1,81 @@
+#include "list_scheduler.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "sched/ddg.hh"
+
+namespace smtsim
+{
+
+ScheduleResult
+listSchedule(const std::vector<Insn> &body)
+{
+    const DepGraph graph(body);
+    const int n = graph.size();
+
+    std::vector<int> unscheduled_preds(n, 0);
+    std::vector<int> earliest(n, 1);   // dependence-ready cycle
+    for (int i = 0; i < n; ++i)
+        unscheduled_preds[i] =
+            static_cast<int>(graph.preds(i).size());
+
+    // Per-FU-class next-accept cycle in the scheduler's one-unit-
+    // per-class machine model.
+    std::vector<int> fu_free(kNumFuClasses, 1);
+
+    ScheduleResult result;
+    std::vector<char> done(n, 0);
+    int cycle = 1;
+    int scheduled = 0;
+
+    while (scheduled < n) {
+        // Ready instructions whose FU is free this cycle, highest
+        // critical path first (ties: program order).
+        int pick = -1;
+        int pick_cp = -1;
+        for (int i = 0; i < n; ++i) {
+            if (done[i] || unscheduled_preds[i] > 0 ||
+                earliest[i] > cycle) {
+                continue;
+            }
+            const int cls =
+                static_cast<int>(opMeta(graph.insns()[i].op).fu);
+            if (fu_free[cls] > cycle)
+                continue;
+            const int cp = graph.criticalPathFrom(i);
+            if (cp > pick_cp) {
+                pick = i;
+                pick_cp = cp;
+            }
+        }
+
+        if (pick < 0) {
+            ++cycle;
+            continue;
+        }
+
+        done[pick] = 1;
+        ++scheduled;
+        result.order.push_back(graph.insns()[pick]);
+        result.issue_cycle.push_back(cycle);
+        const OpMeta &meta = opMeta(graph.insns()[pick].op);
+        fu_free[static_cast<int>(meta.fu)] =
+            cycle + meta.issue_latency;
+        result.length =
+            std::max(result.length, cycle + meta.result_latency);
+
+        for (int e : graph.succs(pick)) {
+            const DepEdge &edge = graph.edge(e);
+            earliest[edge.to] =
+                std::max(earliest[edge.to],
+                         cycle + edge.min_distance);
+            --unscheduled_preds[edge.to];
+        }
+        ++cycle;    // single issue per cycle
+    }
+
+    return result;
+}
+
+} // namespace smtsim

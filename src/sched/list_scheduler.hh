@@ -1,0 +1,43 @@
+/**
+ * @file
+ * "Strategy A" of section 3.4: a simple list scheduler that reorders
+ * a loop body to shorten single-thread processing time, with no
+ * control over resource conflicts between threads.
+ */
+
+#ifndef SMTSIM_SCHED_LIST_SCHEDULER_HH
+#define SMTSIM_SCHED_LIST_SCHEDULER_HH
+
+#include <vector>
+
+#include "isa/insn.hh"
+
+namespace smtsim
+{
+
+/** Outcome of a scheduling pass. */
+struct ScheduleResult
+{
+    /** Instructions in their new order. */
+    std::vector<Insn> order;
+    /** Issue cycle the scheduler's machine model assigned to each
+     *  instruction of @c order. */
+    std::vector<int> issue_cycle;
+    /** Compiler-estimated length of the schedule in cycles. */
+    int length = 0;
+};
+
+/**
+ * List-schedule @p body (data/memory instructions only; the loop's
+ * control instructions are appended by the caller afterwards).
+ *
+ * The machine model assumes one instruction issued per cycle, full
+ * operation latencies, and exclusive use of one functional unit of
+ * each class — i.e. the single-thread view the paper describes for
+ * dynamically scheduled (computer-graphics-like) code.
+ */
+ScheduleResult listSchedule(const std::vector<Insn> &body);
+
+} // namespace smtsim
+
+#endif // SMTSIM_SCHED_LIST_SCHEDULER_HH

@@ -1,0 +1,109 @@
+#include "standby_scheduler.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "sched/ddg.hh"
+
+namespace smtsim
+{
+
+ScheduleResult
+standbySchedule(const std::vector<Insn> &body,
+                const StandbySchedulerConfig &cfg)
+{
+    SMTSIM_ASSERT(cfg.num_slots >= 1, "bad slot count");
+    const DepGraph graph(body);
+    const int n = graph.size();
+
+    std::vector<int> unscheduled_preds(n, 0);
+    std::vector<int> earliest(n, 1);
+    for (int i = 0; i < n; ++i)
+        unscheduled_preds[i] =
+            static_cast<int>(graph.preds(i).size());
+
+    // One thread's fair share of each class: a unit grants this
+    // thread once every num_slots * issue_latency / units cycles.
+    auto share_window = [&](FuClass cls, int issue_lat) {
+        const int units = cfg.fus.count(cls);
+        return (cfg.num_slots * issue_lat + units - 1) / units;
+    };
+
+    std::vector<int> class_free(kNumFuClasses, 1);
+    std::vector<int> standby_busy(kNumFuClasses, 0);
+
+    ScheduleResult result;
+    std::vector<char> done(n, 0);
+    int cycle = 1;
+    int scheduled = 0;
+
+    auto commit = [&](int pick, int exec_at) {
+        done[pick] = 1;
+        ++scheduled;
+        const Insn &insn = graph.insns()[pick];
+        const OpMeta &meta = opMeta(insn.op);
+        const int cls = static_cast<int>(meta.fu);
+
+        result.order.push_back(insn);
+        result.issue_cycle.push_back(cycle);
+        class_free[cls] =
+            exec_at + share_window(meta.fu, meta.issue_latency);
+        result.length = std::max(result.length,
+                                 exec_at + meta.result_latency);
+
+        for (int e : graph.succs(pick)) {
+            const DepEdge &edge = graph.edge(e);
+            earliest[edge.to] = std::max(
+                earliest[edge.to], exec_at + edge.min_distance);
+            --unscheduled_preds[edge.to];
+        }
+    };
+
+    while (scheduled < n) {
+        // Dependence-ready instructions this cycle.
+        int best_free = -1, best_free_cp = -1;
+        int best_standby = -1, best_standby_cp = -1;
+        for (int i = 0; i < n; ++i) {
+            if (done[i] || unscheduled_preds[i] > 0 ||
+                earliest[i] > cycle) {
+                continue;
+            }
+            const int cls =
+                static_cast<int>(opMeta(graph.insns()[i].op).fu);
+            const int cp = graph.criticalPathFrom(i);
+            if (class_free[cls] <= cycle) {
+                if (cp > best_free_cp) {
+                    best_free = i;
+                    best_free_cp = cp;
+                }
+            } else if (cfg.use_standby &&
+                       standby_busy[cls] <= cycle) {
+                if (cp > best_standby_cp) {
+                    best_standby = i;
+                    best_standby_cp = cp;
+                }
+            }
+        }
+
+        if (best_free >= 0) {
+            commit(best_free, cycle);
+        } else if (best_standby >= 0) {
+            // All ready instructions conflict; park the best one in
+            // a standby station. The reservation table tells us it
+            // executes when its class frees up.
+            const Insn &insn = graph.insns()[best_standby];
+            const int cls = static_cast<int>(opMeta(insn.op).fu);
+            const int exec_at = class_free[cls];
+            standby_busy[cls] = exec_at;
+            commit(best_standby, exec_at);
+        } else {
+            ++cycle;
+            continue;
+        }
+        ++cycle;    // single issue per cycle
+    }
+
+    return result;
+}
+
+} // namespace smtsim

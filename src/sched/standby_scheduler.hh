@@ -1,0 +1,54 @@
+/**
+ * @file
+ * "Strategy B" of sections 2.3.2 / 3.4: the paper's new static code
+ * scheduling algorithm for loops executed in explicit-rotation mode.
+ *
+ * Like software pipelining it keeps a resource reservation table,
+ * but when every dependence-ready instruction has a resource
+ * conflict it does NOT emit a NOP: it consults a standby table (one
+ * entry per functional-unit class, mirroring the hardware standby
+ * stations) and, if the entry is free, issues the instruction anyway
+ * — the hardware will hold it in the standby station until the unit
+ * frees up. The reservation table then tells the compiler when that
+ * instruction actually executes.
+ *
+ * Modeling interpretation (documented in DESIGN.md): with S threads
+ * running the same schedule under explicit rotation, each thread
+ * owns a 1/S share of every functional unit, so an own-thread
+ * instruction on class F reserves the unit for S * issue_latency
+ * cycles.
+ */
+
+#ifndef SMTSIM_SCHED_STANDBY_SCHEDULER_HH
+#define SMTSIM_SCHED_STANDBY_SCHEDULER_HH
+
+#include <vector>
+
+#include "isa/insn.hh"
+#include "machine/fu_pool.hh"
+#include "sched/list_scheduler.hh"
+
+namespace smtsim
+{
+
+/** Configuration for the strategy-B scheduler. */
+struct StandbySchedulerConfig
+{
+    /** Number of thread slots sharing the functional units. */
+    int num_slots = 1;
+    /** Functional-unit inventory of the target machine. */
+    FuPoolConfig fus;
+    /** Model the standby stations (the paper's key addition). */
+    bool use_standby = true;
+};
+
+/**
+ * Schedule @p body with a resource reservation table and a standby
+ * table (strategy B).
+ */
+ScheduleResult standbySchedule(const std::vector<Insn> &body,
+                               const StandbySchedulerConfig &cfg);
+
+} // namespace smtsim
+
+#endif // SMTSIM_SCHED_STANDBY_SCHEDULER_HH

@@ -1,0 +1,175 @@
+#include "synth.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "base/random.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/** Scratch data area the generated loads/stores touch. */
+constexpr int kScratchWords = 64;
+
+} // namespace
+
+Program
+makeSyntheticKernel(const SynthParams &params)
+{
+    Rng rng(params.seed);
+    std::ostringstream src;
+
+    src << "        .text\n"
+        << "main:   la   r1, scratch\n"
+        << "        la   r5, fpone\n"
+        << "        lf   f25, 0(r5)\n"
+        << "        li   r2, " << params.iterations << "\n";
+    if (params.parallel) {
+        // Give each thread a private slice of the scratch area so
+        // results stay deterministic under any interleaving.
+        src << "        fastfork\n"
+            << "        tid  r3\n"
+            << "        sll  r4, r3, 9\n"
+            << "        add  r1, r1, r4\n";
+    }
+    src << "loop:\n";
+
+    struct Choice
+    {
+        double weight;
+        int kind;
+    };
+    const std::vector<Choice> choices = {
+        {params.w_int_alu, 0}, {params.w_shift, 1},
+        {params.w_int_mul, 2}, {params.w_fp_add, 3},
+        {params.w_fp_mul, 4},  {params.w_fp_div, 5},
+        {params.w_load, 6},    {params.w_store, 7},
+    };
+    double total_w = 0;
+    for (const Choice &c : choices)
+        total_w += c.weight;
+
+    // Rotating destination registers; r8..r23 and f1..f23 are the
+    // kernel's scratch registers.
+    int next_ir = 8;
+    int next_fr = 1;
+    std::vector<int> recent_ir = {8, 9, 10};
+    std::vector<int> recent_fr = {1, 2, 3};
+
+    auto pick_src_ir = [&]() {
+        if (rng.nextDouble() < params.dependence_locality)
+            return recent_ir[rng.nextBelow(recent_ir.size())];
+        return 8 + static_cast<int>(rng.nextBelow(16));
+    };
+    auto pick_src_fr = [&]() {
+        if (rng.nextDouble() < params.dependence_locality)
+            return recent_fr[rng.nextBelow(recent_fr.size())];
+        return 1 + static_cast<int>(rng.nextBelow(23));
+    };
+    auto new_ir = [&]() {
+        const int r = next_ir;
+        next_ir = next_ir == 23 ? 8 : next_ir + 1;
+        recent_ir.erase(recent_ir.begin());
+        recent_ir.push_back(r);
+        return r;
+    };
+    auto new_fr = [&]() {
+        const int r = next_fr;
+        next_fr = next_fr == 23 ? 1 : next_fr + 1;
+        recent_fr.erase(recent_fr.begin());
+        recent_fr.push_back(r);
+        return r;
+    };
+
+    for (int i = 0; i < params.insns_per_block; ++i) {
+        double roll = rng.nextDouble() * total_w;
+        int kind = 0;
+        for (const Choice &c : choices) {
+            if (roll < c.weight) {
+                kind = c.kind;
+                break;
+            }
+            roll -= c.weight;
+        }
+
+        switch (kind) {
+          case 0: {   // integer ALU
+            static const char *ops[] = {"add", "sub", "and", "or",
+                                        "xor"};
+            src << "        " << ops[rng.nextBelow(5)] << "  r"
+                << new_ir() << ", r" << pick_src_ir() << ", r"
+                << pick_src_ir() << "\n";
+            break;
+          }
+          case 1:     // shifter
+            src << "        sll  r" << new_ir() << ", r"
+                << pick_src_ir() << ", "
+                << (1 + rng.nextBelow(8)) << "\n";
+            break;
+          case 2:     // integer multiplier
+            src << "        mul  r" << new_ir() << ", r"
+                << pick_src_ir() << ", r" << pick_src_ir()
+                << "\n";
+            break;
+          case 3: {   // FP adder
+            static const char *ops[] = {"fadd", "fsub"};
+            src << "        " << ops[rng.nextBelow(2)] << " f"
+                << new_fr() << ", f" << pick_src_fr() << ", f"
+                << pick_src_fr() << "\n";
+            break;
+          }
+          case 4:     // FP multiplier
+            src << "        fmul f" << new_fr() << ", f"
+                << pick_src_fr() << ", f" << pick_src_fr()
+                << "\n";
+            break;
+          case 5:     // FP divider (guarded against 0/0 by adding 1)
+            src << "        fadd f" << 24 << ", f"
+                << pick_src_fr() << ", f25\n"
+                << "        fdiv f" << new_fr() << ", f"
+                << pick_src_fr() << ", f24\n";
+            break;
+          case 6: {   // load
+            const bool fp = rng.nextBelow(2) == 0;
+            const int off = static_cast<int>(
+                rng.nextBelow(kScratchWords / 2) * 8);
+            if (fp)
+                src << "        lf   f" << new_fr() << ", " << off
+                    << "(r1)\n";
+            else
+                src << "        lw   r" << new_ir() << ", " << off
+                    << "(r1)\n";
+            break;
+          }
+          case 7: {   // store
+            const bool fp = rng.nextBelow(2) == 0;
+            const int off = static_cast<int>(
+                rng.nextBelow(kScratchWords / 2) * 8);
+            if (fp)
+                src << "        sf   f" << pick_src_fr() << ", "
+                    << off << "(r1)\n";
+            else
+                src << "        sw   r" << pick_src_ir() << ", "
+                    << off << "(r1)\n";
+            break;
+          }
+        }
+    }
+
+    src << "        addi r2, r2, -1\n"
+        << "        bgtz r2, loop\n"
+        << "        halt\n"
+        << "        .data\n"
+        << "        .align 8\n"
+        << "fpone:  .float 1.0\n"
+        << "scratch: .space " << (8 * kScratchWords * 9) << "\n";
+
+    Program prog = assemble(src.str());
+    return prog;
+}
+
+} // namespace smtsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Synthetic workload generator: produces assembly kernels with a
+ * configurable dynamic instruction mix, dependence locality and
+ * branch frequency. Used for controlled studies (ablation benches)
+ * where the ray tracer's fixed mix would confound the variable
+ * under test, standing in for the additional traced applications
+ * the paper calls for in its concluding remarks.
+ */
+
+#ifndef SMTSIM_TRACE_SYNTH_HH
+#define SMTSIM_TRACE_SYNTH_HH
+
+#include <cstdint>
+
+#include "asmr/program.hh"
+
+namespace smtsim
+{
+
+/** Parameters of a generated kernel. */
+struct SynthParams
+{
+    std::uint64_t seed = 1;
+    /** Loop iterations executed by each thread. */
+    int iterations = 64;
+    /** Straight-line instructions per loop body. */
+    int insns_per_block = 24;
+
+    /** Instruction-mix weights (normalized internally). */
+    double w_int_alu = 0.35;
+    double w_shift = 0.05;
+    double w_int_mul = 0.02;
+    double w_fp_add = 0.15;
+    double w_fp_mul = 0.12;
+    double w_fp_div = 0.01;
+    double w_load = 0.20;
+    double w_store = 0.10;
+
+    /**
+     * Probability that an operand reuses one of the last few
+     * results, controlling fine-grained ILP: 1.0 produces a long
+     * serial chain, 0.0 an embarrassingly parallel block.
+     */
+    double dependence_locality = 0.5;
+
+    /** Emit FASTFORK so every thread slot runs the kernel. */
+    bool parallel = true;
+};
+
+/** Generate the kernel program (deterministic in the seed). */
+Program makeSyntheticKernel(const SynthParams &params);
+
+} // namespace smtsim
+
+#endif // SMTSIM_TRACE_SYNTH_HH

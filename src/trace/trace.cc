@@ -1,0 +1,83 @@
+#include "trace.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "base/logging.hh"
+#include "interp/interpreter.hh"
+
+namespace smtsim
+{
+
+void
+Trace::save(std::ostream &os) const
+{
+    const std::uint64_t n = records_.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    for (const TraceRecord &r : records_) {
+        os.write(reinterpret_cast<const char *>(&r.tid),
+                 sizeof(r.tid));
+        os.write(reinterpret_cast<const char *>(&r.pc),
+                 sizeof(r.pc));
+        os.write(reinterpret_cast<const char *>(&r.word),
+                 sizeof(r.word));
+    }
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    Trace trace;
+    std::uint64_t n = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    if (!is)
+        fatal("trace load: truncated header");
+    trace.records_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TraceRecord r;
+        is.read(reinterpret_cast<char *>(&r.tid), sizeof(r.tid));
+        is.read(reinterpret_cast<char *>(&r.pc), sizeof(r.pc));
+        is.read(reinterpret_cast<char *>(&r.word), sizeof(r.word));
+        if (!is)
+            fatal("trace load: truncated record ", i);
+        trace.records_.push_back(r);
+    }
+    return trace;
+}
+
+Trace
+recordTrace(const Program &prog, MainMemory &mem, int num_threads)
+{
+    Trace trace;
+    InterpConfig cfg;
+    cfg.num_threads = num_threads;
+    Interpreter interp(prog, mem, cfg);
+    interp.setTraceHook(
+        [&trace](int tid, Addr pc, const Insn &insn) {
+            trace.append(tid, pc, insn);
+        });
+    const InterpResult result = interp.run();
+    if (!result.completed)
+        fatal("recordTrace: program did not finish");
+    return trace;
+}
+
+InstructionMix
+analyzeMix(const Trace &trace)
+{
+    InstructionMix mix;
+    for (const TraceRecord &r : trace.records()) {
+        const Insn insn = r.insn();
+        ++mix.total;
+        if (insn.isBranch()) {
+            ++mix.branches;
+        } else if (insn.isThreadCtl()) {
+            ++mix.thread_ctl;
+        } else {
+            ++mix.by_class[static_cast<int>(insn.fu())];
+        }
+    }
+    return mix;
+}
+
+} // namespace smtsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Instruction-trace infrastructure.
+ *
+ * The paper obtained its workload by running compiler-generated
+ * object code on a workstation and translating the traced
+ * instruction sequences for its simulator. This module reproduces
+ * that flow: the functional interpreter records per-thread dynamic
+ * instruction streams, which can be saved, reloaded, and analyzed
+ * (instruction-mix statistics drive the synthetic workload
+ * generator in synth.hh).
+ */
+
+#ifndef SMTSIM_TRACE_TRACE_HH
+#define SMTSIM_TRACE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "base/types.hh"
+#include "isa/insn.hh"
+#include "mem/memory.hh"
+
+namespace smtsim
+{
+
+/** One dynamic instruction. */
+struct TraceRecord
+{
+    std::uint16_t tid = 0;
+    Addr pc = 0;
+    std::uint32_t word = 0;     ///< encoded instruction
+
+    Insn insn() const { return decode(word); }
+};
+
+/** A recorded multi-thread execution. */
+class Trace
+{
+  public:
+    void
+    append(int tid, Addr pc, const Insn &insn)
+    {
+        records_.push_back(TraceRecord{
+            static_cast<std::uint16_t>(tid), pc, encode(insn)});
+    }
+
+    const std::vector<TraceRecord> &records() const
+    {
+        return records_;
+    }
+    size_t size() const { return records_.size(); }
+
+    /** Serialize to a simple binary stream (and back). */
+    void save(std::ostream &os) const;
+    static Trace load(std::istream &is);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * Record the dynamic instruction stream of @p prog by running it on
+ * the functional interpreter with @p num_threads logical
+ * processors. @p mem must already hold the loaded image.
+ */
+Trace recordTrace(const Program &prog, MainMemory &mem,
+                  int num_threads = 1);
+
+/** Dynamic instruction mix, per functional-unit class. */
+struct InstructionMix
+{
+    std::array<std::uint64_t, kNumFuClasses> by_class{};
+    std::uint64_t branches = 0;
+    std::uint64_t thread_ctl = 0;
+    std::uint64_t total = 0;
+
+    double
+    fraction(FuClass cls) const
+    {
+        return total == 0 ? 0.0
+                          : static_cast<double>(
+                                by_class[static_cast<int>(cls)]) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Classify every record of @p trace. */
+InstructionMix analyzeMix(const Trace &trace);
+
+} // namespace smtsim
+
+#endif // SMTSIM_TRACE_TRACE_HH

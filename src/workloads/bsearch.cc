@@ -1,0 +1,166 @@
+#include "workloads.hh"
+
+#include <sstream>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+std::uint32_t
+tableValue(int i)
+{
+    return static_cast<std::uint32_t>(3 * i + 1);
+}
+
+/** Key for global query index q (deterministic, mixed hit/miss). */
+std::uint32_t
+keyValue(int q, int table_size)
+{
+    // Knuth multiplicative hash, folded into the table's value
+    // range so roughly a third of the lookups hit. Shifted right so
+    // the kernel's signed remainder sees a non-negative value.
+    const std::uint32_t h =
+        static_cast<std::uint32_t>(q + 1) * 2654435761u;
+    return (h >> 1) %
+           static_cast<std::uint32_t>(3 * table_size + 2);
+}
+
+/** Mirror of the kernel's search: index + 1, or ~0u when absent. */
+std::uint32_t
+searchResult(std::uint32_t key, int table_size)
+{
+    int lo = 0;
+    int hi = table_size - 1;
+    while (lo <= hi) {
+        const int mid = (lo + hi) >> 1;
+        const std::uint32_t v = tableValue(mid);
+        if (v == key)
+            return static_cast<std::uint32_t>(mid + 1);
+        if (v < key)
+            lo = mid + 1;
+        else
+            hi = mid - 1;
+    }
+    return ~std::uint32_t{0};
+}
+
+// Total work is fixed: query q is handled by thread q mod S, and
+// its result lands in results[q], so any slot count computes the
+// same output.
+const char *kText = R"(
+        .text
+main:   la   r1, table
+        la   r2, results
+        li   r4, %M%            # table size
+        li   r5, %Q%            # total queries
+        li   r20, 40503         # hash constant 0x9e3779b1
+        sll  r20, r20, 16
+        ori  r20, r20, 31153
+        li   r21, %RANGE%
+        fastfork
+        tid  r10
+        nslot r7
+        mv   r6, r10            # q = tid
+qloop:  slt  r11, r6, r5
+        beq  r11, r0, fin
+        # key = (((q + 1) * HASH) >> 1) % RANGE
+        addi r11, r6, 1
+        mul  r11, r11, r20
+        srl  r11, r11, 1
+        remq r11, r11, r21
+        # binary search for r11
+        li   r12, 0             # lo
+        addi r13, r4, -1        # hi
+bs:     slt  r14, r13, r12      # hi < lo: not found
+        bne  r14, r0, miss
+        add  r15, r12, r13
+        srl  r15, r15, 1        # mid
+        sll  r16, r15, 2
+        add  r16, r1, r16
+        lw   r17, 0(r16)        # table[mid]
+        beq  r17, r11, hit
+        sltu r14, r17, r11      # table[mid] < key ?
+        beq  r14, r0, golow
+        addi r12, r15, 1        # lo = mid + 1
+        j    bs
+golow:  addi r13, r15, -1       # hi = mid - 1
+        j    bs
+hit:    addi r22, r15, 1        # result = mid + 1
+        j    put
+miss:   li   r22, 0xffff
+        sll  r22, r22, 16
+        ori  r22, r22, 0xffff   # result = ~0
+put:    sll  r16, r6, 2
+        add  r16, r2, r16
+        sw   r22, 0(r16)        # results[q]
+        add  r6, r6, r7         # q += nslot
+        j    qloop
+fin:    halt
+        .data
+table:  .space %TBYTES%
+        .align 8
+results: .space %RBYTES%
+)";
+
+} // namespace
+
+Workload
+makeBsearch(const BsearchParams &params)
+{
+    const int m = params.table_size;
+    const int q = params.queries_per_thread * 4;    // total
+    SMTSIM_ASSERT(m >= 1 && q >= 1, "bsearch: bad parameters");
+
+    std::string source(kText);
+    auto replace_all = [&source](const std::string &key,
+                                 const std::string &value) {
+        size_t at;
+        while ((at = source.find(key)) != std::string::npos)
+            source.replace(at, key.size(), value);
+    };
+    replace_all("%M%", std::to_string(m));
+    replace_all("%Q%", std::to_string(q));
+    replace_all("%RANGE%", std::to_string(3 * m + 2));
+    replace_all("%TBYTES%", std::to_string(4 * m));
+    replace_all("%RBYTES%", std::to_string(4 * q));
+
+    Program prog = assemble(source);
+    const Addr table = prog.symbol("table");
+    const Addr results = prog.symbol("results");
+
+    Workload w;
+    w.name = "bsearch";
+    w.program = std::move(prog);
+    w.init = [m, table](MainMemory &mem) {
+        for (int i = 0; i < m; ++i)
+            mem.write32(table + static_cast<Addr>(4 * i),
+                        tableValue(i));
+    };
+    w.check = [m, q, results](const MainMemory &mem,
+                              std::string *why) {
+        for (int i = 0; i < q; ++i) {
+            const std::uint32_t expect =
+                searchResult(keyValue(i, m), m);
+            const std::uint32_t got =
+                mem.read32(results + static_cast<Addr>(4 * i));
+            if (got != expect) {
+                if (why) {
+                    std::ostringstream oss;
+                    oss << "results[" << i << "] = " << got
+                        << ", expected " << expect;
+                    *why = oss.str();
+                }
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

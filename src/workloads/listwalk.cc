@@ -1,0 +1,191 @@
+#include "workloads.hh"
+
+#include <sstream>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+constexpr double kA = 1.0;
+constexpr double kB = 2.0;
+constexpr double kC = -1.0;
+
+double
+xValue(int i, int break_at)
+{
+    if (i == break_at)
+        return -5.0;
+    return 0.5 + 0.25 * (i % 7);
+}
+
+double
+yValue(int i, int break_at)
+{
+    if (i == break_at)
+        return 0.0;
+    return 0.3 + 0.2 * (i % 5);
+}
+
+/** tmp value of iteration @p i, mirroring the kernel's op order. */
+double
+tmpValue(int i, int break_at)
+{
+    double t0 = kA * xValue(i, break_at);
+    double t1 = kB * yValue(i, break_at);
+    t0 = t0 + t1;
+    return t0 + kC;
+}
+
+const char *kSequentialText = R"(
+        .text
+main:   la   r9, consts
+        lf   f10, 0(r9)         # a
+        lf   f11, 8(r9)         # b
+        lf   f12, 16(r9)        # c
+        la   r22, tmp
+        la   r1, header
+        lw   r1, 0(r1)
+loop:   beq  r1, r0, done
+        lw   r2, 0(r1)          # ptr->point
+        lf   f1, 0(r2)          # ->x
+        lf   f2, 8(r2)          # ->y
+        fmul f3, f10, f1
+        fmul f4, f11, f2
+        fadd f5, f3, f4
+        fadd f6, f5, f12        # tmp
+        sf   f6, 0(r22)
+        fcmplt r4, f6, f0
+        bne  r4, r0, done       # tmp < 0: break
+        lw   r1, 4(r1)          # ptr = ptr->next
+        j    loop
+done:   halt
+)";
+
+/**
+ * Eager execution (Figure 7): one iteration per logical processor,
+ * ptr relayed through queue registers; the loop-exiting thread
+ * kills the speculative ones. The ptr->next load writes straight
+ * into the queue register so successors start as early as possible.
+ */
+const char *kEagerText = R"(
+        .text
+main:   setrmode explicit, 0    # before any implicit rotation
+        la   r9, consts
+        lf   f10, 0(r9)
+        lf   f11, 8(r9)
+        lf   f12, 16(r9)
+        la   r22, tmp
+        qen  r20, r21
+        fastfork
+        tid  r10
+        bne  r10, r0, recv
+        la   r1, header         # thread 0 seeds iteration 0
+        lw   r1, 0(r1)
+        j    body
+recv:   mv   r1, r20            # receive ptr from predecessor
+body:   beq  r1, r0, exit
+        lw   r21, 4(r1)         # pass ptr->next to successor
+        lw   r2, 0(r1)
+        lf   f1, 0(r2)
+        lf   f2, 8(r2)
+        fmul f3, f10, f1
+        fmul f4, f11, f2
+        fadd f5, f3, f4
+        fadd f6, f5, f12        # tmp
+        pstf f6, 0(r22)         # ordered store (highest prio only)
+        fcmplt r4, f6, f0
+        bne  r4, r0, exit
+        chgpri
+        j    recv
+exit:   killt
+        halt
+)";
+
+const char *kDataText = R"(
+        .data
+        .align 8
+consts: .space 24
+tmp:    .float 0.0
+header: .word 0
+        .align 8
+nodes:  .space %NODES%
+        .align 8
+points: .space %POINTS%
+)";
+
+} // namespace
+
+Workload
+makeListWalk(const ListWalkParams &params)
+{
+    const int n = params.num_nodes;
+    SMTSIM_ASSERT(n >= 1, "listwalk: need at least one node");
+    SMTSIM_ASSERT(params.break_at < n, "listwalk: break_at >= n");
+
+    std::string data(kDataText);
+    auto replace = [&data](const std::string &key, int value) {
+        const size_t at = data.find(key);
+        SMTSIM_ASSERT(at != std::string::npos, "missing key");
+        data.replace(at, key.size(), std::to_string(value));
+    };
+    replace("%NODES%", 8 * n);
+    replace("%POINTS%", 16 * n);
+
+    const std::string source =
+        std::string(params.eager ? kEagerText : kSequentialText) +
+        data;
+    Program prog = assemble(source);
+
+    const Addr consts = prog.symbol("consts");
+    const Addr tmp = prog.symbol("tmp");
+    const Addr header = prog.symbol("header");
+    const Addr nodes = prog.symbol("nodes");
+    const Addr points = prog.symbol("points");
+    const int break_at = params.break_at;
+
+    Workload w;
+    w.name = params.eager ? "listwalk.eager" : "listwalk.seq";
+    w.program = std::move(prog);
+    w.init = [=](MainMemory &mem) {
+        mem.writeDouble(consts + 0, kA);
+        mem.writeDouble(consts + 8, kB);
+        mem.writeDouble(consts + 16, kC);
+        mem.write32(header, nodes);
+        for (int i = 0; i < n; ++i) {
+            const Addr node = nodes + static_cast<Addr>(8 * i);
+            const Addr point = points + static_cast<Addr>(16 * i);
+            mem.write32(node + 0, point);
+            mem.write32(node + 4,
+                        i + 1 < n
+                            ? nodes + static_cast<Addr>(8 * (i + 1))
+                            : 0);
+            mem.writeDouble(point + 0, xValue(i, break_at));
+            mem.writeDouble(point + 8, yValue(i, break_at));
+        }
+    };
+    w.check = [=](const MainMemory &mem, std::string *why) {
+        // Walk the list sequentially to find the final tmp.
+        const int last =
+            (break_at >= 0 && break_at < n) ? break_at : n - 1;
+        const double expect = tmpValue(last, break_at);
+        const double got = mem.readDouble(tmp);
+        if (got != expect) {
+            if (why) {
+                std::ostringstream oss;
+                oss << "tmp = " << got << ", expected " << expect
+                    << " (node " << last << ")";
+                *why = oss.str();
+            }
+            return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

@@ -1,0 +1,195 @@
+#include "workloads.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+// Register conventions of the generated kernel.
+constexpr RegIndex kRZ = 1;     // &Z[k]
+constexpr RegIndex kRY = 2;     // &Y[k]
+constexpr RegIndex kRX = 3;     // &X[k]
+constexpr RegIndex kRCount = 4; // remaining iterations
+constexpr RegIndex kRStride = 5;
+constexpr RegIndex kROfs = 6;
+constexpr RegIndex kRTid = 7;
+constexpr RegIndex kRSlots = 8;
+constexpr RegIndex kRBase = 9;
+constexpr RegIndex kRN = 10;
+
+/** lui/ori pair loading a 32-bit constant. */
+void
+emitLi(std::vector<Insn> &out, RegIndex r, std::uint32_t v)
+{
+    out.push_back(Insn{Op::LUI, 0, 0, r,
+                       static_cast<std::int32_t>(v >> 16)});
+    out.push_back(Insn{Op::ORI, 0, r, r,
+                       static_cast<std::int32_t>(v & 0xffff)});
+}
+
+double
+zValue(int i)
+{
+    return 0.002 * (i % 53) + 1.0;
+}
+
+double
+yValue(int i)
+{
+    return 0.01 * (i % 31) + 0.5;
+}
+
+constexpr double kQ = 0.5;
+constexpr double kR = 2.0 / 3.0;
+constexpr double kT = 1.0 / 7.0;
+
+} // namespace
+
+std::vector<Insn>
+lk1LoopBody()
+{
+    // X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11)), plus the address
+    // updates; branch and priority control stay outside.
+    std::vector<Insn> body;
+    body.push_back(Insn{Op::LF, 0, kRZ, 1, 80});    // f1 = Z[k+10]
+    body.push_back(Insn{Op::LF, 0, kRZ, 2, 88});    // f2 = Z[k+11]
+    body.push_back(Insn{Op::LF, 0, kRY, 3, 0});     // f3 = Y[k]
+    body.push_back(Insn{Op::FMUL, 4, 10, 1, 0});    // f4 = R*f1
+    body.push_back(Insn{Op::FMUL, 5, 11, 2, 0});    // f5 = T*f2
+    body.push_back(Insn{Op::FADD, 6, 4, 5, 0});     // f6 = f4+f5
+    body.push_back(Insn{Op::FMUL, 7, 3, 6, 0});     // f7 = f3*f6
+    body.push_back(Insn{Op::FADD, 8, 12, 7, 0});    // f8 = Q+f7
+    body.push_back(Insn{Op::SF, 0, kRX, 8, 0});     // X[k] = f8
+    body.push_back(Insn{Op::ADD, kRZ, kRZ, kRStride, 0});
+    body.push_back(Insn{Op::ADD, kRY, kRY, kRStride, 0});
+    body.push_back(Insn{Op::ADD, kRX, kRX, kRStride, 0});
+    return body;
+}
+
+Workload
+makeLivermore1(const Lk1Params &params, const std::vector<Insn> *body)
+{
+    const int n = params.n;
+    SMTSIM_ASSERT(n >= 1, "lk1: need at least one iteration");
+
+    // Data layout: consts | Z[n+11] | Y[n] | X[n], all doubles.
+    const Addr consts_addr = kDefaultDataBase;
+    const Addr z_addr = consts_addr + 24;
+    const Addr y_addr = z_addr + static_cast<Addr>(8 * (n + 11));
+    const Addr x_addr = y_addr + static_cast<Addr>(8 * n);
+
+    const std::vector<Insn> loop_body =
+        body ? *body : lk1LoopBody();
+
+    std::vector<Insn> code;
+    if (params.parallel) {
+        // Explicit rotation, selected before any implicit rotation
+        // can disturb the priority-order = iteration-order
+        // invariant the doall scheme relies on.
+        code.push_back(Insn{Op::SETRMODE, 0, 0, 1, 0});
+    }
+    // Prologue: constants.
+    emitLi(code, kRBase, consts_addr);
+    code.push_back(Insn{Op::LF, 0, kRBase, 10, 0});   // f10 = R
+    code.push_back(Insn{Op::LF, 0, kRBase, 11, 8});   // f11 = T
+    code.push_back(Insn{Op::LF, 0, kRBase, 12, 16});  // f12 = Q
+    emitLi(code, kRZ, z_addr);
+    emitLi(code, kRY, y_addr);
+    emitLi(code, kRX, x_addr);
+    emitLi(code, kRN, static_cast<std::uint32_t>(n));
+
+    if (params.parallel) {
+        code.push_back(Insn{Op::FASTFORK, 0, 0, 0, 0});
+        code.push_back(Insn{Op::TID, kRTid, 0, 0, 0});
+        code.push_back(Insn{Op::NSLOT, kRSlots, 0, 0, 0});
+        // stride = slots * 8; base offset = tid * 8
+        code.push_back(Insn{Op::SLL, kRStride, kRSlots, 0, 3});
+        code.push_back(Insn{Op::SLL, kROfs, kRTid, 0, 3});
+        code.push_back(Insn{Op::ADD, kRZ, kRZ, kROfs, 0});
+        code.push_back(Insn{Op::ADD, kRY, kRY, kROfs, 0});
+        code.push_back(Insn{Op::ADD, kRX, kRX, kROfs, 0});
+        // count = ceil((n - tid) / slots)
+        code.push_back(Insn{Op::SUB, kRCount, kRN, kRTid, 0});
+        code.push_back(
+            Insn{Op::ADD, kRCount, kRCount, kRSlots, 0});
+        code.push_back(Insn{Op::ADDI, 0, kRCount, kRCount, -1});
+        code.push_back(
+            Insn{Op::DIVQ, kRCount, kRCount, kRSlots, 0});
+    } else {
+        emitLi(code, kRStride, 8);
+        code.push_back(Insn{Op::ADD, kRCount, kRN, 0, 0});
+    }
+
+    // if (count <= 0) goto end
+    const int guard_idx = static_cast<int>(code.size());
+    code.push_back(Insn{Op::BLEZ, 0, kRCount, 0, 0});  // patched
+
+    const int loop_start = static_cast<int>(code.size());
+    for (const Insn &insn : loop_body)
+        code.push_back(insn);
+    code.push_back(Insn{Op::ADDI, 0, kRCount, kRCount, -1});
+    if (params.parallel)
+        code.push_back(Insn{Op::CHGPRI, 0, 0, 0, 0});
+    const int branch_idx = static_cast<int>(code.size());
+    code.push_back(Insn{Op::BGTZ, 0, kRCount, 0,
+                        loop_start - (branch_idx + 1)});
+    const int end_idx = static_cast<int>(code.size());
+    code.push_back(Insn{Op::HALT, 0, 0, 0, 0});
+    code[guard_idx].imm = end_idx - (guard_idx + 1);
+
+    Program prog;
+    prog.text_base = kDefaultTextBase;
+    prog.data_base = kDefaultDataBase;
+    prog.entry = prog.text_base;
+    for (const Insn &insn : code)
+        prog.text.push_back(encode(insn));
+    prog.symbols["consts"] = consts_addr;
+    prog.symbols["z"] = z_addr;
+    prog.symbols["y"] = y_addr;
+    prog.symbols["x"] = x_addr;
+
+    Workload w;
+    w.name = params.parallel ? "livermore1.par" : "livermore1.seq";
+    w.program = std::move(prog);
+    w.init = [n, consts_addr, z_addr, y_addr](MainMemory &mem) {
+        mem.writeDouble(consts_addr + 0, kR);
+        mem.writeDouble(consts_addr + 8, kT);
+        mem.writeDouble(consts_addr + 16, kQ);
+        for (int i = 0; i < n + 11; ++i)
+            mem.writeDouble(z_addr + static_cast<Addr>(8 * i),
+                            zValue(i));
+        for (int i = 0; i < n; ++i)
+            mem.writeDouble(y_addr + static_cast<Addr>(8 * i),
+                            yValue(i));
+    };
+    w.check = [n, x_addr](const MainMemory &mem, std::string *why) {
+        for (int k = 0; k < n; ++k) {
+            double t0 = kR * zValue(k + 10);
+            double t1 = kT * zValue(k + 11);
+            t0 = t0 + t1;
+            t0 = yValue(k) * t0;
+            const double expect = kQ + t0;
+            const double got =
+                mem.readDouble(x_addr + static_cast<Addr>(8 * k));
+            if (got != expect) {
+                if (why) {
+                    std::ostringstream oss;
+                    oss << "X[" << k << "] = " << got
+                        << ", expected " << expect;
+                    *why = oss.str();
+                }
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

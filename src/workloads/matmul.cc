@@ -1,0 +1,143 @@
+#include "workloads.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+double
+aValue(int i, int j)
+{
+    return 0.1 * (i + 1) + 0.01 * j;
+}
+
+double
+bValue(int i, int j)
+{
+    return 0.5 - 0.02 * i + 0.003 * (j + 1);
+}
+
+const char *kText = R"(
+        .text
+main:   la   r1, mat_a
+        la   r2, mat_b
+        la   r3, mat_c
+        li   r4, %N%
+        sll  r18, r4, 3         # row stride in bytes
+        fastfork
+        tid  r10
+        nslot r7
+        mv   r5, r10            # i = tid
+rowloop:
+        slt  r11, r5, r4
+        beq  r11, r0, done
+        mul  r12, r5, r4
+        sll  r12, r12, 3
+        add  r13, r1, r12       # &A[i][0]
+        add  r14, r3, r12       # &C[i][0]
+        li   r6, 0              # j
+colloop:
+        slt  r11, r6, r4
+        beq  r11, r0, rownext
+        fmov f1, f0             # s = 0.0
+        sll  r15, r6, 3
+        add  r15, r2, r15       # &B[0][j]
+        mv   r16, r13           # &A[i][k]
+        mv   r17, r4            # k = N
+kloop:  lf   f2, 0(r16)
+        lf   f3, 0(r15)
+        fmul f4, f2, f3
+        fadd f1, f1, f4
+        addi r16, r16, 8
+        add  r15, r15, r18
+        addi r17, r17, -1
+        bgtz r17, kloop
+        sll  r19, r6, 3
+        add  r19, r14, r19
+        sf   f1, 0(r19)         # C[i][j] = s
+        addi r6, r6, 1
+        j    colloop
+rownext:
+        add  r5, r5, r7         # i += nslot
+        j    rowloop
+done:   halt
+        .data
+        .align 8
+mat_a:  .space %BYTES%
+mat_b:  .space %BYTES%
+mat_c:  .space %BYTES%
+)";
+
+} // namespace
+
+Workload
+makeMatmul(const MatmulParams &params)
+{
+    const int n = params.n;
+    SMTSIM_ASSERT(n >= 1, "matmul: bad size");
+
+    std::string source(kText);
+    auto replace_all = [&source](const std::string &key,
+                                 const std::string &value) {
+        size_t at;
+        while ((at = source.find(key)) != std::string::npos)
+            source.replace(at, key.size(), value);
+    };
+    replace_all("%N%", std::to_string(n));
+    replace_all("%BYTES%", std::to_string(8 * n * n));
+
+    Program prog = assemble(source);
+    const Addr a = prog.symbol("mat_a");
+    const Addr b = prog.symbol("mat_b");
+    const Addr c = prog.symbol("mat_c");
+
+    Workload w;
+    w.name = "matmul";
+    w.program = std::move(prog);
+    w.init = [n, a, b](MainMemory &mem) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                mem.writeDouble(
+                    a + static_cast<Addr>(8 * (i * n + j)),
+                    aValue(i, j));
+                mem.writeDouble(
+                    b + static_cast<Addr>(8 * (i * n + j)),
+                    bValue(i, j));
+            }
+        }
+    };
+    w.check = [n, c](const MainMemory &mem, std::string *why) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                double s = 0.0;
+                for (int k = 0; k < n; ++k) {
+                    const double prod =
+                        aValue(i, k) * bValue(k, j);
+                    s = s + prod;
+                }
+                const double got = mem.readDouble(
+                    c + static_cast<Addr>(8 * (i * n + j)));
+                if (got != s) {
+                    if (why) {
+                        std::ostringstream oss;
+                        oss << "C[" << i << "][" << j
+                            << "] = " << got << ", expected " << s;
+                        *why = oss.str();
+                    }
+                    return false;
+                }
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

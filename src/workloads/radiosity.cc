@@ -1,0 +1,280 @@
+#include "workloads.hh"
+
+#include <sstream>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/** Patch record layout: 9 doubles = 72 bytes. */
+constexpr Addr kPatchBytes = 72;
+// offsets: px 0, py 8, pz 16, nx 24, ny 32, nz 40,
+//          area 48, rho 56, emission 64
+
+constexpr double kDampen = 0.05;    // keeps the divisor positive
+
+struct Patch
+{
+    double px, py, pz;
+    double nx, ny, nz;
+    double area, rho, emission;
+};
+
+std::vector<Patch>
+buildPatches(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Patch> patches;
+    for (int i = 0; i < n; ++i) {
+        Patch p;
+        p.px = rng.nextRange(-4.0, 4.0);
+        p.py = rng.nextRange(-4.0, 4.0);
+        p.pz = rng.nextRange(-4.0, 4.0);
+        // Not normalized; the form factor only needs direction.
+        p.nx = rng.nextRange(-1.0, 1.0);
+        p.ny = rng.nextRange(-1.0, 1.0);
+        p.nz = rng.nextRange(-1.0, 1.0);
+        p.area = rng.nextRange(0.5, 2.0);
+        p.rho = rng.nextRange(0.2, 0.9);
+        p.emission = rng.nextBelow(4) == 0
+                         ? rng.nextRange(0.5, 2.0)
+                         : 0.0;
+        patches.push_back(p);
+    }
+    return patches;
+}
+
+double
+initialB(int j)
+{
+    return 0.1 + 0.01 * (j % 13);
+}
+
+/**
+ * Mirror of one gather for patch i, with the kernel's exact FP
+ * operation order.
+ */
+double
+gatherReference(const std::vector<Patch> &patches,
+                const std::vector<double> &b, int i)
+{
+    const Patch &pi = patches[i];
+    double acc = 0.0;
+    for (size_t j = 0; j < patches.size(); ++j) {
+        if (static_cast<int>(j) == i)
+            continue;
+        const Patch &pj = patches[j];
+        const double rx = pj.px - pi.px;
+        const double ry = pj.py - pi.py;
+        const double rz = pj.pz - pi.pz;
+        double d0 = rx * rx;
+        double d1 = ry * ry;
+        d0 = d0 + d1;
+        double d2c = rz * rz;
+        const double d2 = d0 + d2c;
+        double c0 = pi.nx * rx;
+        double c1 = pi.ny * ry;
+        c0 = c0 + c1;
+        double c2 = pi.nz * rz;
+        const double ci = c0 + c2;
+        if (!(0.0 < ci))
+            continue;
+        double e0 = pj.nx * rx;
+        double e1 = pj.ny * ry;
+        e0 = e0 + e1;
+        double e2 = pj.nz * rz;
+        double cj = e0 + e2;
+        cj = -cj;
+        if (!(0.0 < cj))
+            continue;
+        double num = ci * cj;
+        double den = d2 * d2;
+        den = den + kDampen;
+        double w = num / den;
+        w = w * pj.area;
+        w = w * b[j];
+        acc = acc + w;
+    }
+    return acc;
+}
+
+const char *kText = R"(
+        .text
+main:   la   r1, patches
+        la   r2, bin
+        la   r3, bout
+        la   r9, consts
+        lf   f30, 0(r9)         # dampening constant
+        li   r4, %N%
+        li   r17, 72            # patch record stride
+        fastfork
+        tid  r10
+        nslot r7
+        mv   r5, r10            # i = tid
+iloop:  slt  r11, r5, r4
+        beq  r11, r0, done
+        mul  r12, r5, r17
+        add  r12, r1, r12       # patch_i
+        lf   f10, 0(r12)        # p_i
+        lf   f11, 8(r12)
+        lf   f12, 16(r12)
+        lf   f13, 24(r12)       # n_i
+        lf   f14, 32(r12)
+        lf   f15, 40(r12)
+        fmov f16, f0            # acc = 0
+        mv   r13, r1            # patch_j = patches
+        mv   r15, r2            # &B[j]
+        li   r6, 0              # j
+jloop:  slt  r11, r6, r4
+        beq  r11, r0, emit
+        beq  r13, r12, jnext    # skip self
+        lf   f1, 0(r13)         # p_j
+        lf   f2, 8(r13)
+        lf   f3, 16(r13)
+        fsub f1, f1, f10        # r = p_j - p_i
+        fsub f2, f2, f11
+        fsub f3, f3, f12
+        fmul f4, f1, f1
+        fmul f5, f2, f2
+        fadd f4, f4, f5
+        fmul f6, f3, f3
+        fadd f7, f4, f6         # d2 = |r|^2
+        fmul f4, f13, f1        # ci = n_i . r
+        fmul f5, f14, f2
+        fadd f4, f4, f5
+        fmul f6, f15, f3
+        fadd f8, f4, f6
+        fcmplt r14, f0, f8      # facing away?
+        beq  r14, r0, jnext
+        lf   f1, 24(r13)        # n_j (r reloaded below via regs)
+        lf   f2, 32(r13)
+        lf   f3, 40(r13)
+        lf   f17, 0(r13)        # recompute r (registers reused)
+        lf   f18, 8(r13)
+        lf   f19, 16(r13)
+        fsub f17, f17, f10
+        fsub f18, f18, f11
+        fsub f19, f19, f12
+        fmul f4, f1, f17        # cj = -(n_j . r)
+        fmul f5, f2, f18
+        fadd f4, f4, f5
+        fmul f6, f3, f19
+        fadd f9, f4, f6
+        fneg f9, f9
+        fcmplt r14, f0, f9
+        beq  r14, r0, jnext
+        fmul f4, f8, f9         # num = ci * cj
+        fmul f5, f7, f7         # den = d2^2 + dampening
+        fadd f5, f5, f30
+        fdiv f6, f4, f5         # w
+        lf   f1, 48(r13)        # area_j
+        fmul f6, f6, f1
+        lf   f2, 0(r15)         # B[j]
+        fmul f6, f6, f2
+        fadd f16, f16, f6       # acc += w
+jnext:  add  r13, r13, r17
+        addi r15, r15, 8
+        addi r6, r6, 1
+        j    jloop
+emit:   lf   f1, 56(r12)        # rho_i
+        lf   f2, 64(r12)        # E_i
+        fmul f3, f1, f16
+        fadd f3, f2, f3         # Bnew = E + rho * acc
+        sll  r16, r5, 3
+        add  r16, r3, r16
+        sf   f3, 0(r16)
+        add  r5, r5, r7         # i += nslot
+        j    iloop
+done:   halt
+        .data
+        .align 8
+consts: .float 0.05
+patches: .space %PBYTES%
+        .align 8
+bin:    .space %BBYTES%
+bout:   .space %BBYTES%
+)";
+
+} // namespace
+
+Workload
+makeRadiosity(const RadiosityParams &params)
+{
+    const int n = params.num_patches;
+    SMTSIM_ASSERT(n >= 2, "radiosity: need at least two patches");
+
+    std::string source(kText);
+    auto replace_all = [&source](const std::string &key,
+                                 const std::string &value) {
+        size_t at;
+        while ((at = source.find(key)) != std::string::npos)
+            source.replace(at, key.size(), value);
+    };
+    replace_all("%N%", std::to_string(n));
+    replace_all("%PBYTES%",
+                std::to_string(static_cast<int>(kPatchBytes) * n));
+    replace_all("%BBYTES%", std::to_string(8 * n));
+
+    const std::vector<Patch> patches =
+        buildPatches(n, params.seed);
+
+    Program prog = assemble(source);
+    const Addr patches_addr = prog.symbol("patches");
+    const Addr bin = prog.symbol("bin");
+    const Addr bout = prog.symbol("bout");
+
+    Workload w;
+    w.name = "radiosity";
+    w.program = std::move(prog);
+    w.init = [n, patches, patches_addr, bin](MainMemory &mem) {
+        for (int i = 0; i < n; ++i) {
+            const Addr a =
+                patches_addr + static_cast<Addr>(i) * kPatchBytes;
+            const Patch &p = patches[static_cast<size_t>(i)];
+            mem.writeDouble(a + 0, p.px);
+            mem.writeDouble(a + 8, p.py);
+            mem.writeDouble(a + 16, p.pz);
+            mem.writeDouble(a + 24, p.nx);
+            mem.writeDouble(a + 32, p.ny);
+            mem.writeDouble(a + 40, p.nz);
+            mem.writeDouble(a + 48, p.area);
+            mem.writeDouble(a + 56, p.rho);
+            mem.writeDouble(a + 64, p.emission);
+            mem.writeDouble(bin + static_cast<Addr>(8 * i),
+                            initialB(i));
+        }
+    };
+    w.check = [n, patches, bout](const MainMemory &mem,
+                                 std::string *why) {
+        std::vector<double> b;
+        for (int j = 0; j < n; ++j)
+            b.push_back(initialB(j));
+        for (int i = 0; i < n; ++i) {
+            const double acc = gatherReference(patches, b, i);
+            const Patch &p = patches[static_cast<size_t>(i)];
+            const double scaled = p.rho * acc;
+            const double expect = p.emission + scaled;
+            const double got = mem.readDouble(
+                bout + static_cast<Addr>(8 * i));
+            if (got != expect) {
+                if (why) {
+                    std::ostringstream oss;
+                    oss << "B[" << i << "] = " << got
+                        << ", expected " << expect;
+                    *why = oss.str();
+                }
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

@@ -1,0 +1,477 @@
+#include "workloads.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/** One sphere, in the exact layout the kernel reads. */
+struct Sphere
+{
+    double cx, cy, cz;
+    double cc;      ///< c.c - r^2 (precomputed)
+    double inv_r;
+    double albedo;
+    double r2;
+};
+
+/** Scene constants (offsets match the kernel; see sceneLayout). */
+struct Scene
+{
+    int width, height;
+    int num_spheres;
+    int shadows;
+    double half_w, half_h, inv_w;
+    double lx, ly, lz;
+    double ambient, scale, eps, big, shadow_dim, bg;
+    std::vector<Sphere> spheres;
+};
+
+// Sphere records form a linked list (next pointer at +56), as the
+// object lists of contemporary ray tracers did; the kernel chases
+// the pointers rather than striding an array.
+constexpr Addr kSphereBytes = 64;
+constexpr Addr kSpheresOffset = 120;
+
+Scene
+buildScene(const RayTraceParams &p)
+{
+    Scene s;
+    s.width = p.width;
+    s.height = p.height;
+    s.num_spheres = p.num_spheres;
+    s.shadows = p.shadows ? 1 : 0;
+    s.half_w = p.width / 2.0;
+    s.half_h = p.height / 2.0;
+    s.inv_w = 1.0 / p.width;
+
+    const double llen =
+        std::sqrt(0.5 * 0.5 + 0.8 * 0.8 + 0.33 * 0.33);
+    s.lx = 0.5 / llen;
+    s.ly = 0.8 / llen;
+    s.lz = -0.33 / llen;
+
+    s.ambient = 0.1;
+    s.scale = 255.0;
+    s.eps = 1e-9;
+    s.big = 1e30;
+    s.shadow_dim = 0.3;
+    s.bg = 20.0;
+
+    Rng rng(p.seed);
+    for (int i = 0; i < p.num_spheres; ++i) {
+        Sphere sp;
+        sp.cx = rng.nextRange(-1.6, 1.6);
+        sp.cy = rng.nextRange(-1.6, 1.6);
+        sp.cz = rng.nextRange(3.0, 8.0);
+        const double r = rng.nextRange(0.4, 1.1);
+        sp.r2 = r * r;
+        sp.cc = sp.cx * sp.cx + sp.cy * sp.cy + sp.cz * sp.cz -
+                sp.r2;
+        sp.inv_r = 1.0 / r;
+        sp.albedo = rng.nextRange(0.6, 1.0);
+        s.spheres.push_back(sp);
+    }
+    return s;
+}
+
+void
+writeScene(MainMemory &mem, Addr base, const Scene &s)
+{
+    mem.write32(base + 0, static_cast<std::uint32_t>(s.width));
+    mem.write32(base + 4, static_cast<std::uint32_t>(s.height));
+    mem.write32(base + 8,
+                static_cast<std::uint32_t>(s.num_spheres));
+    mem.write32(base + 12, static_cast<std::uint32_t>(s.shadows));
+    mem.writeDouble(base + 16, s.half_w);
+    mem.writeDouble(base + 24, s.half_h);
+    mem.writeDouble(base + 32, s.inv_w);
+    mem.writeDouble(base + 40, s.lx);
+    mem.writeDouble(base + 48, s.ly);
+    mem.writeDouble(base + 56, s.lz);
+    mem.writeDouble(base + 64, s.ambient);
+    mem.writeDouble(base + 72, s.scale);
+    mem.writeDouble(base + 80, s.eps);
+    mem.writeDouble(base + 88, s.big);
+    mem.writeDouble(base + 96, s.shadow_dim);
+    mem.writeDouble(base + 104, s.bg);
+    Addr a = base + kSpheresOffset;
+    for (size_t i = 0; i < s.spheres.size(); ++i) {
+        const Sphere &sp = s.spheres[i];
+        mem.writeDouble(a + 0, sp.cx);
+        mem.writeDouble(a + 8, sp.cy);
+        mem.writeDouble(a + 16, sp.cz);
+        mem.writeDouble(a + 24, sp.cc);
+        mem.writeDouble(a + 32, sp.inv_r);
+        mem.writeDouble(a + 40, sp.albedo);
+        mem.writeDouble(a + 48, sp.r2);
+        mem.write32(a + 56, i + 1 < s.spheres.size()
+                                ? a + kSphereBytes
+                                : 0);
+        a += kSphereBytes;
+    }
+}
+
+/**
+ * Reference renderer: mirrors the kernel operation-for-operation so
+ * IEEE doubles agree bit-exactly with the simulated machines.
+ */
+std::vector<std::uint32_t>
+renderReference(const Scene &s)
+{
+    std::vector<std::uint32_t> image(
+        static_cast<size_t>(s.width) * s.height);
+    const int nsph = s.num_spheres;
+
+    for (int idx = 0; idx < s.width * s.height; ++idx) {
+        const int x = idx % s.width;
+        const int y = idx / s.width;
+
+        double dx = static_cast<double>(x);
+        double dy = static_cast<double>(y);
+        double dz = 1.0;
+        dx = dx - s.half_w;
+        dy = dy - s.half_h;
+        dx = dx * s.inv_w;
+        dy = dy * s.inv_w;
+
+        double t0 = dx * dx;
+        double t1 = dy * dy;
+        double t2 = dz * dz;
+        t0 = t0 + t1;
+        t0 = t0 + t2;
+        t0 = std::sqrt(t0);
+        const double inv = dz / t0;     // dz still 1.0 here
+        dx = dx * inv;
+        dy = dy * inv;
+        dz = dz * inv;
+
+        double best_t = s.big;
+        int best = -1;
+        for (int i = 0; i < nsph; ++i) {
+            const Sphere &sp = s.spheres[i];
+            double a0 = dx * sp.cx;
+            double a1 = dy * sp.cy;
+            double a2 = dz * sp.cz;
+            a0 = a0 + a1;
+            const double b = a0 + a2;
+            double bb = b * b;
+            const double disc = bb - sp.cc;
+            if (disc < 0.0)
+                continue;
+            const double t = b - std::sqrt(disc);
+            if (!(s.eps < t))
+                continue;
+            if (!(t < best_t))
+                continue;
+            best_t = t;
+            best = i;
+        }
+
+        std::uint32_t pixel;
+        if (best < 0) {
+            pixel = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(s.bg));
+        } else {
+            const Sphere &sp = s.spheres[best];
+            const double px = best_t * dx;
+            const double py = best_t * dy;
+            const double pz = best_t * dz;
+            double nx = px - sp.cx;
+            double ny = py - sp.cy;
+            double nz = pz - sp.cz;
+            nx = nx * sp.inv_r;
+            ny = ny * sp.inv_r;
+            nz = nz * sp.inv_r;
+            double d0 = nx * s.lx;
+            double d1 = ny * s.ly;
+            double d2 = nz * s.lz;
+            d0 = d0 + d1;
+            double diff = d0 + d2;
+            if (diff < 0.0)
+                diff = 0.0;
+
+            if (s.shadows) {
+                for (int i = 0; i < nsph; ++i) {
+                    if (i == best)
+                        continue;
+                    const Sphere &sp2 = s.spheres[i];
+                    const double ocx = sp2.cx - px;
+                    const double ocy = sp2.cy - py;
+                    const double ocz = sp2.cz - pz;
+                    double b0 = ocx * s.lx;
+                    double b1 = ocy * s.ly;
+                    b0 = b0 + b1;
+                    double b2v = ocz * s.lz;
+                    const double b2 = b0 + b2v;
+                    if (!(0.0 < b2))
+                        continue;
+                    double o0 = ocx * ocx;
+                    double o1 = ocy * ocy;
+                    o0 = o0 + o1;
+                    double o2 = ocz * ocz;
+                    o0 = o0 + o2;
+                    o0 = o0 - sp2.r2;
+                    const double bsq = b2 * b2;
+                    if (o0 < bsq) {
+                        diff = diff * s.shadow_dim;
+                        break;
+                    }
+                }
+            }
+
+            double val = diff * sp.albedo;
+            val = val + s.ambient;
+            val = val * s.scale;
+            pixel = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(val));
+        }
+        image[static_cast<size_t>(idx)] = pixel;
+    }
+    return image;
+}
+
+std::string
+kernelSource(const RayTraceParams &p)
+{
+    const int scene_bytes =
+        static_cast<int>(kSpheresOffset) +
+        p.num_spheres * static_cast<int>(kSphereBytes);
+    // The kernel mimics what a late-80s optimizing compiler emitted
+    // for a C ray tracer: spheres live on a linked list that is
+    // pointer-chased per ray, and per-pixel values (ray direction,
+    // best hit, hit point) live in a stack frame that is spilled
+    // and reloaded around the loops. This keeps the instruction mix
+    // as memory-bound as the paper's traced workload. The FP
+    // arithmetic order is identical to renderReference().
+    std::ostringstream src;
+    src << R"(
+        .text
+main:   la   r1, scene
+        la   r2, image
+        lw   r5, 0(r1)          # W
+        lw   r16, 4(r1)         # H
+        mul  r4, r5, r16        # total pixels
+        lw   r15, 12(r1)        # shadow flag
+        lf   f20, 16(r1)        # halfW
+        lf   f21, 24(r1)        # halfH
+        lf   f22, 32(r1)        # invW
+        lf   f23, 40(r1)        # lx
+        lf   f24, 48(r1)        # ly
+        lf   f25, 56(r1)        # lz
+        lf   f26, 64(r1)        # ambient
+        lf   f27, 72(r1)        # 255.0
+        lf   f28, 80(r1)        # eps
+        lf   f29, 88(r1)        # big
+        lf   f30, 96(r1)        # shadow dim
+        lf   f31, 104(r1)       # background
+        li   r21, 1
+        la   r23, tstack
+        fastfork
+        tid  r20
+        nslot r7
+        sll  r10, r20, 6        # 64-byte stack frame per thread
+        add  r23, r23, r10
+        mv   r3, r20            # idx = tid
+pixloop:
+        slt  r10, r3, r4
+        beq  r10, r0, done
+        remq r8, r3, r5         # x
+        divq r9, r3, r5         # y
+        itof f1, r8
+        itof f2, r9
+        fsub f1, f1, f20
+        fsub f2, f2, f21
+        fmul f1, f1, f22
+        fmul f2, f2, f22
+        itof f3, r21            # dz = 1.0
+        fmul f4, f1, f1
+        fmul f5, f2, f2
+        fmul f6, f3, f3
+        fadd f4, f4, f5
+        fadd f4, f4, f6
+        fsqrt f4, f4
+        fdiv f5, f3, f4         # 1/len (f3 is still 1.0)
+        fmul f1, f1, f5
+        fmul f2, f2, f5
+        fmul f3, f3, f5
+        sf   f1, 0(r23)         # spill ray direction
+        sf   f2, 8(r23)
+        sf   f3, 16(r23)
+        sf   f29, 24(r23)       # best_t = big
+        sw   r0, 56(r23)        # best sphere = NULL
+        addi r12, r1, )" << kSpheresOffset << R"(
+sphloop:
+        beq  r12, r0, shade     # end of object list
+        lf   f11, 0(r12)        # cx
+        lf   f12, 8(r12)        # cy
+        lf   f13, 16(r12)       # cz
+        lf   f14, 24(r12)       # cc = c.c - r^2
+        lf   f1, 0(r23)         # reload ray direction
+        lf   f2, 8(r23)
+        lf   f3, 16(r23)
+        fmul f4, f1, f11
+        fmul f5, f2, f12
+        fmul f6, f3, f13
+        fadd f4, f4, f5
+        fadd f8, f4, f6         # b = d.c
+        fmul f5, f8, f8
+        fsub f9, f5, f14        # disc
+        fcmplt r14, f9, f0
+        bne  r14, r0, sphnext
+        fsqrt f5, f9
+        fsub f10, f8, f5        # t = b - sqrt(disc)
+        fcmplt r14, f28, f10
+        beq  r14, r0, sphnext
+        lf   f7, 24(r23)        # reload best_t
+        fcmplt r14, f10, f7
+        beq  r14, r0, sphnext
+        sf   f10, 24(r23)       # new best hit
+        sw   r12, 56(r23)
+sphnext:
+        lw   r12, 56(r12)       # node = node->next
+        j    sphloop
+shade:
+        lw   r13, 56(r23)       # best sphere
+        beq  r13, r0, miss
+        lf   f11, 0(r13)
+        lf   f12, 8(r13)
+        lf   f13, 16(r13)
+        lf   f15, 32(r13)       # 1/r
+        lf   f16, 40(r13)       # albedo
+        lf   f7, 24(r23)        # best_t
+        lf   f1, 0(r23)         # ray direction
+        lf   f2, 8(r23)
+        lf   f3, 16(r23)
+        fmul f17, f7, f1        # p = t*d
+        fmul f18, f7, f2
+        fmul f19, f7, f3
+        sf   f17, 32(r23)       # spill hit point
+        sf   f18, 40(r23)
+        sf   f19, 48(r23)
+        fsub f4, f17, f11       # n = (p-c)/r
+        fsub f5, f18, f12
+        fsub f6, f19, f13
+        fmul f4, f4, f15
+        fmul f5, f5, f15
+        fmul f6, f6, f15
+        fmul f4, f4, f23        # n.l
+        fmul f5, f5, f24
+        fmul f6, f6, f25
+        fadd f4, f4, f5
+        fadd f4, f4, f6         # diff
+        fcmplt r14, f4, f0
+        beq  r14, r0, posdiff
+        fmov f4, f0
+posdiff:
+        beq  r15, r0, noshadow
+        addi r19, r1, )" << kSpheresOffset << R"(
+shloop: beq  r19, r0, noshadow
+        beq  r19, r13, shnext   # skip the hit sphere itself
+        lf   f11, 0(r19)
+        lf   f12, 8(r19)
+        lf   f13, 16(r19)
+        lf   f14, 48(r19)       # r^2
+        lf   f17, 32(r23)       # reload hit point
+        lf   f18, 40(r23)
+        lf   f19, 48(r23)
+        fsub f11, f11, f17      # oc = c - p
+        fsub f12, f12, f18
+        fsub f13, f13, f19
+        fmul f5, f11, f23
+        fmul f6, f12, f24
+        fadd f5, f5, f6
+        fmul f6, f13, f25
+        fadd f8, f5, f6         # b2 = oc.l
+        fcmplt r14, f0, f8
+        beq  r14, r0, shnext
+        fmul f5, f11, f11
+        fmul f6, f12, f12
+        fadd f5, f5, f6
+        fmul f6, f13, f13
+        fadd f5, f5, f6         # |oc|^2
+        fsub f5, f5, f14
+        fmul f6, f8, f8
+        fcmplt r14, f5, f6      # |oc|^2 - r^2 < b2^2 ?
+        beq  r14, r0, shnext
+        fmul f4, f4, f30        # shadowed
+        j    noshadow
+shnext: lw   r19, 56(r19)       # node = node->next
+        j    shloop
+noshadow:
+        fmul f4, f4, f16
+        fadd f4, f4, f26
+        fmul f4, f4, f27
+        ftoi r16, f4
+        j    store
+miss:   ftoi r16, f31
+store:  sll  r10, r3, 2
+        add  r17, r2, r10
+        sw   r16, 0(r17)
+        add  r3, r3, r7
+        j    pixloop
+done:   halt
+        .data
+        .align 8
+scene:  .space )" << scene_bytes << R"(
+        .align 8
+tstack: .space 1024             # 64-byte frame x 16 thread slots
+        .align 8
+image:  .space )" << (p.width * p.height * 4) << "\n";
+    return src.str();
+}
+
+} // namespace
+
+Workload
+makeRayTrace(const RayTraceParams &params)
+{
+    SMTSIM_ASSERT(params.num_spheres >= 1 && params.width >= 1 &&
+                      params.height >= 1,
+                  "bad ray-trace parameters");
+    const Scene scene = buildScene(params);
+    Program prog = assemble(kernelSource(params));
+    const Addr scene_addr = prog.symbol("scene");
+    const Addr image_addr = prog.symbol("image");
+    const int pixels = params.width * params.height;
+
+    Workload w;
+    w.name = "raytrace";
+    w.program = std::move(prog);
+    w.init = [scene, scene_addr](MainMemory &mem) {
+        writeScene(mem, scene_addr, scene);
+    };
+    w.check = [scene, image_addr, pixels](const MainMemory &mem,
+                                          std::string *why) {
+        const std::vector<std::uint32_t> expect =
+            renderReference(scene);
+        for (int i = 0; i < pixels; ++i) {
+            const std::uint32_t got =
+                mem.read32(image_addr + static_cast<Addr>(4 * i));
+            if (got != expect[static_cast<size_t>(i)]) {
+                if (why) {
+                    std::ostringstream oss;
+                    oss << "pixel " << i << ": got " << got
+                        << ", expected "
+                        << expect[static_cast<size_t>(i)];
+                    *why = oss.str();
+                }
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

@@ -1,0 +1,206 @@
+#include "workloads.hh"
+
+#include <sstream>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+constexpr double kSeed = 1.5;
+
+double
+yValue(int k)
+{
+    return 0.25 * (k % 9) - 0.8;
+}
+
+// X[0] is the seed; iteration k computes X[k+1] = X[k] + Y[k].
+// flags[k] says X[k] is available (flags[0] preset).
+
+const char *kSequentialText = R"(
+        .text
+main:   la   r1, y
+        la   r2, x
+        li   r4, %N%
+        lf   f1, 0(r2)          # X[0]
+loop:   lf   f2, 0(r1)          # Y[k]
+        fadd f1, f1, f2
+        sf   f1, 8(r2)          # X[k+1]
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r4, r4, -1
+        bgtz r4, loop
+        halt
+)";
+
+/**
+ * Doacross through queue registers (the paper's mechanism): the
+ * running value is relayed from logical processor to logical
+ * processor at the register-transfer level.
+ */
+const char *kQueueText = R"(
+        .text
+main:   setrmode explicit, 0
+        la   r1, y
+        la   r2, x
+        li   r5, %N%
+        qenf f20, f21
+        fastfork
+        tid  r10
+        nslot r7
+        sll  r6, r10, 3
+        add  r1, r1, r6
+        add  r2, r2, r6
+        sll  r8, r7, 3
+        sub  r4, r5, r10        # count = ceil((N - tid) / S)
+        add  r4, r4, r7
+        addi r4, r4, -1
+        divq r4, r4, r7
+        blez r4, fin
+        bne  r10, r0, recv
+        lf   f1, 0(r2)          # thread 0 seeds from X[0]
+        j    body
+recv:   fmov f1, f20            # receive X[k] from predecessor
+body:   lf   f2, 0(r1)          # Y[k]
+        fadd f1, f1, f2         # X[k+1]
+        fmov f21, f1            # relay to successor
+        sf   f1, 8(r2)
+        add  r1, r1, r8
+        add  r2, r2, r8
+        addi r4, r4, -1
+        chgpri
+        bgtz r4, recv
+fin:    halt
+)";
+
+/**
+ * Doacross through memory: the producer stores X[k+1] and then a
+ * flag word; the consumer spin-waits on the flag. The alternative
+ * the paper rejects because of its communication overhead.
+ */
+const char *kMemoryText = R"(
+        .text
+main:   la   r1, y
+        la   r2, x
+        la   r3, flags
+        li   r5, %N%
+        fastfork
+        tid  r10
+        nslot r7
+        sll  r6, r10, 3
+        add  r1, r1, r6
+        add  r2, r2, r6
+        sll  r11, r10, 2
+        add  r3, r3, r11
+        sll  r8, r7, 3          # x/y stride
+        sll  r9, r7, 2          # flag stride
+        sub  r4, r5, r10
+        add  r4, r4, r7
+        addi r4, r4, -1
+        divq r4, r4, r7
+        blez r4, fin
+        li   r12, 1
+loop:
+spin:   lw   r13, 0(r3)         # flags[k]
+        beq  r13, r0, spin
+        lf   f1, 0(r2)          # X[k]
+        lf   f2, 0(r1)          # Y[k]
+        fadd f1, f1, f2
+        sf   f1, 8(r2)          # X[k+1] ...
+        sw   r12, 4(r3)         # ... then flags[k+1]
+        add  r1, r1, r8
+        add  r2, r2, r8
+        add  r3, r3, r9
+        addi r4, r4, -1
+        bgtz r4, loop
+fin:    halt
+)";
+
+const char *kDataText = R"(
+        .data
+        .align 8
+x:      .space %XBYTES%
+        .align 8
+y:      .space %YBYTES%
+flags:  .space %FBYTES%
+)";
+
+} // namespace
+
+Workload
+makeRecurrence(const RecurrenceParams &params)
+{
+    const int n = params.n;
+    SMTSIM_ASSERT(n >= 1, "recurrence: need at least 1 iteration");
+
+    const char *text = nullptr;
+    const char *name = nullptr;
+    switch (params.variant) {
+      case RecurrenceVariant::Sequential:
+        text = kSequentialText;
+        name = "recurrence.seq";
+        break;
+      case RecurrenceVariant::DoacrossQueue:
+        text = kQueueText;
+        name = "recurrence.queue";
+        break;
+      case RecurrenceVariant::DoacrossMemory:
+        text = kMemoryText;
+        name = "recurrence.mem";
+        break;
+    }
+
+    std::string source = std::string(text) + kDataText;
+    auto replace_all = [&source](const std::string &key,
+                                 const std::string &value) {
+        size_t at;
+        while ((at = source.find(key)) != std::string::npos)
+            source.replace(at, key.size(), value);
+    };
+    replace_all("%N%", std::to_string(n));
+    replace_all("%XBYTES%", std::to_string(8 * (n + 1)));
+    replace_all("%YBYTES%", std::to_string(8 * n));
+    replace_all("%FBYTES%", std::to_string(4 * (n + 1)));
+
+    Program prog = assemble(source);
+    const Addr x = prog.symbol("x");
+    const Addr y = prog.symbol("y");
+    const Addr flags = prog.symbol("flags");
+
+    Workload w;
+    w.name = name;
+    w.program = std::move(prog);
+    w.init = [n, x, y, flags](MainMemory &mem) {
+        mem.writeDouble(x, kSeed);
+        mem.write32(flags, 1);      // X[0] is available
+        for (int k = 0; k < n; ++k)
+            mem.writeDouble(y + static_cast<Addr>(8 * k),
+                            yValue(k));
+    };
+    w.check = [n, x](const MainMemory &mem, std::string *why) {
+        double running = kSeed;
+        for (int k = 0; k < n; ++k) {
+            running = running + yValue(k);
+            const double got = mem.readDouble(
+                x + static_cast<Addr>(8 * (k + 1)));
+            if (got != running) {
+                if (why) {
+                    std::ostringstream oss;
+                    oss << "X[" << k + 1 << "] = " << got
+                        << ", expected " << running;
+                    *why = oss.str();
+                }
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

@@ -1,0 +1,193 @@
+#include "workloads.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+double
+initialPixel(int x, int y)
+{
+    return 0.1 * ((x * 7 + y * 13) % 23);
+}
+
+// Each sweep reads buffer "in" and writes buffer "out", interior
+// points only, then the threads meet at a queue-register ring
+// barrier (two token laps) and swap buffers. Thread t owns interior
+// rows 1+t, 1+t+S, ...
+const char *kText = R"(
+        .text
+main:   qen  r20, r21
+        la   r1, bufa           # in
+        la   r2, bufb           # out
+        li   r3, %W%
+        li   r4, %H%
+        li   r5, %SWEEPS%
+        la   r9, consts
+        lf   f30, 0(r9)         # 4.0
+        lf   f31, 8(r9)         # 0.125
+        sll  r22, r3, 3         # row stride in bytes
+        fastfork
+        tid  r10
+        nslot r7
+sweep:  addi r11, r10, 1        # y = 1 + tid
+rowloop:
+        addi r12, r4, -2
+        slt  r13, r12, r11      # y > H-2 ?
+        bne  r13, r0, rowdone
+        mul  r14, r11, r3
+        sll  r14, r14, 3
+        add  r15, r1, r14       # &in[y][0]
+        add  r16, r2, r14       # &out[y][0]
+        addi r15, r15, 8        # x = 1
+        addi r16, r16, 8
+        addi r17, r3, -2        # interior width
+xloop:  lf   f1, 0(r15)         # center
+        fmul f4, f1, f30
+        sub  r23, r15, r22
+        lf   f2, 0(r23)         # up
+        fadd f4, f4, f2
+        add  r23, r15, r22
+        lf   f2, 0(r23)         # down
+        fadd f4, f4, f2
+        lf   f2, -8(r15)        # left
+        fadd f4, f4, f2
+        lf   f2, 8(r15)         # right
+        fadd f4, f4, f2
+        fmul f4, f4, f31
+        sf   f4, 0(r16)
+        addi r15, r15, 8
+        addi r16, r16, 8
+        addi r17, r17, -1
+        bgtz r17, xloop
+        add  r11, r11, r7       # y += S
+        j    rowloop
+rowdone:
+        # Ring barrier (two token laps); skip when S == 1.
+        addi r13, r7, -1
+        blez r13, swapbufs
+        beq  r10, r0, bar0
+        add  r24, r20, r0       # wait: predecessors done
+        add  r21, r24, r0       # forward completion token
+        add  r24, r20, r0       # wait: release
+        addi r13, r7, -1
+        beq  r10, r13, swapbufs # last slot eats the release
+        add  r21, r24, r0       # forward release
+        j    swapbufs
+bar0:   addi r21, r0, 1         # start completion lap
+        add  r24, r20, r0       # everyone finished
+        addi r21, r0, 1         # start release lap
+swapbufs:
+        mv   r13, r1
+        mv   r1, r2
+        mv   r2, r13
+        addi r5, r5, -1
+        bgtz r5, sweep
+        halt
+        .data
+        .align 8
+consts: .float 4.0, 0.125
+bufa:   .space %BYTES%
+        .align 8
+bufb:   .space %BYTES%
+)";
+
+} // namespace
+
+Workload
+makeStencil(const StencilParams &params)
+{
+    const int w = params.width;
+    const int h = params.height;
+    const int sweeps = params.sweeps;
+    SMTSIM_ASSERT(w >= 3 && h >= 3, "stencil: grid too small");
+    SMTSIM_ASSERT(sweeps >= 1, "stencil: need at least one sweep");
+
+    std::string source(kText);
+    auto replace_all = [&source](const std::string &key,
+                                 const std::string &value) {
+        size_t at;
+        while ((at = source.find(key)) != std::string::npos)
+            source.replace(at, key.size(), value);
+    };
+    replace_all("%W%", std::to_string(w));
+    replace_all("%H%", std::to_string(h));
+    replace_all("%SWEEPS%", std::to_string(sweeps));
+    replace_all("%BYTES%", std::to_string(8 * w * h));
+
+    Program prog = assemble(source);
+    const Addr bufa = prog.symbol("bufa");
+    const Addr bufb = prog.symbol("bufb");
+
+    Workload wl;
+    wl.name = "stencil";
+    wl.program = std::move(prog);
+    wl.init = [w, h, bufa, bufb](MainMemory &mem) {
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                const double v = initialPixel(x, y);
+                const Addr off =
+                    static_cast<Addr>(8 * (y * w + x));
+                mem.writeDouble(bufa + off, v);
+                mem.writeDouble(bufb + off, v);
+            }
+        }
+    };
+    wl.check = [w, h, sweeps, bufa, bufb](const MainMemory &mem,
+                                          std::string *why) {
+        // Mirror the sweeps with the kernel's exact FP op order.
+        std::vector<double> in(static_cast<size_t>(w) * h);
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                in[static_cast<size_t>(y) * w + x] =
+                    initialPixel(x, y);
+        std::vector<double> out = in;
+        for (int s = 0; s < sweeps; ++s) {
+            for (int y = 1; y < h - 1; ++y) {
+                for (int x = 1; x < w - 1; ++x) {
+                    const size_t i =
+                        static_cast<size_t>(y) * w + x;
+                    double acc = in[i] * 4.0;
+                    acc = acc + in[i - static_cast<size_t>(w)];
+                    acc = acc + in[i + static_cast<size_t>(w)];
+                    acc = acc + in[i - 1];
+                    acc = acc + in[i + 1];
+                    out[i] = acc * 0.125;
+                }
+            }
+            std::swap(in, out);
+        }
+        // After the final swap, "in" holds the result; it lives in
+        // bufb after an odd number of sweeps, bufa after even.
+        const Addr result = (sweeps % 2) ? bufb : bufa;
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                const double expect =
+                    in[static_cast<size_t>(y) * w + x];
+                const double got = mem.readDouble(
+                    result + static_cast<Addr>(8 * (y * w + x)));
+                if (got != expect) {
+                    if (why) {
+                        std::ostringstream oss;
+                        oss << "pixel (" << x << "," << y
+                            << ") = " << got << ", expected "
+                            << expect;
+                        *why = oss.str();
+                    }
+                    return false;
+                }
+            }
+        }
+        return true;
+    };
+    return wl;
+}
+
+} // namespace smtsim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The paper's workloads, reproduced as assembly programs for the
+ * smtsim ISA:
+ *
+ *  - a ray tracer (section 3.2's application; parallelized per
+ *    pixel exactly as the paper describes),
+ *  - Livermore Kernel 1 (section 3.4's static-scheduling study),
+ *  - the linked-list while loop of Figure 6 (section 3.5's eager
+ *    execution study).
+ *
+ * Each factory returns a Workload: the program, a data initializer
+ * to run after Program::loadInto, and a result checker that
+ * recomputes the expected answer in plain C++.
+ */
+
+#ifndef SMTSIM_WORKLOADS_WORKLOADS_HH
+#define SMTSIM_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "isa/insn.hh"
+#include "mem/memory.hh"
+
+namespace smtsim
+{
+
+/** A runnable, checkable workload. */
+struct Workload
+{
+    std::string name;
+    Program program;
+    /** Writes input data; call after Program::loadInto. */
+    std::function<void(MainMemory &)> init;
+    /**
+     * Verifies outputs; on failure returns false and, if @p why is
+     * non-null, describes the first mismatch.
+     */
+    std::function<bool(const MainMemory &, std::string *why)> check;
+};
+
+// ----------------------------------------------------------------
+// Ray tracer
+// ----------------------------------------------------------------
+
+/** Scene/rendering parameters. */
+struct RayTraceParams
+{
+    int width = 16;
+    int height = 16;
+    int num_spheres = 5;
+    bool shadows = true;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Sphere-scene ray tracer with Lambertian shading and shadow rays.
+ * The single program serves both machines: on the multithreaded
+ * core FASTFORK spreads pixels over all thread slots; on the
+ * baseline the fork degenerates and one thread renders everything.
+ */
+Workload makeRayTrace(const RayTraceParams &params);
+
+// ----------------------------------------------------------------
+// Livermore Kernel 1
+// ----------------------------------------------------------------
+
+/** Parameters for X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11)). */
+struct Lk1Params
+{
+    int n = 200;
+    /** Spread iterations over the thread slots (doall, explicit
+     *  rotation with change-priority per iteration). */
+    bool parallel = false;
+};
+
+/** Canonical (non-optimized) loop body, for the static schedulers. */
+std::vector<Insn> lk1LoopBody();
+
+/**
+ * Build the kernel. If @p body is non-null it replaces the
+ * canonical loop body (it must be a permutation produced by one of
+ * the schedulers).
+ */
+Workload makeLivermore1(const Lk1Params &params,
+                        const std::vector<Insn> *body = nullptr);
+
+// ----------------------------------------------------------------
+// Additional applications (the paper's concluding remarks ask for
+// "many other application programs"; these cover the corners the
+// ray tracer does not)
+// ----------------------------------------------------------------
+
+/** Dense matrix multiply parameters (C = A * B, doubles). */
+struct MatmulParams
+{
+    int n = 12;     ///< matrices are n x n
+};
+
+/**
+ * Dense matrix multiply, parallel over rows (doall). FP-heavy with
+ * regular control flow and plenty of fine-grained parallelism —
+ * the workload class where the paper predicts standby stations
+ * help most.
+ */
+Workload makeMatmul(const MatmulParams &params);
+
+/** Binary-search parameters. */
+struct BsearchParams
+{
+    int table_size = 256;       ///< sorted table entries
+    int queries_per_thread = 48;
+    std::uint64_t seed = 5;
+};
+
+/**
+ * Batched binary search over a sorted table, parallel over query
+ * slices. Integer, memory- and branch-bound with data-dependent
+ * branch outcomes — the intro's "past performance ... does not
+ * help in predicting" workload.
+ */
+Workload makeBsearch(const BsearchParams &params);
+
+/** Stencil-smoothing parameters. */
+struct StencilParams
+{
+    int width = 16;
+    int height = 12;
+    int sweeps = 2;
+};
+
+/**
+ * Five-point stencil smoothing over an image grid (Jacobi sweeps,
+ * parallel over rows; threads resynchronize between sweeps through
+ * the kill/fork-free double-buffer structure). Regular FP code
+ * with a memory footprint that streams — the image-processing
+ * class of the paper's visualization system.
+ */
+Workload makeStencil(const StencilParams &params);
+
+/** Radiosity-sweep parameters. */
+struct RadiosityParams
+{
+    int num_patches = 24;
+    std::uint64_t seed = 9;
+};
+
+/**
+ * One Jacobi sweep of a radiosity solver: for every patch, gather
+ * energy from every other patch through a geometric form factor
+ * (dot products, a division, two data-dependent visibility
+ * branches). The paper names radiosity alongside ray tracing as
+ * its target workloads.
+ */
+Workload makeRadiosity(const RadiosityParams &params);
+
+// ----------------------------------------------------------------
+// Doacross recurrence (section 2.3.1's queue-register use case)
+// ----------------------------------------------------------------
+
+/** How the loop-carried value travels between logical processors. */
+enum class RecurrenceVariant
+{
+    Sequential,     ///< single thread, baseline
+    DoacrossQueue,  ///< queue registers (the paper's mechanism)
+    DoacrossMemory  ///< store + flag spin-wait through memory
+};
+
+/** Parameters for X[k+1] = X[k] + Y[k]. */
+struct RecurrenceParams
+{
+    int n = 128;
+    RecurrenceVariant variant = RecurrenceVariant::Sequential;
+};
+
+/**
+ * First-order linear recurrence executed doacross: iteration k
+ * needs X[k] from iteration k-1 (iteration difference one, the case
+ * the paper's ring topology targets). The queue variant relays X
+ * through FP queue registers; the memory variant stores X and
+ * spins on a flag word, the alternative the paper dismisses as
+ * having too much overhead.
+ */
+Workload makeRecurrence(const RecurrenceParams &params);
+
+// ----------------------------------------------------------------
+// Linked-list walk (Figure 6)
+// ----------------------------------------------------------------
+
+/** Parameters for the while-loop workload. */
+struct ListWalkParams
+{
+    int num_nodes = 64;
+    /**
+     * Index of the node whose tmp goes negative (the loop's break);
+     * -1 walks the whole list to NULL.
+     */
+    int break_at = -1;
+    /** Eager multi-slot version (queue registers + kill). */
+    bool eager = false;
+    std::uint64_t seed = 7;
+};
+
+/** The paper's pointer-chasing while loop. */
+Workload makeListWalk(const ListWalkParams &params);
+
+} // namespace smtsim
+
+#endif // SMTSIM_WORKLOADS_WORKLOADS_HH

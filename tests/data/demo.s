@@ -1,0 +1,15 @@
+# Demo program used by the command-line tool smoke tests: each
+# thread squares its logical-processor id into a private slot of
+# the output array.
+        .text
+main:   fastfork
+        tid  r1
+        nslot r2
+        la   r3, out
+        sll  r4, r1, 2
+        add  r3, r3, r4
+        mul  r5, r1, r1
+        sw   r5, 0(r3)
+        halt
+        .data
+out:    .word 0, 0, 0, 0, 0, 0, 0, 0

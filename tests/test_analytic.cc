@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "harness/analytic.hh"
+#include "harness/runner.hh"
+
+using namespace smtsim;
+
+TEST(Analytic, HandComputedBounds)
+{
+    RunStats ref;
+    ref.cycles = 100;
+    // Busiest: load/store at 30% of cycles; ALU at 10%.
+    ref.fu_busy[static_cast<int>(FuClass::LoadStore)] = 30;
+    ref.fu_busy[static_cast<int>(FuClass::IntAlu)] = 10;
+
+    const AnalyticModel m = buildAnalyticModel(ref);
+    FuPoolConfig pool;
+
+    // The paper's example: ~30% busiest unit -> about 3 threads
+    // fit (speed-up bound 1/0.3 = 3.33).
+    EXPECT_NEAR(m.speedupBound(8, pool), 1.0 / 0.3, 1e-9);
+    // Below saturation the thread count is the bound.
+    EXPECT_DOUBLE_EQ(m.speedupBound(2, pool), 2.0);
+    EXPECT_EQ(m.bottleneck(pool), FuClass::LoadStore);
+
+    // A second load/store unit doubles that class's headroom.
+    pool.load_store = 2;
+    EXPECT_NEAR(m.speedupBound(8, pool), 2.0 / 0.3, 1e-9);
+}
+
+TEST(Analytic, EmptyStatsAreHarmless)
+{
+    RunStats ref;
+    const AnalyticModel m = buildAnalyticModel(ref);
+    FuPoolConfig pool;
+    EXPECT_DOUBLE_EQ(m.speedupBound(4, pool), 4.0);
+    EXPECT_EQ(m.bottleneck(pool), FuClass::None);
+}
+
+TEST(Analytic, SimulationNeverExceedsBound)
+{
+    // Property over several workloads: measured speed-up stays at
+    // or below the capacity bound derived from the single-thread
+    // run (small tolerance for cold-start effects).
+    MatmulParams mp;
+    mp.n = 10;
+    BsearchParams bp;
+    bp.table_size = 128;
+    bp.queries_per_thread = 24;
+    const Workload workloads[] = {makeMatmul(mp),
+                                  makeBsearch(bp)};
+
+    for (const Workload &w : workloads) {
+        CoreConfig one;
+        one.num_slots = 1;
+        const Outcome ref = runCore(w, one);
+        ASSERT_TRUE(ref.ok) << w.name << ": " << ref.error;
+        const AnalyticModel m = buildAnalyticModel(ref.stats);
+
+        for (int slots : {2, 4, 8}) {
+            CoreConfig cfg;
+            cfg.num_slots = slots;
+            const Outcome o = runCore(w, cfg);
+            ASSERT_TRUE(o.ok) << w.name;
+            const double sim =
+                static_cast<double>(ref.stats.cycles) /
+                static_cast<double>(o.stats.cycles);
+            EXPECT_LE(sim, m.speedupBound(slots, cfg.fus) * 1.02)
+                << w.name << " slots " << slots;
+        }
+    }
+}
+
+TEST(Analytic, BoundTightensWithFewerUnits)
+{
+    RunStats ref;
+    ref.cycles = 100;
+    ref.fu_busy[static_cast<int>(FuClass::FpAdd)] = 50;
+    const AnalyticModel m = buildAnalyticModel(ref);
+    FuPoolConfig pool;
+    EXPECT_DOUBLE_EQ(m.speedupBound(8, pool), 2.0);
+    EXPECT_EQ(m.bottleneck(pool), FuClass::FpAdd);
+}

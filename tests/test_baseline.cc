@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include "test_common.hh"
+
+using namespace smtsim;
+using namespace smtsim::test;
+
+namespace
+{
+
+/** Cycles for a straight-line body followed by halt. */
+Cycle
+cyclesFor(const std::string &body, const BaselineConfig &cfg = {})
+{
+    return runBaselineAsm("main:\n" + body + "        halt\n", cfg)
+        .cycles;
+}
+
+} // namespace
+
+TEST(BaselineTiming, IndependentOpsIssueEveryCycle)
+{
+    const Cycle c4 = cyclesFor(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+)");
+    const Cycle c8 = cyclesFor(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+        addi r5, r0, 1
+        addi r6, r0, 2
+        addi r7, r0, 3
+        addi r8, r0, 4
+)");
+    EXPECT_EQ(c8 - c4, 4u);     // one per cycle
+}
+
+// A tail of independent fillers makes the total issue-bound, so
+// cycle-count differences expose pure issue-gap changes.
+static const char *kFillerTail = R"(
+        addi r10, r0, 0
+        addi r11, r0, 0
+        addi r12, r0, 0
+        addi r13, r0, 0
+        addi r14, r0, 0
+        addi r15, r0, 0
+        addi r16, r0, 0
+        addi r17, r0, 0
+        addi r18, r0, 0
+        addi r19, r0, 0
+)";
+
+TEST(BaselineTiming, DependentAluOpsAreThreeCyclesApart)
+{
+    // Section 2.1.2: at least three cycles between I1 and a
+    // dependent I2 (result latency 2) -- two extra cycles compared
+    // with back-to-back independent issue.
+    const Cycle indep = cyclesFor(std::string(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+)") + kFillerTail);
+    const Cycle dep = cyclesFor(std::string(R"(
+        addi r1, r0, 1
+        addi r2, r1, 2
+)") + kFillerTail);
+    EXPECT_EQ(dep - indep, 2u);     // issue gap 3 instead of 1
+}
+
+TEST(BaselineTiming, LoadUseGapIsFiveCycles)
+{
+    const Cycle indep = cyclesFor(std::string(R"(
+        lw   r1, 0(r9)
+        addi r2, r0, 1
+)") + kFillerTail);
+    const Cycle dep = cyclesFor(std::string(R"(
+        lw   r1, 0(r9)
+        addi r2, r1, 1
+)") + kFillerTail);
+    // Load result latency 4: gap 5 instead of 1.
+    EXPECT_EQ(dep - indep, 4u);
+}
+
+TEST(BaselineTiming, MulConsumerWaitsSevenCycles)
+{
+    const Cycle indep = cyclesFor(std::string(R"(
+        mul  r1, r9, r9
+        addi r2, r0, 1
+)") + kFillerTail);
+    const Cycle dep = cyclesFor(std::string(R"(
+        mul  r1, r9, r9
+        addi r2, r1, 1
+)") + kFillerTail);
+    EXPECT_EQ(dep - indep, 6u);     // gap 7 instead of 1
+}
+
+TEST(BaselineTiming, BranchLoopPeriodIsSevenCycles)
+{
+    // Minimal count-down loop: addi issues at t; bgtz depends on it
+    // (3-cycle gap) and resolves at t+3; the 4-cycle branch gap
+    // puts the next addi at t+7.
+    const auto run = [&](int iters) {
+        return runBaselineAsm(
+                   "main:   li r1, " + std::to_string(iters) +
+                   "\nloop:   addi r1, r1, -1\n"
+                   "        bgtz r1, loop\n"
+                   "        halt\n")
+            .cycles;
+    };
+    const Cycle c10 = run(10);
+    const Cycle c20 = run(20);
+    EXPECT_EQ((c20 - c10) / 10, 7u);
+}
+
+TEST(BaselineTiming, UntakenBranchIsCheaperThanTaken)
+{
+    // Predict-not-taken: the fall-through stream keeps flowing for
+    // an untaken branch; a taken branch flushes and pays the gap.
+    // (Both target the next instruction so the executed paths are
+    // identical.)
+    // Taken: skips one instruction, pays the 4-cycle gap.
+    const Cycle taken = cyclesFor(std::string(R"(
+        addi r9, r0, 1
+        beq  r9, r9, next
+        addi r2, r0, 7
+next:   addi r1, r0, 1
+)") + kFillerTail);
+    // Untaken: executes one more instruction, no gap.
+    const Cycle untaken = cyclesFor(std::string(R"(
+        addi r9, r0, 1
+        bne  r9, r9, next
+        addi r2, r0, 7
+next:   addi r1, r0, 1
+)") + kFillerTail);
+    // Gap of 4 on the taken path minus the 2 issue slots the
+    // untaken path spends reaching the same point.
+    EXPECT_GT(taken, untaken);
+    EXPECT_EQ(taken - untaken, 2u);
+}
+
+TEST(BaselineTiming, LoadStoreIssueLatencyTwo)
+{
+    // Independent loads on one LS unit: one every 2 cycles.
+    const Cycle two = cyclesFor(R"(
+        lw r1, 0(r9)
+        lw r2, 4(r9)
+)");
+    const Cycle four = cyclesFor(R"(
+        lw r1, 0(r9)
+        lw r2, 4(r9)
+        lw r3, 8(r9)
+        lw r4, 12(r9)
+)");
+    EXPECT_EQ(four - two, 4u);      // 2 cycles per extra load
+}
+
+TEST(BaselineTiming, SecondLoadStoreUnitDoublesThroughput)
+{
+    BaselineConfig cfg;
+    cfg.fus.load_store = 2;
+    const Cycle two = cyclesFor(R"(
+        lw r1, 0(r9)
+        lw r2, 4(r9)
+)",
+                                cfg);
+    const Cycle four = cyclesFor(R"(
+        lw r1, 0(r9)
+        lw r2, 4(r9)
+        lw r3, 8(r9)
+        lw r4, 12(r9)
+)",
+                                 cfg);
+    EXPECT_EQ(four - two, 2u);      // 1 cycle per extra load
+}
+
+TEST(BaselineTiming, WidthTwoIssuesIndependentPairs)
+{
+    BaselineConfig w1;
+    BaselineConfig w2;
+    w2.width = 2;
+    w2.fus.int_alu = 2;
+    const std::string body = R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+        addi r5, r0, 5
+        addi r6, r0, 6
+        addi r7, r0, 7
+        addi r8, r0, 8
+)";
+    const Cycle c1 = cyclesFor(body, w1);
+    const Cycle c2 = cyclesFor(body, w2);
+    EXPECT_LT(c2, c1);
+    EXPECT_GE(c1 - c2, 3u);
+}
+
+TEST(BaselineTiming, WidthRespectsDependences)
+{
+    BaselineConfig w4;
+    w4.width = 4;
+    w4.fus.int_alu = 4;
+    // A fully serial chain gains nothing from width.
+    const std::string chain = R"(
+        addi r1, r0, 1
+        addi r1, r1, 1
+        addi r1, r1, 1
+        addi r1, r1, 1
+)";
+    const Cycle wide = cyclesFor(chain, w4);
+    const Cycle narrow = cyclesFor(chain);
+    EXPECT_EQ(wide, narrow);
+}
+
+TEST(BaselineFunc, MatchesInterpreterOnControlFlow)
+{
+    const std::string prog = R"(
+main:   li   r1, 25
+        li   r2, 0
+        li   r5, 3
+loop:   remq r3, r1, r5
+        bne  r3, r0, skip
+        add  r2, r2, r1
+skip:   addi r1, r1, -1
+        bgtz r1, loop
+        la   r4, out
+        sw   r2, 0(r4)
+        halt
+        .data
+out:    .word 0
+)";
+    MainMemory bm, im;
+    const RunStats bs = runBaselineAsm(prog, {}, &bm);
+    const InterpResult ir = runInterpAsm(prog, 1, &im);
+    EXPECT_TRUE(bs.finished);
+    EXPECT_EQ(bs.instructions, ir.steps);
+    EXPECT_EQ(bm.read32(kDefaultDataBase),
+              im.read32(kDefaultDataBase));
+    // sum of multiples of 3 up to 25 = 3+6+...+24.
+    EXPECT_EQ(bm.read32(kDefaultDataBase), 108u);
+}
+
+TEST(BaselineFunc, StoreLoadForwardThroughMemory)
+{
+    MainMemory mem;
+    runBaselineAsm(R"(
+main:   la   r1, buf
+        addi r2, r0, 77
+        sw   r2, 0(r1)
+        lw   r3, 0(r1)
+        addi r3, r3, 1
+        sw   r3, 4(r1)
+        halt
+        .data
+buf:    .word 0, 0
+)",
+                   {}, &mem);
+    EXPECT_EQ(mem.read32(kDefaultDataBase + 4), 78u);
+}
+
+TEST(BaselineFunc, WawOrderPreserved)
+{
+    // Long-latency write followed by a short-latency write to the
+    // same register: the later instruction must win.
+    MainMemory mem;
+    runBaselineAsm(R"(
+main:   li   r4, 6
+        li   r5, 7
+        mul  r1, r4, r5     # result 6 cycles
+        addi r1, r0, 5      # overwrites
+        la   r2, out
+        sw   r1, 0(r2)
+        halt
+        .data
+out:    .word 0
+)",
+                   {}, &mem);
+    EXPECT_EQ(mem.read32(kDefaultDataBase), 5u);
+}
+
+TEST(BaselineFunc, WidthPreservesSemantics)
+{
+    const std::string prog = R"(
+main:   li   r1, 12
+        li   r2, 1
+        li   r6, 0
+loop:   mul  r2, r2, r1
+        remq r3, r2, r1
+        add  r6, r6, r3
+        addi r1, r1, -1
+        bgtz r1, loop
+        la   r4, out
+        sw   r2, 0(r4)
+        sw   r6, 4(r4)
+        halt
+        .data
+out:    .word 0, 0
+)";
+    MainMemory m1, m4;
+    BaselineConfig w4;
+    w4.width = 4;
+    runBaselineAsm(prog, {}, &m1);
+    runBaselineAsm(prog, w4, &m4);
+    EXPECT_EQ(m1.read32(kDefaultDataBase),
+              m4.read32(kDefaultDataBase));
+    EXPECT_EQ(m1.read32(kDefaultDataBase + 4),
+              m4.read32(kDefaultDataBase + 4));
+}
+
+TEST(BaselineStats, FuAccounting)
+{
+    const RunStats s = runBaselineAsm(R"(
+main:   addi r1, r0, 1
+        fadd f1, f2, f3
+        lw   r2, 0(r9)
+        sw   r2, 4(r9)
+        beq  r0, r0, next
+next:   halt
+)");
+    EXPECT_EQ(s.fu_grants[static_cast<int>(FuClass::IntAlu)], 1u);
+    EXPECT_EQ(s.fu_grants[static_cast<int>(FuClass::FpAdd)], 1u);
+    EXPECT_EQ(s.fu_grants[static_cast<int>(FuClass::LoadStore)],
+              2u);
+    EXPECT_EQ(s.loads, 1u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.branches, 1u);
+    EXPECT_EQ(s.instructions, 6u);
+    // Load/store busy = 2 grants * issue latency 2.
+    EXPECT_EQ(s.fu_busy[static_cast<int>(FuClass::LoadStore)], 4u);
+}
+
+TEST(BaselineStats, BudgetExhaustionReported)
+{
+    BaselineConfig cfg;
+    cfg.max_cycles = 100;
+    const RunStats s =
+        runBaselineAsm("main: j main\n", cfg);
+    EXPECT_FALSE(s.finished);
+    EXPECT_EQ(s.cycles, 100u);
+}

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "base/bitops.hh"
+
+using namespace smtsim;
+
+TEST(Bitops, ExtractBasic)
+{
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeefu, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeefu, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xffffffffu, 31, 0), 0xffffffffu);
+}
+
+TEST(Bitops, ExtractSingleBit)
+{
+    EXPECT_EQ(bits(0x80000000u, 31, 31), 1u);
+    EXPECT_EQ(bits(0x80000000u, 30, 30), 0u);
+    EXPECT_EQ(bits(0x1u, 0, 0), 1u);
+}
+
+TEST(Bitops, InsertBasic)
+{
+    EXPECT_EQ(insertBits(0, 31, 26, 0x3f), 0xfc000000u);
+    EXPECT_EQ(insertBits(0xffffffffu, 15, 8, 0), 0xffff00ffu);
+    EXPECT_EQ(insertBits(0, 15, 0, 0x12345678u), 0x5678u);
+}
+
+TEST(Bitops, InsertThenExtractRoundTrip)
+{
+    for (int hi = 0; hi < 32; hi += 5) {
+        for (int lo = 0; lo <= hi; lo += 3) {
+            const std::uint32_t v =
+                insertBits(0xa5a5a5a5u, hi, lo, 0x7u);
+            EXPECT_EQ(bits(v, hi, lo),
+                      0x7u & ((hi - lo + 1 >= 3)
+                                  ? 0x7u
+                                  : ((1u << (hi - lo + 1)) - 1)));
+        }
+    }
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0x1f, 5), -1);
+    EXPECT_EQ(sext(0xf, 5), 15);
+    EXPECT_EQ(sext(0, 16), 0);
+}
+
+TEST(Bitops, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+    EXPECT_TRUE(fitsSigned(-32768, 16));
+    EXPECT_FALSE(fitsSigned(-32769, 16));
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(Bitops, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(65535, 16));
+    EXPECT_FALSE(fitsUnsigned(65536, 16));
+    EXPECT_FALSE(fitsUnsigned(-1, 16));
+    EXPECT_TRUE(fitsUnsigned(0, 1));
+}

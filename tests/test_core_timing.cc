@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "test_common.hh"
+
+using namespace smtsim;
+using namespace smtsim::test;
+
+namespace
+{
+
+Cycle
+coreCycles(const std::string &body, const CoreConfig &cfg = {})
+{
+    return runCoreAsm("main:\n" + body + "        halt\n", cfg)
+        .cycles;
+}
+
+const char *kFillerTail = R"(
+        addi r10, r0, 0
+        addi r11, r0, 0
+        addi r12, r0, 0
+        addi r13, r0, 0
+        addi r14, r0, 0
+        addi r15, r0, 0
+        addi r16, r0, 0
+        addi r17, r0, 0
+        addi r18, r0, 0
+        addi r19, r0, 0
+)";
+
+} // namespace
+
+TEST(CoreTiming, DependentAluOpsAreThreeCyclesApart)
+{
+    // The multithreaded pipeline preserves the base machine's
+    // 3-cycle producer-consumer distance (section 2.1.2).
+    CoreConfig cfg;
+    cfg.num_slots = 1;
+    const Cycle indep = coreCycles(std::string(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+)") + kFillerTail,
+                                   cfg);
+    const Cycle dep = coreCycles(std::string(R"(
+        addi r1, r0, 1
+        addi r2, r1, 2
+)") + kFillerTail,
+                                 cfg);
+    EXPECT_EQ(dep - indep, 2u);
+}
+
+TEST(CoreTiming, LoadUseGapIsFiveCycles)
+{
+    CoreConfig cfg;
+    cfg.num_slots = 1;
+    const Cycle indep = coreCycles(std::string(R"(
+        lw   r1, 0(r9)
+        addi r2, r0, 1
+)") + kFillerTail,
+                                   cfg);
+    const Cycle dep = coreCycles(std::string(R"(
+        lw   r1, 0(r9)
+        addi r2, r1, 1
+)") + kFillerTail,
+                                 cfg);
+    EXPECT_EQ(dep - indep, 4u);
+}
+
+TEST(CoreTiming, BranchLoopPeriodIsEightCycles)
+{
+    // addi at t; dependent bgtz resolves at t+3; branch gap 5
+    // (one more than the base RISC, section 2.1.2) puts the next
+    // addi at t+8.
+    const auto run = [&](int iters) {
+        CoreConfig cfg;
+        cfg.num_slots = 1;
+        return runCoreAsm("main:   li r1, " +
+                              std::to_string(iters) +
+                              "\nloop:   addi r1, r1, -1\n"
+                              "        bgtz r1, loop\n"
+                              "        halt\n",
+                          cfg)
+            .cycles;
+    };
+    const Cycle c10 = run(10);
+    const Cycle c20 = run(20);
+    EXPECT_EQ((c20 - c10) / 10, 8u);
+}
+
+TEST(CoreTiming, SingleThreadSlowerThanBaseRisc)
+{
+    // The deeper pipeline damages single-thread performance on
+    // branchy code; that is the paper's motivation for running
+    // several threads.
+    const std::string prog = R"(
+main:   li   r1, 50
+loop:   addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)";
+    CoreConfig cfg;
+    cfg.num_slots = 1;
+    const Cycle core = runCoreAsm(prog, cfg).cycles;
+    const Cycle base = runBaselineAsm(prog).cycles;
+    EXPECT_GT(core, base);
+}
+
+TEST(CoreTiming, LoadStoreIssueLatencyTwo)
+{
+    CoreConfig cfg;
+    cfg.num_slots = 1;
+    const Cycle two = coreCycles(std::string(R"(
+        lw r1, 0(r9)
+        lw r2, 4(r9)
+)") + kFillerTail,
+                                 cfg);
+    const Cycle six = coreCycles(std::string(R"(
+        lw r1, 0(r9)
+        lw r2, 4(r9)
+        lw r3, 8(r9)
+        lw r4, 12(r9)
+        lw r5, 16(r9)
+        lw r6, 20(r9)
+)") + kFillerTail,
+                                 cfg);
+    EXPECT_EQ(six - two, 8u);   // 2 cycles per extra load
+}
+
+TEST(CoreTiming, StandbyStationsLetOtherClassesProceed)
+{
+    // Two threads hammer the single shifter; with standby stations
+    // the loser keeps feeding its ALU instructions, without them
+    // its whole decode unit stalls (section 2.1.1).
+    const std::string prog = R"(
+main:   li   r1, 40
+        fastfork
+loop:   sll  r2, r1, 1
+        add  r3, r1, r1
+        add  r4, r1, r1
+        sll  r5, r1, 2
+        add  r6, r1, r1
+        add  r7, r1, r1
+        addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)";
+    CoreConfig with;
+    with.num_slots = 2;
+    CoreConfig without = with;
+    without.standby_enabled = false;
+
+    const RunStats ws = runCoreAsm(prog, with);
+    const RunStats ns = runCoreAsm(prog, without);
+    EXPECT_LE(ws.cycles, ns.cycles);
+    EXPECT_GT(ns.standby_stalls, 0u);
+}
+
+TEST(CoreTiming, TwoThreadsShareOneAluFairly)
+{
+    // A straight-line ALU-saturating thread uses the single shared
+    // ALU at ~100%; adding a second identical thread doubles the
+    // work on a saturated unit, so time roughly doubles (Figure 1's
+    // utilization argument, run in reverse).
+    std::string body;
+    for (int i = 0; i < 120; ++i) {
+        body += "        addi r" + std::to_string(2 + i % 8) +
+                ", r0, 1\n";
+    }
+    const std::string one = "main:\n" + body + "        halt\n";
+    const std::string two =
+        "main:   fastfork\n" + body + "        halt\n";
+    CoreConfig c1;
+    c1.num_slots = 1;
+    CoreConfig c2;
+    c2.num_slots = 2;
+    const Cycle t1 = runCoreAsm(one, c1).cycles;
+    const Cycle t2 = runCoreAsm(two, c2).cycles;
+    const double ratio =
+        static_cast<double>(t2) / static_cast<double>(t1);
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.3);
+}
+
+TEST(CoreTiming, ParallelThreadsHideBranchDelay)
+{
+    // Four branch-bound threads on one processor: branch bubbles of
+    // one thread are filled by the others, so total time grows far
+    // less than 4x (the paper's central claim).
+    const std::string loop_body =
+        "loop:   addi r2, r2, 1\n"
+        "        addi r1, r1, -1\n"
+        "        bgtz r1, loop\n"
+        "        halt\n";
+    const std::string one = "main:   li r1, 64\n" + loop_body;
+    const std::string four =
+        "main:   li r1, 64\n        fastfork\n" + loop_body;
+
+    CoreConfig c1;
+    c1.num_slots = 1;
+    CoreConfig c4;
+    c4.num_slots = 4;
+    const Cycle t1 = runCoreAsm(one, c1).cycles;
+    const Cycle t4 = runCoreAsm(four, c4).cycles;
+    // 4x the work in less than 1.8x the time.
+    EXPECT_LT(static_cast<double>(t4),
+              1.8 * static_cast<double>(t1));
+}
+
+TEST(CoreTiming, SimultaneousBranchesContendForFetchUnit)
+{
+    // "It could become more than five if some threads encounter
+    // branches at the same time": with many branch-only threads on
+    // a shared fetch unit, per-thread loop period exceeds 8.
+    const std::string prog = R"(
+main:   li   r1, 64
+        fastfork
+loop:   addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)";
+    CoreConfig shared;
+    shared.num_slots = 4;
+    CoreConfig priv = shared;
+    priv.private_icache = true;
+
+    const Cycle ts = runCoreAsm(prog, shared).cycles;
+    const Cycle tp = runCoreAsm(prog, priv).cycles;
+    // Private fetch units remove the contention.
+    EXPECT_LT(tp, ts);
+}
+
+TEST(CoreTiming, PrivateIcacheBarelyHelpsMixedCode)
+{
+    // Section 3.2: private instruction caches provide only a slight
+    // speed-up on real code (1.79 -> 1.80 in the paper).
+    const std::string prog = R"(
+main:   li   r1, 64
+        fastfork
+loop:   add  r2, r2, r1
+        sll  r3, r1, 2
+        lw   r4, 0(r9)
+        add  r5, r5, r2
+        xor  r6, r6, r3
+        addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)";
+    CoreConfig shared;
+    shared.num_slots = 2;
+    CoreConfig priv = shared;
+    priv.private_icache = true;
+    const Cycle ts = runCoreAsm(prog, shared).cycles;
+    const Cycle tp = runCoreAsm(prog, priv).cycles;
+    EXPECT_LE(tp, ts);
+    // Within 10% on this branchy microkernel; the ray-tracing bench
+    // (bench_private_icache) shows the paper's sub-1% gap.
+    EXPECT_LT(static_cast<double>(ts - tp),
+              0.10 * static_cast<double>(ts));
+}
+
+TEST(CoreTiming, SecondLoadStoreUnitRelievesSaturation)
+{
+    const std::string prog = R"(
+main:   li   r1, 32
+        fastfork
+        tid  r9
+        sll  r9, r9, 8
+loop:   lw   r2, 0(r9)
+        lw   r3, 4(r9)
+        sw   r2, 8(r9)
+        addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)";
+    CoreConfig one;
+    one.num_slots = 4;
+    CoreConfig two = one;
+    two.fus.load_store = 2;
+    const RunStats s1 = runCoreAsm(prog, one);
+    const RunStats s2 = runCoreAsm(prog, two);
+    EXPECT_LT(s2.cycles, s1.cycles);
+    // With one unit the load/store unit is the clear bottleneck.
+    EXPECT_GT(s1.unitUtilization(FuClass::LoadStore, 0), 80.0);
+}
+
+TEST(CoreTiming, RotationIntervalHasMinorEffect)
+{
+    // Section 3.2: the rotation interval did not much influence
+    // performance.
+    const std::string prog = R"(
+main:   li   r1, 48
+        fastfork
+loop:   add  r2, r2, r1
+        lw   r3, 0(r9)
+        sll  r4, r1, 1
+        addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)";
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    Cycle lo = kNeverCycle, hi = 0;
+    for (int interval : {1, 2, 8, 64, 256}) {
+        cfg.rotation_interval = interval;
+        const Cycle t = runCoreAsm(prog, cfg).cycles;
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+    }
+    EXPECT_LT(static_cast<double>(hi - lo),
+              0.10 * static_cast<double>(lo));
+}
+
+TEST(CoreTiming, InstructionWindowWidthTwoHelpsIlpCode)
+{
+    const std::string prog = R"(
+main:   li   r1, 64
+loop:   add  r2, r2, r1
+        sll  r3, r1, 1
+        xor  r4, r4, r1
+        sll  r5, r1, 2
+        addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)";
+    CoreConfig d1;
+    d1.num_slots = 1;
+    CoreConfig d2 = d1;
+    d2.width = 2;
+    const Cycle t1 = runCoreAsm(prog, d1).cycles;
+    const Cycle t2 = runCoreAsm(prog, d2).cycles;
+    EXPECT_LT(t2, t1);
+}
+
+TEST(CoreTiming, DetailStallCountersPopulated)
+{
+    Machine m(R"(
+main:   lw   r1, 0(r9)
+        add  r2, r1, r1
+        halt
+)");
+    CoreConfig cfg;
+    cfg.num_slots = 1;
+    MultithreadedProcessor cpu(m.prog, m.mem, cfg);
+    cpu.run();
+    EXPECT_GT(cpu.detail().get("stall.operands"), 0u);
+}

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "isa/insn.hh"
+#include "isa/op.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+/** Build a representative instruction for @p op with busy fields. */
+Insn
+sample(Op op)
+{
+    Insn insn;
+    insn.op = op;
+    switch (opMeta(op).format) {
+      case Format::R3:
+        insn.rd = 1; insn.rs = 2; insn.rt = 3;
+        break;
+      case Format::R2:
+      case Format::FR2:
+        insn.rd = 4; insn.rs = 5;
+        break;
+      case Format::SHI:
+        insn.rd = 6; insn.rs = 7; insn.imm = 13;
+        break;
+      case Format::I:
+        insn.rt = 8; insn.rs = 9;
+        insn.imm = (op == Op::ADDI || op == Op::SLTI) ? -100
+                                                      : 0xabc;
+        break;
+      case Format::LUIF:
+        insn.rt = 10; insn.imm = 0xbeef;
+        break;
+      case Format::FR3:
+        insn.rd = 11; insn.rs = 12; insn.rt = 13;
+        break;
+      case Format::FCMP:
+        insn.rd = 14; insn.rs = 15; insn.rt = 16;
+        break;
+      case Format::ITOFF:
+      case Format::FTOIF:
+        insn.rd = 17; insn.rs = 18;
+        break;
+      case Format::MEM:
+        insn.rt = 19; insn.rs = 20; insn.imm = -48;
+        break;
+      case Format::BR2:
+        insn.rs = 21; insn.rt = 22; insn.imm = -5;
+        break;
+      case Format::BR1:
+        insn.rs = 23; insn.imm = 100;
+        break;
+      case Format::JF:
+        insn.imm = 0x123456;
+        break;
+      case Format::JRF:
+        insn.rs = 24;
+        break;
+      case Format::JALRF:
+        insn.rd = 25; insn.rs = 26;
+        break;
+      case Format::THR0:
+        break;
+      case Format::THR1D:
+        insn.rd = 27;
+        break;
+      case Format::THR2:
+        insn.rs = 28; insn.rt = 29;
+        break;
+      case Format::ROT:
+        insn.rt = 1; insn.imm = 16;
+        break;
+    }
+    return insn;
+}
+
+class OpRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+} // namespace
+
+TEST_P(OpRoundTrip, EncodeDecodeIdentity)
+{
+    const Op op = static_cast<Op>(GetParam());
+    const Insn original = sample(op);
+    const std::uint32_t word = encode(original);
+    const Insn decoded = decode(word);
+    EXPECT_EQ(decoded.op, original.op)
+        << opMeta(op).mnemonic;
+    // Compare only the fields the format uses, via re-encoding.
+    EXPECT_EQ(encode(decoded), word) << opMeta(op).mnemonic;
+    EXPECT_EQ(disassemble(decoded), disassemble(original));
+}
+
+TEST_P(OpRoundTrip, MetadataConsistent)
+{
+    const Op op = static_cast<Op>(GetParam());
+    const OpMeta &meta = opMeta(op);
+    EXPECT_GE(meta.issue_latency, 1);
+    EXPECT_GE(meta.result_latency, 1);
+    EXPECT_NE(meta.mnemonic, nullptr);
+    if (isMemOp(op)) {
+        EXPECT_EQ(meta.fu, FuClass::LoadStore);
+        EXPECT_EQ(meta.issue_latency, 2);   // 2-cycle data cache
+    }
+    if (isBranchOp(op) || isThreadCtlOp(op))
+        EXPECT_EQ(meta.fu, FuClass::None);
+}
+
+TEST_P(OpRoundTrip, SrcsAndDstWellFormed)
+{
+    const Op op = static_cast<Op>(GetParam());
+    const Insn insn = sample(op);
+    RegRef srcs[3];
+    const int n = insn.srcs(srcs);
+    ASSERT_GE(n, 0);
+    ASSERT_LE(n, 3);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_TRUE(srcs[i].valid());
+        EXPECT_LT(srcs[i].idx, kNumRegs);
+        // r0 never appears as a source dependence.
+        if (srcs[i].file == RF::Int)
+            EXPECT_NE(srcs[i].idx, 0);
+    }
+    if (isStoreOp(op))
+        EXPECT_FALSE(insn.dst().valid());
+    if (isLoadOp(op))
+        EXPECT_TRUE(insn.dst().valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpRoundTrip, ::testing::Range(0, kNumOps),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(
+            opMeta(static_cast<Op>(info.param)).mnemonic);
+    });
+
+TEST(IsaTable, LatenciesMatchPaperTable1)
+{
+    EXPECT_EQ(opMeta(Op::ADD).result_latency, 2);
+    EXPECT_EQ(opMeta(Op::AND_).result_latency, 2);
+    EXPECT_EQ(opMeta(Op::SLT).result_latency, 2);
+    EXPECT_EQ(opMeta(Op::SLL).result_latency, 2);
+    EXPECT_EQ(opMeta(Op::MUL).result_latency, 6);
+    EXPECT_EQ(opMeta(Op::DIVQ).result_latency, 6);
+    EXPECT_EQ(opMeta(Op::FADD).result_latency, 4);
+    EXPECT_EQ(opMeta(Op::FCMPLT).result_latency, 4);
+    EXPECT_EQ(opMeta(Op::FABS).result_latency, 2);
+    EXPECT_EQ(opMeta(Op::FNEG).result_latency, 2);
+    EXPECT_EQ(opMeta(Op::LW).issue_latency, 2);
+    EXPECT_EQ(opMeta(Op::SW).issue_latency, 2);
+    EXPECT_EQ(opMeta(Op::LW).result_latency, 4);
+}
+
+TEST(IsaTable, FuClassAssignment)
+{
+    EXPECT_EQ(opMeta(Op::ADD).fu, FuClass::IntAlu);
+    EXPECT_EQ(opMeta(Op::SLL).fu, FuClass::Shifter);
+    EXPECT_EQ(opMeta(Op::MUL).fu, FuClass::IntMul);
+    EXPECT_EQ(opMeta(Op::FADD).fu, FuClass::FpAdd);
+    EXPECT_EQ(opMeta(Op::FMUL).fu, FuClass::FpMul);
+    EXPECT_EQ(opMeta(Op::FDIV).fu, FuClass::FpDiv);
+    EXPECT_EQ(opMeta(Op::FSQRT).fu, FuClass::FpDiv);
+    EXPECT_EQ(opMeta(Op::LW).fu, FuClass::LoadStore);
+}
+
+TEST(IsaQueries, Classification)
+{
+    EXPECT_TRUE(isBranchOp(Op::BEQ));
+    EXPECT_TRUE(isBranchOp(Op::JALR));
+    EXPECT_FALSE(isBranchOp(Op::ADD));
+    EXPECT_TRUE(isCondBranchOp(Op::BGEZ));
+    EXPECT_FALSE(isCondBranchOp(Op::J));
+    EXPECT_TRUE(isLoadOp(Op::LF));
+    EXPECT_TRUE(isStoreOp(Op::PSTF));
+    EXPECT_TRUE(isPriorityStoreOp(Op::PSTW));
+    EXPECT_FALSE(isPriorityStoreOp(Op::SW));
+    EXPECT_TRUE(isThreadCtlOp(Op::FASTFORK));
+    EXPECT_TRUE(isThreadCtlOp(Op::SETRMODE));
+    EXPECT_FALSE(isThreadCtlOp(Op::BEQ));
+    EXPECT_TRUE(isFpFormatOp(Op::LF));
+    EXPECT_FALSE(isFpFormatOp(Op::LW));
+}
+
+TEST(IsaDecode, StoresReadDataRegister)
+{
+    Insn sw;
+    sw.op = Op::SW;
+    sw.rs = 4;      // base
+    sw.rt = 5;      // data
+    RegRef srcs[3];
+    const int n = sw.srcs(srcs);
+    ASSERT_EQ(n, 2);
+    EXPECT_EQ(srcs[0].file, RF::Int);
+    EXPECT_EQ(srcs[0].idx, 4);
+    EXPECT_EQ(srcs[1].idx, 5);
+
+    Insn sf = sw;
+    sf.op = Op::SF;
+    const int m = sf.srcs(srcs);
+    ASSERT_EQ(m, 2);
+    EXPECT_EQ(srcs[0].file, RF::Int);   // base stays integer
+    EXPECT_EQ(srcs[1].file, RF::Fp);    // data is FP
+}
+
+TEST(IsaDecode, JalWritesR31)
+{
+    Insn jal;
+    jal.op = Op::JAL;
+    EXPECT_EQ(jal.dst().file, RF::Int);
+    EXPECT_EQ(jal.dst().idx, 31);
+    Insn j;
+    j.op = Op::J;
+    EXPECT_FALSE(j.dst().valid());
+}
+
+TEST(IsaDecode, BadWordThrows)
+{
+    // Primary opcode 0x3f is unassigned.
+    EXPECT_THROW(decode(0xfc000000u), FatalError);
+    // INTOP with out-of-range funct.
+    EXPECT_THROW(decode(0x0000003fu), FatalError);
+}
+
+TEST(IsaDisasm, Spot)
+{
+    Insn insn;
+    insn.op = Op::ADDI;
+    insn.rt = 1;
+    insn.rs = 2;
+    insn.imm = -7;
+    EXPECT_EQ(disassemble(insn), "addi r1, r2, -7");
+
+    insn = Insn{};
+    insn.op = Op::LF;
+    insn.rt = 3;
+    insn.rs = 4;
+    insn.imm = 16;
+    EXPECT_EQ(disassemble(insn), "lf f3, 16(r4)");
+
+    insn = Insn{};
+    insn.op = Op::FASTFORK;
+    EXPECT_EQ(disassemble(insn), "fastfork");
+}

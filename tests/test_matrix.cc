@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cross-product stress matrix: every workload on a grid of machine
+ * configurations, each verified against its reference checker.
+ * Each cell exercises a genuinely different interleaving of the
+ * schedule units, queue registers, caches and fetch engine.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+Workload
+workloadByName(const std::string &name)
+{
+    if (name == "raytrace") {
+        RayTraceParams p;
+        p.width = 6;
+        p.height = 6;
+        p.num_spheres = 3;
+        return makeRayTrace(p);
+    }
+    if (name == "lk1") {
+        Lk1Params p;
+        p.n = 24;
+        p.parallel = true;
+        return makeLivermore1(p);
+    }
+    if (name == "eagerwalk") {
+        ListWalkParams p;
+        p.num_nodes = 16;
+        p.eager = true;
+        return makeListWalk(p);
+    }
+    if (name == "recurrence") {
+        RecurrenceParams p;
+        p.n = 24;
+        p.variant = RecurrenceVariant::DoacrossQueue;
+        return makeRecurrence(p);
+    }
+    if (name == "matmul") {
+        MatmulParams p;
+        p.n = 5;
+        return makeMatmul(p);
+    }
+    if (name == "bsearch") {
+        BsearchParams p;
+        p.table_size = 48;
+        p.queries_per_thread = 6;
+        return makeBsearch(p);
+    }
+    RadiosityParams p;
+    p.num_patches = 6;
+    return makeRadiosity(p);
+}
+
+struct Cell
+{
+    const char *workload;
+    int slots;
+    int lsu;
+    int width;
+    bool standby;
+    bool private_icache;
+    bool caches;
+};
+
+std::string
+cellName(const Cell &c)
+{
+    return std::string(c.workload) + "_s" +
+           std::to_string(c.slots) + "l" + std::to_string(c.lsu) +
+           "w" + std::to_string(c.width) +
+           (c.standby ? "" : "_nosb") +
+           (c.private_icache ? "_priv" : "") +
+           (c.caches ? "_cache" : "");
+}
+
+class ConfigMatrix : public ::testing::TestWithParam<Cell>
+{
+};
+
+} // namespace
+
+TEST_P(ConfigMatrix, WorkloadVerifiesOnCore)
+{
+    const Cell &c = GetParam();
+    const Workload w = workloadByName(c.workload);
+
+    CoreConfig cfg;
+    cfg.num_slots = c.slots;
+    cfg.fus.load_store = c.lsu;
+    cfg.width = c.width;
+    cfg.standby_enabled = c.standby;
+    cfg.private_icache = c.private_icache;
+    // Queue-register workloads need iteration-ordered priority.
+    const std::string name(c.workload);
+    if (name == "lk1" || name == "eagerwalk" ||
+        name == "recurrence") {
+        cfg.rotation_mode = RotationMode::Explicit;
+    }
+    if (c.caches) {
+        cfg.dcache.size_bytes = 512;
+        cfg.dcache.miss_penalty = 15;
+        cfg.icache.size_bytes = 512;
+        cfg.icache.miss_penalty = 15;
+    }
+
+    const Outcome o = runCore(w, cfg);
+    EXPECT_TRUE(o.ok) << o.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigMatrix,
+    ::testing::Values(
+        // Hybrid widths on every workload.
+        Cell{"raytrace", 2, 1, 2, true, false, false},
+        Cell{"lk1", 2, 2, 2, true, false, false},
+        Cell{"eagerwalk", 2, 1, 2, true, false, false},
+        Cell{"recurrence", 2, 1, 2, true, false, false},
+        Cell{"matmul", 2, 2, 4, true, false, false},
+        Cell{"bsearch", 2, 1, 2, true, false, false},
+        Cell{"radiosity", 2, 1, 2, true, false, false},
+        // No standby stations.
+        Cell{"raytrace", 8, 2, 1, false, false, false},
+        Cell{"eagerwalk", 4, 1, 1, false, false, false},
+        Cell{"recurrence", 4, 1, 1, false, false, false},
+        Cell{"lk1", 8, 1, 1, false, false, false},
+        // Private fetch units.
+        Cell{"raytrace", 3, 1, 1, true, true, false},
+        Cell{"matmul", 5, 2, 1, true, true, false},
+        Cell{"bsearch", 8, 2, 1, true, true, false},
+        // Finite caches.
+        Cell{"raytrace", 4, 2, 1, true, false, true},
+        Cell{"eagerwalk", 4, 1, 1, true, false, true},
+        Cell{"radiosity", 4, 1, 1, true, false, true},
+        Cell{"matmul", 4, 1, 1, true, false, true},
+        // Everything at once.
+        Cell{"raytrace", 8, 2, 2, false, true, true},
+        Cell{"bsearch", 4, 2, 2, false, false, true},
+        Cell{"recurrence", 8, 1, 1, true, false, true},
+        Cell{"eagerwalk", 8, 1, 2, true, true, false}),
+    [](const ::testing::TestParamInfo<Cell> &info) {
+        return cellName(info.param);
+    });

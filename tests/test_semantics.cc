@@ -1,0 +1,190 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "isa/dataop.hh"
+#include "isa/semantics.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+Insn
+rr(Op op, std::int32_t imm = 0)
+{
+    Insn insn;
+    insn.op = op;
+    insn.imm = imm;
+    return insn;
+}
+
+} // namespace
+
+TEST(IntOps, Arithmetic)
+{
+    EXPECT_EQ(execIntOp(rr(Op::ADD), 3, 4), 7u);
+    EXPECT_EQ(execIntOp(rr(Op::SUB), 3, 4), 0xffffffffu);
+    EXPECT_EQ(execIntOp(rr(Op::ADD), 0xffffffffu, 1), 0u); // wraps
+}
+
+TEST(IntOps, Logical)
+{
+    EXPECT_EQ(execIntOp(rr(Op::AND_), 0xf0f0u, 0xff00u), 0xf000u);
+    EXPECT_EQ(execIntOp(rr(Op::OR_), 0xf0f0u, 0x0f0fu), 0xffffu);
+    EXPECT_EQ(execIntOp(rr(Op::XOR_), 0xffu, 0x0fu), 0xf0u);
+    EXPECT_EQ(execIntOp(rr(Op::NOR_), 0, 0), 0xffffffffu);
+}
+
+TEST(IntOps, Compare)
+{
+    EXPECT_EQ(execIntOp(rr(Op::SLT), 0xffffffffu, 0), 1u); // -1 < 0
+    EXPECT_EQ(execIntOp(rr(Op::SLTU), 0xffffffffu, 0), 0u);
+    EXPECT_EQ(execIntOp(rr(Op::SLT), 1, 2), 1u);
+    EXPECT_EQ(execIntOp(rr(Op::SLT), 2, 2), 0u);
+}
+
+TEST(IntOps, Immediates)
+{
+    EXPECT_EQ(execIntOp(rr(Op::ADDI, -5), 3, 0), 0xfffffffeu);
+    EXPECT_EQ(execIntOp(rr(Op::SLTI, 10), 5, 0), 1u);
+    EXPECT_EQ(execIntOp(rr(Op::ANDI, 0xff), 0x1234, 0), 0x34u);
+    EXPECT_EQ(execIntOp(rr(Op::ORI, 0xff), 0x1200, 0), 0x12ffu);
+    EXPECT_EQ(execIntOp(rr(Op::XORI, 0xff), 0xff, 0), 0u);
+    EXPECT_EQ(execIntOp(rr(Op::LUI, 0x1234), 0, 0), 0x12340000u);
+}
+
+TEST(IntOps, NegativeImmediateLogicalZeroExtends)
+{
+    // ANDI with imm 0xffff keeps the low 16 bits only.
+    Insn insn = rr(Op::ANDI, static_cast<std::int32_t>(0xffff));
+    EXPECT_EQ(execIntOp(insn, 0xdeadbeefu, 0), 0xbeefu);
+}
+
+TEST(IntOps, Shifts)
+{
+    EXPECT_EQ(execIntOp(rr(Op::SLL, 4), 1, 0), 16u);
+    EXPECT_EQ(execIntOp(rr(Op::SRL, 4), 0x80000000u, 0),
+              0x08000000u);
+    EXPECT_EQ(execIntOp(rr(Op::SRA, 4), 0x80000000u, 0),
+              0xf8000000u);
+    EXPECT_EQ(execIntOp(rr(Op::SLLV), 1, 5), 32u);
+    EXPECT_EQ(execIntOp(rr(Op::SRLV), 0x100u, 4), 0x10u);
+    EXPECT_EQ(execIntOp(rr(Op::SRAV), 0x80000000u, 31),
+              0xffffffffu);
+}
+
+TEST(IntOps, MulDivRem)
+{
+    EXPECT_EQ(execIntOp(rr(Op::MUL), 7, 6), 42u);
+    EXPECT_EQ(execIntOp(rr(Op::MUL), 0xffffffffu, 2),
+              0xfffffffeu);      // -1 * 2 = -2
+    EXPECT_EQ(execIntOp(rr(Op::DIVQ), 42, 5), 8u);
+    EXPECT_EQ(execIntOp(rr(Op::REMQ), 42, 5), 2u);
+    const std::uint32_t m1 = 0xffffffffu;
+    EXPECT_EQ(execIntOp(rr(Op::DIVQ), m1, 2), 0u);  // -1 / 2 = 0
+}
+
+TEST(IntOps, DivisionEdgeCases)
+{
+    // Architecturally defined: n/0 = 0, n%0 = 0, INT_MIN/-1 wraps.
+    EXPECT_EQ(execIntOp(rr(Op::DIVQ), 5, 0), 0u);
+    EXPECT_EQ(execIntOp(rr(Op::REMQ), 5, 0), 0u);
+    EXPECT_EQ(execIntOp(rr(Op::DIVQ), 0x80000000u, 0xffffffffu),
+              0x80000000u);
+    EXPECT_EQ(execIntOp(rr(Op::REMQ), 0x80000000u, 0xffffffffu),
+              0u);
+}
+
+TEST(FpOps, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FADD, 1.5, 2.25), 3.75);
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FSUB, 1.0, 4.0), -3.0);
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FMUL, 3.0, -2.0), -6.0);
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FDIV, 1.0, 4.0), 0.25);
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FSQRT, 9.0, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FABS, -2.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FNEG, -2.0, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(execFpOp(Op::FMOV, 5.5, 0.0), 5.5);
+}
+
+TEST(FpOps, SpecialValues)
+{
+    EXPECT_TRUE(std::isinf(execFpOp(Op::FDIV, 1.0, 0.0)));
+    EXPECT_TRUE(std::isnan(execFpOp(Op::FDIV, 0.0, 0.0)));
+    EXPECT_TRUE(std::isnan(execFpOp(Op::FSQRT, -1.0, 0.0)));
+}
+
+TEST(FpOps, Compare)
+{
+    EXPECT_EQ(execFpToIntOp(Op::FCMPLT, 1.0, 2.0), 1u);
+    EXPECT_EQ(execFpToIntOp(Op::FCMPLT, 2.0, 2.0), 0u);
+    EXPECT_EQ(execFpToIntOp(Op::FCMPLE, 2.0, 2.0), 1u);
+    EXPECT_EQ(execFpToIntOp(Op::FCMPEQ, 2.0, 2.0), 1u);
+    EXPECT_EQ(execFpToIntOp(Op::FCMPEQ, 2.0, 2.5), 0u);
+    // NaN compares false under every predicate.
+    const double nan = std::nan("");
+    EXPECT_EQ(execFpToIntOp(Op::FCMPLT, nan, 1.0), 0u);
+    EXPECT_EQ(execFpToIntOp(Op::FCMPEQ, nan, nan), 0u);
+}
+
+TEST(FpOps, Conversions)
+{
+    EXPECT_EQ(execFpToIntOp(Op::FTOI, 3.99, 0.0), 3u);
+    EXPECT_EQ(execFpToIntOp(Op::FTOI, -3.99, 0.0),
+              static_cast<std::uint32_t>(-3));
+}
+
+TEST(Branches, Predicates)
+{
+    EXPECT_TRUE(evalBranch(Op::BEQ, 5, 5));
+    EXPECT_FALSE(evalBranch(Op::BEQ, 5, 6));
+    EXPECT_TRUE(evalBranch(Op::BNE, 5, 6));
+    EXPECT_TRUE(evalBranch(Op::BLEZ, 0, 0));
+    EXPECT_TRUE(evalBranch(Op::BLEZ, 0xffffffffu, 0));
+    EXPECT_FALSE(evalBranch(Op::BLEZ, 1, 0));
+    EXPECT_TRUE(evalBranch(Op::BGTZ, 1, 0));
+    EXPECT_FALSE(evalBranch(Op::BGTZ, 0xffffffffu, 0));
+    EXPECT_TRUE(evalBranch(Op::BLTZ, 0x80000000u, 0));
+    EXPECT_TRUE(evalBranch(Op::BGEZ, 0, 0));
+    EXPECT_TRUE(evalBranch(Op::J, 0, 0));
+    EXPECT_TRUE(evalBranch(Op::JR, 0, 0));
+}
+
+TEST(DataOp, DispatchesByFormat)
+{
+    Insn add;
+    add.op = Op::ADD;
+    OperandValues ops;
+    ops.rs_i = 2;
+    ops.rt_i = 3;
+    const DataResult r = execDataOp(add, ops);
+    EXPECT_FALSE(r.is_fp);
+    EXPECT_EQ(r.ival, 5u);
+
+    Insn fmul;
+    fmul.op = Op::FMUL;
+    OperandValues fops;
+    fops.rs_f = 1.5;
+    fops.rt_f = 2.0;
+    const DataResult fr = execDataOp(fmul, fops);
+    EXPECT_TRUE(fr.is_fp);
+    EXPECT_DOUBLE_EQ(fr.fval, 3.0);
+
+    Insn itof;
+    itof.op = Op::ITOF;
+    OperandValues iops;
+    iops.rs_i = 0xffffffffu;    // -1 as signed
+    const DataResult ir = execDataOp(itof, iops);
+    EXPECT_TRUE(ir.is_fp);
+    EXPECT_DOUBLE_EQ(ir.fval, -1.0);
+
+    Insn fcmp;
+    fcmp.op = Op::FCMPLT;
+    OperandValues cops;
+    cops.rs_f = 1.0;
+    cops.rt_f = 2.0;
+    const DataResult cr = execDataOp(fcmp, cops);
+    EXPECT_FALSE(cr.is_fp);
+    EXPECT_EQ(cr.ival, 1u);
+}

@@ -1,0 +1,81 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "machine/run_stats.hh"
+
+using namespace smtsim;
+
+TEST(StatsGroup, CounterLifecycle)
+{
+    stats::Group g("grp");
+    EXPECT_FALSE(g.has("x"));
+    EXPECT_EQ(g.get("x"), 0u);
+    ++g.counter("x");
+    g.counter("x") += 4;
+    EXPECT_TRUE(g.has("x"));
+    EXPECT_EQ(g.get("x"), 5u);
+    g.reset();
+    EXPECT_FALSE(g.has("x"));
+}
+
+TEST(StatsGroup, DumpDeterministicOrder)
+{
+    stats::Group g("g");
+    g.counter("zeta") = 1;
+    g.counter("alpha") = 2;
+    std::ostringstream oss;
+    g.dump(oss);
+    EXPECT_EQ(oss.str(), "g.alpha 2\ng.zeta 1\n");
+}
+
+TEST(Utilization, PaperFormula)
+{
+    // U = N * L / T * 100 (section 1).
+    EXPECT_DOUBLE_EQ(stats::utilizationPercent(30, 1, 100), 30.0);
+    EXPECT_DOUBLE_EQ(stats::utilizationPercent(50, 2, 100), 100.0);
+    EXPECT_DOUBLE_EQ(stats::utilizationPercent(0, 2, 100), 0.0);
+    EXPECT_DOUBLE_EQ(stats::utilizationPercent(10, 1, 0), 0.0);
+}
+
+TEST(RunStatsTest, BusiestUnit)
+{
+    RunStats s;
+    s.cycles = 100;
+    s.unit_busy[static_cast<int>(FuClass::IntAlu)] = {40};
+    s.unit_busy[static_cast<int>(FuClass::LoadStore)] = {80, 10};
+    EXPECT_DOUBLE_EQ(s.unitUtilization(FuClass::LoadStore, 0), 80.0);
+    EXPECT_DOUBLE_EQ(s.unitUtilization(FuClass::LoadStore, 1), 10.0);
+    EXPECT_DOUBLE_EQ(s.busiestUnitUtilization(), 80.0);
+}
+
+TEST(RunStatsTest, OutOfRangeUnitIsZero)
+{
+    RunStats s;
+    s.cycles = 10;
+    EXPECT_DOUBLE_EQ(s.unitUtilization(FuClass::FpAdd, 3), 0.0);
+    EXPECT_DOUBLE_EQ(s.busiestUnitUtilization(), 0.0);
+}
+
+TEST(TextTableTest, Renders)
+{
+    TextTable t("title");
+    t.addRow({"a", "bb"});
+    t.addRow({"ccc", "d"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("title"), std::string::npos);
+    EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+    EXPECT_NE(s.find("| ccc | d  |"), std::string::npos);
+    EXPECT_NE(s.find("|-----|----|"), std::string::npos);
+}
+
+TEST(TextTableTest, RaggedRows)
+{
+    TextTable t;
+    t.addRow({"h1", "h2", "h3"});
+    t.addRow({"x"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| x  |    |    |"), std::string::npos);
+}

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "base/strutil.hh"
+
+using namespace smtsim;
+
+TEST(Strutil, Trim)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("hello"), "hello");
+    EXPECT_EQ(trim("\t\n x \r "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strutil, Split)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strutil, SplitEmptyFields)
+{
+    const auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strutil, SplitSingle)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strutil, ToLower)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+    EXPECT_EQ(toLower(""), "");
+}
+
+TEST(Strutil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_FALSE(startsWith("he", "hello"));
+    EXPECT_FALSE(startsWith("hello", "lo"));
+}
+
+TEST(Strutil, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.5, 2), "1.50");
+    EXPECT_EQ(formatDouble(-0.125, 3), "-0.125");
+    EXPECT_EQ(formatDouble(3.14159, 1), "3.1");
+}

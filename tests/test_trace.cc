@@ -1,0 +1,152 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "core/processor.hh"
+#include "interp/interpreter.hh"
+#include "trace/synth.hh"
+#include "trace/trace.hh"
+
+using namespace smtsim;
+
+TEST(TraceTest, RecordsEveryInstruction)
+{
+    SynthParams p;
+    p.seed = 3;
+    p.iterations = 8;
+    p.parallel = false;
+    const Program prog = makeSyntheticKernel(p);
+
+    MainMemory mem;
+    prog.loadInto(mem);
+    const Trace trace = recordTrace(prog, mem, 1);
+
+    MainMemory mem2;
+    prog.loadInto(mem2);
+    Interpreter interp(prog, mem2);
+    EXPECT_EQ(trace.size(), interp.run().steps);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip)
+{
+    SynthParams p;
+    p.seed = 4;
+    p.iterations = 4;
+    p.parallel = false;
+    const Program prog = makeSyntheticKernel(p);
+    MainMemory mem;
+    prog.loadInto(mem);
+    const Trace trace = recordTrace(prog, mem, 1);
+
+    std::stringstream buf;
+    trace.save(buf);
+    const Trace loaded = Trace::load(buf);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded.records()[i].pc, trace.records()[i].pc);
+        EXPECT_EQ(loaded.records()[i].word,
+                  trace.records()[i].word);
+        EXPECT_EQ(loaded.records()[i].tid, trace.records()[i].tid);
+    }
+}
+
+TEST(TraceTest, TruncatedLoadFails)
+{
+    std::stringstream buf;
+    buf.write("\x05\x00\x00", 3);
+    EXPECT_THROW(Trace::load(buf), FatalError);
+}
+
+TEST(TraceTest, MixSumsToTotal)
+{
+    SynthParams p;
+    p.seed = 9;
+    p.iterations = 16;
+    p.parallel = true;
+    const Program prog = makeSyntheticKernel(p);
+    MainMemory mem;
+    prog.loadInto(mem);
+    const Trace trace = recordTrace(prog, mem, 4);
+
+    const InstructionMix mix = analyzeMix(trace);
+    EXPECT_EQ(mix.total, trace.size());
+    std::uint64_t sum = mix.branches + mix.thread_ctl;
+    for (int c = 0; c < kNumFuClasses; ++c)
+        sum += mix.by_class[c];
+    EXPECT_EQ(sum, mix.total);
+    EXPECT_GT(mix.fraction(FuClass::IntAlu), 0.0);
+    EXPECT_GT(mix.fraction(FuClass::LoadStore), 0.0);
+}
+
+TEST(TraceTest, MultithreadTraceTagsThreads)
+{
+    SynthParams p;
+    p.seed = 10;
+    p.iterations = 4;
+    p.parallel = true;
+    const Program prog = makeSyntheticKernel(p);
+    MainMemory mem;
+    prog.loadInto(mem);
+    const Trace trace = recordTrace(prog, mem, 3);
+
+    bool seen[3] = {false, false, false};
+    for (const TraceRecord &r : trace.records()) {
+        ASSERT_LT(r.tid, 3);
+        seen[r.tid] = true;
+    }
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(SynthTest, DeterministicInSeed)
+{
+    SynthParams p;
+    p.seed = 42;
+    const Program a = makeSyntheticKernel(p);
+    const Program b = makeSyntheticKernel(p);
+    EXPECT_EQ(a.text, b.text);
+
+    p.seed = 43;
+    const Program c = makeSyntheticKernel(p);
+    EXPECT_NE(a.text, c.text);
+}
+
+TEST(SynthTest, MixWeightsSteerGeneration)
+{
+    SynthParams fp_heavy;
+    fp_heavy.seed = 5;
+    fp_heavy.parallel = false;
+    fp_heavy.w_int_alu = 0.05;
+    fp_heavy.w_load = 0.05;
+    fp_heavy.w_store = 0.05;
+    fp_heavy.w_fp_add = 0.5;
+    fp_heavy.w_fp_mul = 0.35;
+    const Program prog = makeSyntheticKernel(fp_heavy);
+    MainMemory mem;
+    prog.loadInto(mem);
+    const InstructionMix mix = analyzeMix(recordTrace(prog, mem));
+    EXPECT_GT(mix.fraction(FuClass::FpAdd) +
+                  mix.fraction(FuClass::FpMul),
+              mix.fraction(FuClass::IntAlu));
+}
+
+TEST(SynthTest, RunsOnAllEngines)
+{
+    SynthParams p;
+    p.seed = 6;
+    p.iterations = 8;
+    p.parallel = true;
+    const Program prog = makeSyntheticKernel(p);
+
+    MainMemory bm;
+    prog.loadInto(bm);
+    BaselineProcessor base(prog, bm);
+    EXPECT_TRUE(base.run().finished);
+
+    MainMemory cm;
+    prog.loadInto(cm);
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    MultithreadedProcessor core(prog, cm, cfg);
+    EXPECT_TRUE(core.run().finished);
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * smtsim-asm: assemble a .s file and print the listing — addresses,
+ * machine words, disassembly — plus the symbol table. A quick way
+ * to inspect what the assembler produced.
+ *
+ *     smtsim-asm program.s
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asmr/assembler.hh"
+#include "asmr/program.hh"
+#include "isa/insn.hh"
+
+using namespace smtsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *input = nullptr;
+    const char *output = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "-o" && i + 1 < argc)
+            output = argv[++i];
+        else
+            input = argv[i];
+    }
+    if (!input) {
+        std::fprintf(stderr,
+                     "usage: %s [-o out.smt] program.s\n",
+                     argv[0]);
+        return 2;
+    }
+    std::ifstream in(input);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", input);
+        return 1;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+
+    try {
+        const Program prog = assemble(oss.str());
+
+        if (output) {
+            std::ofstream out(output, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", output);
+                return 1;
+            }
+            prog.save(out);
+            std::printf("wrote %s (%zu text words, %zu data "
+                        "bytes)\n",
+                        output, prog.text.size(),
+                        prog.data.size());
+            return 0;
+        }
+
+        // Reverse symbol map for labels in the listing.
+        std::printf(".text (%zu instructions, entry 0x%08x)\n",
+                    prog.text.size(), prog.entry);
+        for (size_t i = 0; i < prog.text.size(); ++i) {
+            const Addr addr =
+                prog.text_base + static_cast<Addr>(4 * i);
+            for (const auto &[name, value] : prog.symbols) {
+                if (value == addr)
+                    std::printf("%s:\n", name.c_str());
+            }
+            std::printf("  0x%08x  %08x  %s\n", addr,
+                        prog.text[i],
+                        disassemble(decode(prog.text[i])).c_str());
+        }
+
+        std::printf("\n.data (%zu bytes at 0x%08x)\n",
+                    prog.data.size(), prog.data_base);
+        std::printf("\nsymbols:\n");
+        for (const auto &[name, value] : prog.symbols)
+            std::printf("  %-20s 0x%08x\n", name.c_str(), value);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * smtsim-isadoc: generate the ISA reference (docs/ISA.md) from the
+ * live operation tables, so the documentation can never drift from
+ * the implementation.
+ *
+ *     smtsim-isadoc > docs/ISA.md
+ */
+
+#include <cstdio>
+
+#include "isa/op.hh"
+#include "machine/fu_pool.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+const char *
+formatSyntax(Format fmt, const char *mnemonic)
+{
+    static char buf[96];
+    const char *pattern = "";
+    switch (fmt) {
+      case Format::R3: pattern = "%s rd, rs, rt"; break;
+      case Format::R2: pattern = "%s rd, rs"; break;
+      case Format::SHI: pattern = "%s rd, rs, shamt"; break;
+      case Format::I: pattern = "%s rt, rs, imm16"; break;
+      case Format::LUIF: pattern = "%s rt, imm16"; break;
+      case Format::FR3: pattern = "%s fd, fs, ft"; break;
+      case Format::FR2: pattern = "%s fd, fs"; break;
+      case Format::FCMP: pattern = "%s rd, fs, ft"; break;
+      case Format::ITOFF: pattern = "%s fd, rs"; break;
+      case Format::FTOIF: pattern = "%s rd, fs"; break;
+      case Format::MEM: pattern = "%s rt|ft, imm16(rs)"; break;
+      case Format::BR2: pattern = "%s rs, rt, label"; break;
+      case Format::BR1: pattern = "%s rs, label"; break;
+      case Format::JF: pattern = "%s label"; break;
+      case Format::JRF: pattern = "%s rs"; break;
+      case Format::JALRF: pattern = "%s rd, rs"; break;
+      case Format::THR0: pattern = "%s"; break;
+      case Format::THR1D: pattern = "%s rd"; break;
+      case Format::THR2: pattern = "%s rRead, rWrite"; break;
+      case Format::ROT:
+        pattern = "%s implicit|explicit, interval";
+        break;
+    }
+    std::snprintf(buf, sizeof(buf), pattern, mnemonic);
+    return buf;
+}
+
+const char *
+describe(Op op)
+{
+    switch (op) {
+      case Op::ADD: return "rd = rs + rt";
+      case Op::SUB: return "rd = rs - rt";
+      case Op::AND_: return "rd = rs & rt";
+      case Op::OR_: return "rd = rs | rt";
+      case Op::XOR_: return "rd = rs ^ rt";
+      case Op::NOR_: return "rd = ~(rs | rt)";
+      case Op::SLT: return "rd = (rs < rt), signed";
+      case Op::SLTU: return "rd = (rs < rt), unsigned";
+      case Op::ADDI: return "rt = rs + sext(imm)";
+      case Op::SLTI: return "rt = (rs < sext(imm)), signed";
+      case Op::ANDI: return "rt = rs & zext(imm)";
+      case Op::ORI: return "rt = rs | zext(imm)";
+      case Op::XORI: return "rt = rs ^ zext(imm)";
+      case Op::LUI: return "rt = imm << 16";
+      case Op::SLL: return "rd = rs << shamt";
+      case Op::SRL: return "rd = rs >> shamt (logical)";
+      case Op::SRA: return "rd = rs >> shamt (arithmetic)";
+      case Op::SLLV: return "rd = rs << (rt & 31)";
+      case Op::SRLV: return "rd = rs >> (rt & 31) (logical)";
+      case Op::SRAV: return "rd = rs >> (rt & 31) (arithmetic)";
+      case Op::MUL: return "rd = low32(rs * rt)";
+      case Op::DIVQ: return "rd = rs / rt (signed; x/0 = 0)";
+      case Op::REMQ: return "rd = rs % rt (signed; x%0 = 0)";
+      case Op::FADD: return "fd = fs + ft";
+      case Op::FSUB: return "fd = fs - ft";
+      case Op::FABS: return "fd = |fs|";
+      case Op::FNEG: return "fd = -fs";
+      case Op::FMOV: return "fd = fs";
+      case Op::FCMPLT: return "rd = (fs < ft)";
+      case Op::FCMPLE: return "rd = (fs <= ft)";
+      case Op::FCMPEQ: return "rd = (fs == ft)";
+      case Op::ITOF: return "fd = (double)(int32)rs";
+      case Op::FTOI: return "rd = (int32)fs (truncating)";
+      case Op::FMUL: return "fd = fs * ft";
+      case Op::FDIV: return "fd = fs / ft";
+      case Op::FSQRT: return "fd = sqrt(fs)";
+      case Op::LW: return "rt = mem32[rs + sext(imm)]";
+      case Op::SW: return "mem32[rs + sext(imm)] = rt";
+      case Op::LF: return "ft = mem64[rs + sext(imm)] (double)";
+      case Op::SF: return "mem64[rs + sext(imm)] = ft (double)";
+      case Op::PSTW:
+        return "as sw, performed only at highest priority";
+      case Op::PSTF:
+        return "as sf, performed only at highest priority";
+      case Op::BEQ: return "branch if rs == rt";
+      case Op::BNE: return "branch if rs != rt";
+      case Op::BLEZ: return "branch if rs <= 0 (signed)";
+      case Op::BGTZ: return "branch if rs > 0 (signed)";
+      case Op::BLTZ: return "branch if rs < 0 (signed)";
+      case Op::BGEZ: return "branch if rs >= 0 (signed)";
+      case Op::J: return "jump (26-bit region target)";
+      case Op::JAL: return "jump and link (r31 = pc + 4)";
+      case Op::JR: return "jump to rs";
+      case Op::JALR: return "rd = pc + 4; jump to rs";
+      case Op::NOP: return "no operation";
+      case Op::HALT: return "terminate this thread";
+      case Op::FASTFORK:
+        return "start a thread at pc+4 on every idle slot "
+               "(registers copied)";
+      case Op::CHGPRI:
+        return "rotate thread priorities; waits for the highest "
+               "priority and for the slot's in-flight "
+               "instructions";
+      case Op::KILLT:
+        return "kill all other threads (waits for the highest "
+               "priority); resets the queue-register network";
+      case Op::TID: return "rd = logical processor id";
+      case Op::NSLOT: return "rd = number of thread slots";
+      case Op::QEN:
+        return "map queue registers: reads of rRead dequeue from "
+               "the ring predecessor, writes to rWrite enqueue to "
+               "the successor";
+      case Op::QENF: return "as qen, for FP registers";
+      case Op::QDIS: return "unmap all queue registers";
+      case Op::SETRMODE:
+        return "select rotation mode and interval (privileged)";
+      default: return "";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "# smtsim ISA reference\n\n"
+        "Generated by `smtsim-isadoc` from the live operation "
+        "tables\n(`src/isa/op.cc`); regenerate with "
+        "`./build/tools/smtsim-isadoc > docs/ISA.md`.\n\n"
+        "32-bit fixed-width instructions; 32 integer registers "
+        "(`r0` is\nhardwired to zero) and 32 double-precision FP "
+        "registers. Branches\nand thread-control instructions "
+        "execute inside the decode unit.\nLatencies are the "
+        "paper's Table 1 (issue = cycles before the unit\naccepts "
+        "another instruction; result = EX stages until the value "
+        "is\nusable).\n\n"
+        "| mnemonic | syntax | unit | issue | result | semantics "
+        "|\n"
+        "|----------|--------|------|-------|--------|-----------"
+        "|\n");
+    for (int i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        const OpMeta &meta = opMeta(op);
+        std::printf("| `%s` | `%s` | %s | %d | %d | %s |\n",
+                    meta.mnemonic,
+                    formatSyntax(meta.format, meta.mnemonic),
+                    meta.fu == FuClass::None
+                        ? (isBranchOp(op) ? "decode (branch)"
+                                          : "decode")
+                        : fuClassName(meta.fu),
+                    meta.issue_latency, meta.result_latency,
+                    describe(op));
+    }
+    std::printf(
+        "\n## Pseudo-instructions\n\n"
+        "| pseudo | expansion |\n|--------|-----------|\n"
+        "| `la rd, symbol` | `lui` + `ori` with the symbol's "
+        "address |\n"
+        "| `li rd, imm32` | `lui` + `ori` |\n"
+        "| `mv rd, rs` | `add rd, rs, r0` |\n"
+        "| `b label` | `beq r0, r0, label` |\n"
+        "\n## Directives\n\n"
+        "`.text`, `.data`, `.word`, `.float` (8-byte doubles), "
+        "`.space`,\n`.align`, `.ascii`, `.asciiz`, `.equ`. "
+        "Expressions support `+ - * /`,\nsymbols, and "
+        "`%%hi(...)`/`%%lo(...)`.\n");
+    return 0;
+}

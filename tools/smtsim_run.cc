@@ -1,0 +1,243 @@
+/**
+ * @file
+ * smtsim-run: assemble a .s file and execute it on one of the three
+ * engines.
+ *
+ *     smtsim-run [options] program.s
+ *
+ * Options:
+ *     --engine core|baseline|interp   (default core)
+ *     --slots N          thread slots (core; default 4)
+ *     --frames N         context frames (core; default = slots)
+ *     --lsu N            load/store units (default 1)
+ *     --width D          issue width per slot (default 1)
+ *     --no-standby       disable standby stations
+ *     --explicit         explicit rotation mode
+ *     --interval N       rotation interval (default 8)
+ *     --private-icache   per-slot fetch units
+ *     --dcache BYTES     finite data cache (direct-mapped)
+ *     --icache BYTES     finite instruction cache
+ *     --threads N        interpreter logical processors
+ *     --max-cycles N     simulation budget
+ *     --dump-word ADDR   print a 32-bit word of memory after the run
+ *     --dump-double ADDR print a double after the run
+ *     --stats            print the detailed stall counters (core)
+ *     --trace            stream per-cycle pipeline events (core)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "baseline/baseline.hh"
+#include "core/processor.hh"
+#include "interp/interpreter.hh"
+#include "mem/memory.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options] program.s   (see file "
+                 "header for options)\n",
+                 argv0);
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+void
+printStats(const RunStats &s)
+{
+    std::printf("cycles        %llu\n",
+                (unsigned long long)s.cycles);
+    std::printf("instructions  %llu\n",
+                (unsigned long long)s.instructions);
+    if (s.cycles > 0) {
+        std::printf("ipc           %.3f\n",
+                    static_cast<double>(s.instructions) /
+                        static_cast<double>(s.cycles));
+    }
+    std::printf("branches      %llu\n",
+                (unsigned long long)s.branches);
+    std::printf("loads/stores  %llu/%llu\n",
+                (unsigned long long)s.loads,
+                (unsigned long long)s.stores);
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        const FuClass fc = static_cast<FuClass>(cls);
+        if (fc == FuClass::None || s.fu_grants[cls] == 0)
+            continue;
+        std::printf("%-13s %llu grants", fuClassName(fc),
+                    (unsigned long long)s.fu_grants[cls]);
+        for (size_t u = 0; u < s.unit_busy[cls].size(); ++u) {
+            std::printf("  unit%zu %.1f%%", u,
+                        s.unitUtilization(fc, (int)u));
+        }
+        std::printf("\n");
+    }
+    if (s.context_switches)
+        std::printf("ctx switches  %llu\n",
+                    (unsigned long long)s.context_switches);
+    if (s.dcache_hits + s.dcache_misses) {
+        std::printf("dcache        %llu hits, %llu misses\n",
+                    (unsigned long long)s.dcache_hits,
+                    (unsigned long long)s.dcache_misses);
+    }
+    if (s.icache_hits + s.icache_misses) {
+        std::printf("icache        %llu hits, %llu misses\n",
+                    (unsigned long long)s.icache_hits,
+                    (unsigned long long)s.icache_misses);
+    }
+    std::printf("finished      %s\n", s.finished ? "yes" : "NO");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string engine = "core";
+    std::string path;
+    CoreConfig cfg;
+    int threads = 4;
+    bool want_detail = false;
+    bool want_trace = false;
+    std::vector<Addr> dump_words, dump_doubles;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine") {
+            engine = need_value(i);
+        } else if (arg == "--slots") {
+            cfg.num_slots = std::atoi(need_value(i));
+            threads = cfg.num_slots;
+        } else if (arg == "--frames") {
+            cfg.num_frames = std::atoi(need_value(i));
+        } else if (arg == "--lsu") {
+            cfg.fus.load_store = std::atoi(need_value(i));
+        } else if (arg == "--width") {
+            cfg.width = std::atoi(need_value(i));
+        } else if (arg == "--no-standby") {
+            cfg.standby_enabled = false;
+        } else if (arg == "--explicit") {
+            cfg.rotation_mode = RotationMode::Explicit;
+        } else if (arg == "--interval") {
+            cfg.rotation_interval = std::atoi(need_value(i));
+        } else if (arg == "--private-icache") {
+            cfg.private_icache = true;
+        } else if (arg == "--dcache") {
+            cfg.dcache.size_bytes =
+                static_cast<Addr>(std::atoi(need_value(i)));
+        } else if (arg == "--icache") {
+            cfg.icache.size_bytes =
+                static_cast<Addr>(std::atoi(need_value(i)));
+        } else if (arg == "--threads") {
+            threads = std::atoi(need_value(i));
+        } else if (arg == "--max-cycles") {
+            cfg.max_cycles = std::strtoull(need_value(i), nullptr,
+                                           0);
+        } else if (arg == "--dump-word") {
+            dump_words.push_back(static_cast<Addr>(
+                std::strtoul(need_value(i), nullptr, 0)));
+        } else if (arg == "--dump-double") {
+            dump_doubles.push_back(static_cast<Addr>(
+                std::strtoul(need_value(i), nullptr, 0)));
+        } else if (arg == "--stats") {
+            want_detail = true;
+        } else if (arg == "--trace") {
+            want_trace = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty())
+        usage(argv[0]);
+
+    try {
+        // A file starting with the object-format magic is loaded
+        // directly; anything else is assembled as source.
+        Program prog;
+        {
+            std::ifstream probe(path, std::ios::binary);
+            char magic[4] = {};
+            probe.read(magic, 4);
+            if (probe && magic[0] == 'S' && magic[1] == 'T' &&
+                magic[2] == 'M' && magic[3] == 'P') {
+                std::ifstream in(path, std::ios::binary);
+                prog = Program::load(in);
+            } else {
+                prog = assemble(readFile(path));
+            }
+        }
+        MainMemory mem;
+        prog.loadInto(mem);
+
+        if (engine == "core") {
+            MultithreadedProcessor cpu(prog, mem, cfg);
+            if (want_trace)
+                cpu.setPipeTrace(&std::cerr);
+            printStats(cpu.run());
+            if (want_detail) {
+                std::printf("--- detail ---\n");
+                cpu.detail().dump(std::cout);
+            }
+        } else if (engine == "baseline") {
+            BaselineConfig bcfg;
+            bcfg.width = cfg.width;
+            bcfg.fus = cfg.fus;
+            bcfg.max_cycles = cfg.max_cycles;
+            BaselineProcessor cpu(prog, mem, bcfg);
+            printStats(cpu.run());
+        } else if (engine == "interp") {
+            InterpConfig icfg;
+            icfg.num_threads = threads;
+            Interpreter interp(prog, mem, icfg);
+            const InterpResult r = interp.run();
+            std::printf("instructions  %llu\n",
+                        (unsigned long long)r.steps);
+            std::printf("finished      %s\n",
+                        r.completed ? "yes" : "NO");
+        } else {
+            usage(argv[0]);
+        }
+
+        for (Addr a : dump_words)
+            std::printf("[0x%08x] = %u\n", a, mem.read32(a));
+        for (Addr a : dump_doubles)
+            std::printf("[0x%08x] = %g\n", a, mem.readDouble(a));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
