@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_standby.dir/bench_ablation_standby.cc.o"
+  "CMakeFiles/bench_ablation_standby.dir/bench_ablation_standby.cc.o.d"
+  "bench_ablation_standby"
+  "bench_ablation_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

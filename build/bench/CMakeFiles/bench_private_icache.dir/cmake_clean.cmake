@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_private_icache.dir/bench_private_icache.cc.o"
+  "CMakeFiles/bench_private_icache.dir/bench_private_icache.cc.o.d"
+  "bench_private_icache"
+  "bench_private_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_private_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rotation.dir/bench_rotation.cc.o"
+  "CMakeFiles/bench_rotation.dir/bench_rotation.cc.o.d"
+  "bench_rotation"
+  "bench_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

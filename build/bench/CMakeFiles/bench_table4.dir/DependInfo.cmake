@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4.cc" "bench/CMakeFiles/bench_table4.dir/bench_table4.cc.o" "gcc" "bench/CMakeFiles/bench_table4.dir/bench_table4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/smtsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smtsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/smtsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/smtsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/smtsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/smtsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/smtsim_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmr/CMakeFiles/smtsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/smtsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

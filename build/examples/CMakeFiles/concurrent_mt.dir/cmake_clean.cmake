@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_mt.dir/concurrent_mt.cpp.o"
+  "CMakeFiles/concurrent_mt.dir/concurrent_mt.cpp.o.d"
+  "concurrent_mt"
+  "concurrent_mt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

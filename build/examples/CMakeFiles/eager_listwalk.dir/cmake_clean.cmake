@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_listwalk.dir/eager_listwalk.cpp.o"
+  "CMakeFiles/eager_listwalk.dir/eager_listwalk.cpp.o.d"
+  "eager_listwalk"
+  "eager_listwalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_listwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_scheduling.dir/loop_scheduling.cpp.o"
+  "CMakeFiles/loop_scheduling.dir/loop_scheduling.cpp.o.d"
+  "loop_scheduling"
+  "loop_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

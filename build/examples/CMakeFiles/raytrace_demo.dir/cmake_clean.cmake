@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytrace_demo.dir/raytrace_demo.cpp.o"
+  "CMakeFiles/raytrace_demo.dir/raytrace_demo.cpp.o.d"
+  "raytrace_demo"
+  "raytrace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("isa")
+subdirs("mem")
+subdirs("asmr")
+subdirs("machine")
+subdirs("interp")
+subdirs("baseline")
+subdirs("core")
+subdirs("sched")
+subdirs("trace")
+subdirs("workloads")
+subdirs("harness")

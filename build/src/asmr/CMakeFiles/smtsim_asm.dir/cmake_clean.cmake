@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_asm.dir/assembler.cc.o"
+  "CMakeFiles/smtsim_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/smtsim_asm.dir/program.cc.o"
+  "CMakeFiles/smtsim_asm.dir/program.cc.o.d"
+  "libsmtsim_asm.a"
+  "libsmtsim_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

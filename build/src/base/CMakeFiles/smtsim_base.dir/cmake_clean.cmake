@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_base.dir/logging.cc.o"
+  "CMakeFiles/smtsim_base.dir/logging.cc.o.d"
+  "CMakeFiles/smtsim_base.dir/stats.cc.o"
+  "CMakeFiles/smtsim_base.dir/stats.cc.o.d"
+  "CMakeFiles/smtsim_base.dir/strutil.cc.o"
+  "CMakeFiles/smtsim_base.dir/strutil.cc.o.d"
+  "CMakeFiles/smtsim_base.dir/table.cc.o"
+  "CMakeFiles/smtsim_base.dir/table.cc.o.d"
+  "libsmtsim_base.a"
+  "libsmtsim_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

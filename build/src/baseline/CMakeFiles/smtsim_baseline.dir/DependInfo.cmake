@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline.cc" "src/baseline/CMakeFiles/smtsim_baseline.dir/baseline.cc.o" "gcc" "src/baseline/CMakeFiles/smtsim_baseline.dir/baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmr/CMakeFiles/smtsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/smtsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/smtsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_baseline.dir/baseline.cc.o"
+  "CMakeFiles/smtsim_baseline.dir/baseline.cc.o.d"
+  "libsmtsim_baseline.a"
+  "libsmtsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_core.dir/processor.cc.o"
+  "CMakeFiles/smtsim_core.dir/processor.cc.o.d"
+  "CMakeFiles/smtsim_core.dir/queue_ring.cc.o"
+  "CMakeFiles/smtsim_core.dir/queue_ring.cc.o.d"
+  "CMakeFiles/smtsim_core.dir/schedule.cc.o"
+  "CMakeFiles/smtsim_core.dir/schedule.cc.o.d"
+  "libsmtsim_core.a"
+  "libsmtsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_harness.dir/analytic.cc.o"
+  "CMakeFiles/smtsim_harness.dir/analytic.cc.o.d"
+  "CMakeFiles/smtsim_harness.dir/runner.cc.o"
+  "CMakeFiles/smtsim_harness.dir/runner.cc.o.d"
+  "libsmtsim_harness.a"
+  "libsmtsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

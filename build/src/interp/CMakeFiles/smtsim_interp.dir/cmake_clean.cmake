@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_interp.dir/interpreter.cc.o"
+  "CMakeFiles/smtsim_interp.dir/interpreter.cc.o.d"
+  "libsmtsim_interp.a"
+  "libsmtsim_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/dataop.cc" "src/isa/CMakeFiles/smtsim_isa.dir/dataop.cc.o" "gcc" "src/isa/CMakeFiles/smtsim_isa.dir/dataop.cc.o.d"
+  "/root/repo/src/isa/insn.cc" "src/isa/CMakeFiles/smtsim_isa.dir/insn.cc.o" "gcc" "src/isa/CMakeFiles/smtsim_isa.dir/insn.cc.o.d"
+  "/root/repo/src/isa/op.cc" "src/isa/CMakeFiles/smtsim_isa.dir/op.cc.o" "gcc" "src/isa/CMakeFiles/smtsim_isa.dir/op.cc.o.d"
+  "/root/repo/src/isa/semantics.cc" "src/isa/CMakeFiles/smtsim_isa.dir/semantics.cc.o" "gcc" "src/isa/CMakeFiles/smtsim_isa.dir/semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/smtsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

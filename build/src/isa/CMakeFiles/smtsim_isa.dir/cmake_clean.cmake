@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_isa.dir/dataop.cc.o"
+  "CMakeFiles/smtsim_isa.dir/dataop.cc.o.d"
+  "CMakeFiles/smtsim_isa.dir/insn.cc.o"
+  "CMakeFiles/smtsim_isa.dir/insn.cc.o.d"
+  "CMakeFiles/smtsim_isa.dir/op.cc.o"
+  "CMakeFiles/smtsim_isa.dir/op.cc.o.d"
+  "CMakeFiles/smtsim_isa.dir/semantics.cc.o"
+  "CMakeFiles/smtsim_isa.dir/semantics.cc.o.d"
+  "libsmtsim_isa.a"
+  "libsmtsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_machine.dir/machine.cc.o"
+  "CMakeFiles/smtsim_machine.dir/machine.cc.o.d"
+  "libsmtsim_machine.a"
+  "libsmtsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

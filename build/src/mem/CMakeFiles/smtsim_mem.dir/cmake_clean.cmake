@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_mem.dir/cache.cc.o"
+  "CMakeFiles/smtsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/smtsim_mem.dir/memory.cc.o"
+  "CMakeFiles/smtsim_mem.dir/memory.cc.o.d"
+  "libsmtsim_mem.a"
+  "libsmtsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ddg.cc" "src/sched/CMakeFiles/smtsim_sched.dir/ddg.cc.o" "gcc" "src/sched/CMakeFiles/smtsim_sched.dir/ddg.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/sched/CMakeFiles/smtsim_sched.dir/list_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/smtsim_sched.dir/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/standby_scheduler.cc" "src/sched/CMakeFiles/smtsim_sched.dir/standby_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/smtsim_sched.dir/standby_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmr/CMakeFiles/smtsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/smtsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/smtsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_sched.dir/ddg.cc.o"
+  "CMakeFiles/smtsim_sched.dir/ddg.cc.o.d"
+  "CMakeFiles/smtsim_sched.dir/list_scheduler.cc.o"
+  "CMakeFiles/smtsim_sched.dir/list_scheduler.cc.o.d"
+  "CMakeFiles/smtsim_sched.dir/standby_scheduler.cc.o"
+  "CMakeFiles/smtsim_sched.dir/standby_scheduler.cc.o.d"
+  "libsmtsim_sched.a"
+  "libsmtsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/synth.cc" "src/trace/CMakeFiles/smtsim_trace.dir/synth.cc.o" "gcc" "src/trace/CMakeFiles/smtsim_trace.dir/synth.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/smtsim_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/smtsim_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmr/CMakeFiles/smtsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/smtsim_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/smtsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

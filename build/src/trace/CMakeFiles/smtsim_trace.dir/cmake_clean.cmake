@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_trace.dir/synth.cc.o"
+  "CMakeFiles/smtsim_trace.dir/synth.cc.o.d"
+  "CMakeFiles/smtsim_trace.dir/trace.cc.o"
+  "CMakeFiles/smtsim_trace.dir/trace.cc.o.d"
+  "libsmtsim_trace.a"
+  "libsmtsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

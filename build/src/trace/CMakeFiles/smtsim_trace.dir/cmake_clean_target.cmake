@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmtsim_trace.a"
+)

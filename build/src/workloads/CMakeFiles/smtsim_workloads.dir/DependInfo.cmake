@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bsearch.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/bsearch.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/bsearch.cc.o.d"
+  "/root/repo/src/workloads/listwalk.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/listwalk.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/listwalk.cc.o.d"
+  "/root/repo/src/workloads/livermore.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/livermore.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/livermore.cc.o.d"
+  "/root/repo/src/workloads/matmul.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/matmul.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/matmul.cc.o.d"
+  "/root/repo/src/workloads/radiosity.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/radiosity.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/radiosity.cc.o.d"
+  "/root/repo/src/workloads/raytrace.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/raytrace.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/raytrace.cc.o.d"
+  "/root/repo/src/workloads/recurrence.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/recurrence.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/recurrence.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/workloads/CMakeFiles/smtsim_workloads.dir/stencil.cc.o" "gcc" "src/workloads/CMakeFiles/smtsim_workloads.dir/stencil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmr/CMakeFiles/smtsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/smtsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim_workloads.dir/bsearch.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/bsearch.cc.o.d"
+  "CMakeFiles/smtsim_workloads.dir/listwalk.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/listwalk.cc.o.d"
+  "CMakeFiles/smtsim_workloads.dir/livermore.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/livermore.cc.o.d"
+  "CMakeFiles/smtsim_workloads.dir/matmul.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/matmul.cc.o.d"
+  "CMakeFiles/smtsim_workloads.dir/radiosity.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/radiosity.cc.o.d"
+  "CMakeFiles/smtsim_workloads.dir/raytrace.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/raytrace.cc.o.d"
+  "CMakeFiles/smtsim_workloads.dir/recurrence.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/recurrence.cc.o.d"
+  "CMakeFiles/smtsim_workloads.dir/stencil.cc.o"
+  "CMakeFiles/smtsim_workloads.dir/stencil.cc.o.d"
+  "libsmtsim_workloads.a"
+  "libsmtsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

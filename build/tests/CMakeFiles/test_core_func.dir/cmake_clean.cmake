@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_func.dir/test_core_func.cc.o"
+  "CMakeFiles/test_core_func.dir/test_core_func.cc.o.d"
+  "test_core_func"
+  "test_core_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

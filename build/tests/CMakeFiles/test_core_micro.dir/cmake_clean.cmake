@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_micro.dir/test_core_micro.cc.o"
+  "CMakeFiles/test_core_micro.dir/test_core_micro.cc.o.d"
+  "test_core_micro"
+  "test_core_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

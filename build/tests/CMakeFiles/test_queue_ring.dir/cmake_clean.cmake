@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_ring.dir/test_queue_ring.cc.o"
+  "CMakeFiles/test_queue_ring.dir/test_queue_ring.cc.o.d"
+  "test_queue_ring"
+  "test_queue_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recurrence.dir/test_recurrence.cc.o"
+  "CMakeFiles/test_recurrence.dir/test_recurrence.cc.o.d"
+  "test_recurrence"
+  "test_recurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

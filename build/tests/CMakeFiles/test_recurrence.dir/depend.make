@@ -1,0 +1,2 @@
+# Empty dependencies file for test_recurrence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_random.dir/test_sched_random.cc.o"
+  "CMakeFiles/test_sched_random.dir/test_sched_random.cc.o.d"
+  "test_sched_random"
+  "test_sched_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

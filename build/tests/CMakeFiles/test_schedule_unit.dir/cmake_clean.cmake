@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_unit.dir/test_schedule_unit.cc.o"
+  "CMakeFiles/test_schedule_unit.dir/test_schedule_unit.cc.o.d"
+  "test_schedule_unit"
+  "test_schedule_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/smtsim_asm.cc" "tools/CMakeFiles/smtsim-asm.dir/smtsim_asm.cc.o" "gcc" "tools/CMakeFiles/smtsim-asm.dir/smtsim_asm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmr/CMakeFiles/smtsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smtsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/smtsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

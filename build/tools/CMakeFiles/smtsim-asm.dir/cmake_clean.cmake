@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim-asm.dir/smtsim_asm.cc.o"
+  "CMakeFiles/smtsim-asm.dir/smtsim_asm.cc.o.d"
+  "smtsim-asm"
+  "smtsim-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

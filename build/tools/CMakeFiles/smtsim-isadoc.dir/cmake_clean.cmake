@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim-isadoc.dir/smtsim_isadoc.cc.o"
+  "CMakeFiles/smtsim-isadoc.dir/smtsim_isadoc.cc.o.d"
+  "smtsim-isadoc"
+  "smtsim-isadoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim-isadoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtsim-run.dir/smtsim_run.cc.o"
+  "CMakeFiles/smtsim-run.dir/smtsim_run.cc.o.d"
+  "smtsim-run"
+  "smtsim-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtsim-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
