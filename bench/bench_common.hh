@@ -15,12 +15,16 @@
 #define SMTSIM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+
+#include <unistd.h>
 
 #include "base/strutil.hh"
 #include "base/table.hh"
 #include "harness/runner.hh"
+#include "lab/lab.hh"
 
 namespace smtsim::bench
 {
@@ -35,6 +39,48 @@ standardRayTrace()
     p.num_spheres = 5;
     p.seed = 42;
     return makeRayTrace(p);
+}
+
+/** The same workload as a lab spec (identical parameters). */
+inline lab::WorkloadSpec
+standardRayTraceSpec()
+{
+    return lab::WorkloadSpec::rayTrace(/*width=*/24, /*height=*/24,
+                                       /*spheres=*/5, /*seed=*/42);
+}
+
+/**
+ * Execution policy for the grid-sweep benches. Defaults: all host
+ * cores, no cache (a stale cache must never alter published table
+ * values). Overridable for measurement runs:
+ *   SMTSIM_LAB_JOBS=N        worker threads (1 = the serial path)
+ *   SMTSIM_LAB_CACHE_DIR=DIR reuse results across reruns
+ * A progress line is shown when stderr is a terminal.
+ */
+inline lab::LabOptions
+benchLabOptions()
+{
+    lab::LabOptions opts;
+    if (const char *jobs = std::getenv("SMTSIM_LAB_JOBS"))
+        opts.num_threads = std::atoi(jobs);
+    if (const char *dir = std::getenv("SMTSIM_LAB_CACHE_DIR"))
+        opts.cache_dir = dir;
+    if (isatty(fileno(stderr)))
+        opts.progress = lab::stderrProgress();
+    return opts;
+}
+
+/** Fetch a sweep point's stats; abort loudly when it failed. */
+inline RunStats
+mustStats(const lab::ResultSet &rs, const std::string &id)
+{
+    const lab::JobResult *r = rs.find(id);
+    if (!r || !r->ok) {
+        std::cerr << "BENCH FAILURE (" << id << "): "
+                  << (r ? r->error : "job missing") << std::endl;
+        std::exit(1);
+    }
+    return r->stats;
 }
 
 /** Run and abort loudly if the outcome is wrong. */

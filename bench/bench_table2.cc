@@ -47,13 +47,45 @@ paperValue(int slots, int lsu, bool standby)
 
 } // namespace
 
+namespace
+{
+
+std::string
+pointId(int slots, int lsu, bool standby)
+{
+    return "ray/s" + std::to_string(slots) + "/ls" +
+           std::to_string(lsu) + (standby ? "/sb" : "/nosb");
+}
+
+} // namespace
+
 int
 main()
 {
-    const Workload ray = standardRayTrace();
+    // The whole grid — baseline denominator plus 16 core points —
+    // goes through the smtsim::lab executor: all points run
+    // concurrently across host threads, then the table is printed
+    // from the ResultSet in the original order.
+    const lab::WorkloadSpec ray = standardRayTraceSpec();
+    std::vector<lab::Job> jobs;
+    jobs.push_back(lab::baselineJob("ray/baseline", ray));
+    for (int lsu : {1, 2}) {
+        for (bool standby : {false, true}) {
+            for (int slots : {1, 2, 4, 8}) {
+                CoreConfig cfg;
+                cfg.num_slots = slots;
+                cfg.fus.load_store = lsu;
+                cfg.standby_enabled = standby;
+                cfg.rotation_interval = 8;
+                jobs.push_back(lab::coreJob(
+                    pointId(slots, lsu, standby), ray, cfg));
+            }
+        }
+    }
+    const lab::ResultSet rs =
+        lab::runJobs(jobs, benchLabOptions());
 
-    const RunStats base =
-        mustRun(runBaseline(ray), "baseline raytrace");
+    const RunStats base = mustStats(rs, "ray/baseline");
     std::printf("sequential baseline: %llu cycles, %llu insns\n\n",
                 (unsigned long long)base.cycles,
                 (unsigned long long)base.instructions);
@@ -67,14 +99,8 @@ main()
     for (int lsu : {1, 2}) {
         for (bool standby : {false, true}) {
             for (int slots : {1, 2, 4, 8}) {
-                CoreConfig cfg;
-                cfg.num_slots = slots;
-                cfg.fus.load_store = lsu;
-                cfg.standby_enabled = standby;
-                cfg.rotation_interval = 8;
-                const RunStats s = mustRun(
-                    runCore(ray, cfg),
-                    "core s" + std::to_string(slots));
+                const RunStats s = mustStats(
+                    rs, pointId(slots, lsu, standby));
                 const double ls_util = std::max(
                     s.unitUtilization(FuClass::LoadStore, 0),
                     s.unitUtilization(FuClass::LoadStore, 1));

@@ -42,12 +42,49 @@ paperValue(int d, int s)
 
 } // namespace
 
+namespace
+{
+
+std::string
+pointId(int d, int s)
+{
+    return "ray/d" + std::to_string(d) + "/s" + std::to_string(s);
+}
+
+} // namespace
+
 int
 main()
 {
-    const Workload ray = standardRayTrace();
-    const RunStats base =
-        mustRun(runBaseline(ray), "baseline raytrace");
+    // Build the whole (D,S) grid as lab jobs — the (D,1) points on
+    // the baseline engine, S > 1 on the multithreaded core — and
+    // run them in parallel through the experiment executor.
+    const lab::WorkloadSpec ray = standardRayTraceSpec();
+    std::vector<lab::Job> jobs;
+    jobs.push_back(lab::baselineJob("ray/baseline", ray));
+    for (int d : {1, 2, 4, 8}) {
+        for (int s : {1, 2, 4, 8}) {
+            if (d * s > 8)
+                continue;
+            if (s == 1) {
+                BaselineConfig cfg;
+                cfg.width = d;
+                cfg.fus.load_store = 2;
+                jobs.push_back(
+                    lab::baselineJob(pointId(d, s), ray, cfg));
+            } else {
+                CoreConfig cfg;
+                cfg.width = d;
+                cfg.num_slots = s;
+                cfg.fus.load_store = 2;
+                jobs.push_back(
+                    lab::coreJob(pointId(d, s), ray, cfg));
+            }
+        }
+    }
+    const lab::ResultSet rs =
+        lab::runJobs(jobs, benchLabOptions());
+    const RunStats base = mustStats(rs, "ray/baseline");
 
     TextTable table(
         "Table 3: speed-up of hybrid (D,S)-processors "
@@ -58,20 +95,7 @@ main()
         for (int s : {1, 2, 4, 8}) {
             if (d * s > 8)
                 continue;
-            RunStats stats;
-            if (s == 1) {
-                BaselineConfig cfg;
-                cfg.width = d;
-                cfg.fus.load_store = 2;
-                stats = mustRun(runBaseline(ray, cfg),
-                                "(d,1) baseline");
-            } else {
-                CoreConfig cfg;
-                cfg.width = d;
-                cfg.num_slots = s;
-                cfg.fus.load_store = 2;
-                stats = mustRun(runCore(ray, cfg), "(d,s) core");
-            }
+            const RunStats stats = mustStats(rs, pointId(d, s));
             const double paper = paperValue(d, s);
             table.addRow({std::to_string(d), std::to_string(s),
                           fmt(speedup(base, stats)),

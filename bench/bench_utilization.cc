@@ -12,10 +12,36 @@
 using namespace smtsim;
 using namespace smtsim::bench;
 
+namespace
+{
+
+std::string
+pointId(int slots, int lsu)
+{
+    return "ray/s" + std::to_string(slots) + "/ls" +
+           std::to_string(lsu);
+}
+
+} // namespace
+
 int
 main()
 {
-    const Workload ray = standardRayTrace();
+    // All eight configurations run concurrently via smtsim::lab;
+    // the tables below read back from the ResultSet.
+    const lab::WorkloadSpec ray = standardRayTraceSpec();
+    std::vector<lab::Job> jobs;
+    for (int lsu : {1, 2}) {
+        for (int slots : {1, 2, 4, 8}) {
+            CoreConfig cfg;
+            cfg.num_slots = slots;
+            cfg.fus.load_store = lsu;
+            jobs.push_back(
+                lab::coreJob(pointId(slots, lsu), ray, cfg));
+        }
+    }
+    const lab::ResultSet rs =
+        lab::runJobs(jobs, benchLabOptions());
 
     for (int lsu : {1, 2}) {
         TextTable table(
@@ -24,12 +50,7 @@ main()
         table.addRow({"slots", "int_alu", "shifter", "int_mul",
                       "fp_add", "fp_mul", "fp_div", "ls0", "ls1"});
         for (int slots : {1, 2, 4, 8}) {
-            CoreConfig cfg;
-            cfg.num_slots = slots;
-            cfg.fus.load_store = lsu;
-            const RunStats s = mustRun(
-                runCore(ray, cfg),
-                "util s" + std::to_string(slots));
+            const RunStats s = mustStats(rs, pointId(slots, lsu));
             table.addRow(
                 {std::to_string(slots),
                  fmt(s.unitUtilization(FuClass::IntAlu, 0), 1),

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate the grid-sweep tables (Table 2, Table 3, per-unit
+# utilization) through the smtsim::lab experiment engine: all
+# simulation points run in parallel across host cores and are
+# cached content-addressed under .smtsim-cache/, so an interrupted
+# or repeated regeneration only simulates what is missing.
+#
+# Usage: scripts/sweep_tables.sh [results-dir]
+#
+# Environment:
+#   SMTSIM_LAB_JOBS       worker threads (default: host cores)
+#   SMTSIM_LAB_CACHE_DIR  cache directory (default .smtsim-cache)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir=${1:-results}
+export SMTSIM_LAB_CACHE_DIR=${SMTSIM_LAB_CACHE_DIR:-.smtsim-cache}
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target \
+    bench_table2 bench_table3 bench_utilization smtsim-sweep \
+    >/dev/null
+
+mkdir -p "$outdir"
+for name in bench_table2 bench_table3 bench_utilization; do
+    echo "--- $name"
+    ./build/bench/$name | tee "$outdir/$name.txt"
+done
+
+# Machine-readable exports of the same grids for post-processing.
+./build/tools/smtsim-sweep \
+    --workload raytrace:width=24,height=24 \
+    --slots 1,2,4,8 --lsu 1,2 --standby both --engine both \
+    --cache-dir "$SMTSIM_LAB_CACHE_DIR" \
+    --json "$outdir/sweep_table2.json" \
+    --csv "$outdir/sweep_table2.csv" >/dev/null
+
+echo
+echo "Tables in $outdir/, result cache in $SMTSIM_LAB_CACHE_DIR/."
+echo "Re-running is incremental: cached points are not resimulated."

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FNV-1a hashing used for content-addressed cache keys. The hash is
+ * part of the on-disk cache format (`smtsim::lab`), so the
+ * constants and the byte order must never change silently; bump
+ * `lab::kCacheSchemaVersion` instead if they do.
+ */
+
+#ifndef SMTSIM_BASE_HASH_HH
+#define SMTSIM_BASE_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smtsim
+{
+
+constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/** Incremental 64-bit FNV-1a. */
+class Fnv1a
+{
+  public:
+    void
+    add(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            state_ ^= p[i];
+            state_ *= kFnv1aPrime;
+        }
+    }
+
+    void add(std::string_view s) { add(s.data(), s.size()); }
+
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_ = kFnv1aOffset;
+};
+
+/** One-shot 64-bit FNV-1a over a byte string. */
+inline std::uint64_t
+fnv1a(std::string_view s)
+{
+    Fnv1a h;
+    h.add(s);
+    return h.digest();
+}
+
+/** Fixed-width lower-case hex rendering (16 digits). */
+inline std::string
+hashToHex(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_HASH_HH

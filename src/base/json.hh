@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal JSON value type: enough of RFC 8259 to write and read the
+ * experiment-engine's result records (`.smtsim-cache/`), the
+ * ResultSet exports, and `smtsim-run --json`. Objects preserve
+ * insertion order so serialization is deterministic.
+ */
+
+#ifndef SMTSIM_BASE_JSON_HH
+#define SMTSIM_BASE_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smtsim
+{
+
+/** Thrown by Json::parse on malformed input. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(long v) : type_(Type::Int), int_(v) {}
+    Json(long long v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Int), int_(v) {}
+    Json(unsigned long v)
+        : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+    Json(unsigned long long v)
+        : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+    Json(double v) : type_(Type::Double), dbl_(v) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Double;
+    }
+
+    // -- object ---------------------------------------------------
+    /** Insert or overwrite a member (value must be an Object). */
+    void set(const std::string &key, Json value);
+    /** Member lookup; nullptr when absent (or not an Object). */
+    const Json *find(const std::string &key) const;
+    /** Member lookup that throws JsonParseError when absent. */
+    const Json &at(const std::string &key) const;
+
+    // -- array ----------------------------------------------------
+    void push(Json value);
+    std::size_t size() const;
+    const Json &at(std::size_t i) const;
+
+    // -- scalars --------------------------------------------------
+    bool asBool() const;
+    std::int64_t asInt() const;
+    std::uint64_t asU64() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+    void write(std::ostream &os, int indent = 0) const;
+
+    /** Parse one JSON document (throws JsonParseError). */
+    static Json parse(std::string_view text);
+
+  private:
+    void writeImpl(std::ostream &os, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace smtsim
+
+#endif // SMTSIM_BASE_JSON_HH

@@ -1,7 +1,9 @@
 #include "strutil.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 namespace smtsim
 {
@@ -51,6 +53,36 @@ startsWith(std::string_view s, std::string_view prefix)
 {
     return s.size() >= prefix.size() &&
            s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+parseInt(std::string_view s, long long *out)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 0);
+    if (errno != 0 || end != t.c_str() + t.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseUint(std::string_view s, unsigned long long *out)
+{
+    const std::string t = trim(s);
+    if (t.empty() || t[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(t.c_str(), &end, 0);
+    if (errno != 0 || end != t.c_str() + t.size())
+        return false;
+    *out = v;
+    return true;
 }
 
 std::string

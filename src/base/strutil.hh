@@ -28,6 +28,16 @@ bool startsWith(std::string_view s, std::string_view prefix);
 /** printf-style float formatting with fixed precision. */
 std::string formatDouble(double v, int precision);
 
+/**
+ * Strict signed-integer parse: the whole (trimmed) string must be a
+ * decimal integer (optional leading +/-, or 0x-prefixed hex).
+ * @return false on empty/garbage/overflow; *out untouched.
+ */
+bool parseInt(std::string_view s, long long *out);
+
+/** Strict unsigned parse (decimal or 0x hex); rejects '-'. */
+bool parseUint(std::string_view s, unsigned long long *out);
+
 } // namespace smtsim
 
 #endif // SMTSIM_BASE_STRUTIL_HH

@@ -46,7 +46,8 @@ BaselineProcessor::BaselineProcessor(const Program &prog,
 Cycle &
 BaselineProcessor::clearCycleOf(RegRef ref)
 {
-    static Cycle dummy;
+    // thread_local: simulations run concurrently under smtsim::lab.
+    thread_local Cycle dummy;
     if (ref.file == RF::Fp)
         return fclear_[ref.idx];
     if (ref.idx == 0) {

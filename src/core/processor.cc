@@ -150,7 +150,8 @@ MultithreadedProcessor::rotateRing()
 Cycle &
 MultithreadedProcessor::sbOf(Slot &slot, RegRef ref)
 {
-    static Cycle dummy;
+    // thread_local: simulations run concurrently under smtsim::lab.
+    thread_local Cycle dummy;
     if (ref.file == RF::Fp)
         return slot.fsb[ref.idx];
     if (ref.idx == 0) {

@@ -1,0 +1,94 @@
+#include "cache.hh"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace smtsim::lab
+{
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::pathFor(const std::string &key) const
+{
+    const std::string shard =
+        key.size() >= 2 ? key.substr(0, 2) : std::string("xx");
+    return (fs::path(dir_) / shard / (key + ".json")).string();
+}
+
+bool
+ResultCache::load(const Job &job, JobResult *out) const
+{
+    if (!enabled())
+        return false;
+    const std::string key = job.cacheKey();
+    std::ifstream in(pathFor(key));
+    if (!in)
+        return false;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    try {
+        const Json record = Json::parse(oss.str());
+        if (record.at("schema").asInt() != kCacheSchemaVersion)
+            return false;
+        if (record.at("canonical").asString() != job.canonical())
+            return false;   // FNV collision or stale key scheme
+        JobResult r = resultFromJson(record.at("result"));
+        if (!r.ok)
+            return false;
+        r.id = job.id;      // renames must not pin the old label
+        r.key = key;
+        r.from_cache = true;
+        r.wall_seconds = 0.0;
+        *out = std::move(r);
+        return true;
+    } catch (const JsonParseError &) {
+        return false;       // torn/corrupt record: treat as miss
+    }
+}
+
+void
+ResultCache::store(const Job &job, const JobResult &result) const
+{
+    if (!enabled())
+        return;
+    const std::string key = job.cacheKey();
+    Json record = Json::object();
+    record.set("schema", Json(kCacheSchemaVersion));
+    record.set("key", Json(key));
+    record.set("canonical", Json(job.canonical()));
+    record.set("result", resultToJson(result));
+
+    static std::atomic<unsigned> counter{0};
+    const fs::path path = pathFor(key);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec)
+        return;
+    const fs::path tmp =
+        path.parent_path() /
+        (key + ".tmp." + std::to_string(counter.fetch_add(1)) +
+         "." + std::to_string(::getpid()));
+    {
+        std::ofstream outf(tmp);
+        if (!outf)
+            return;
+        record.write(outf, 2);
+        outf << '\n';
+        if (!outf)
+            return;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+} // namespace smtsim::lab

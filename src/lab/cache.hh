@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache.
+ *
+ * Layout: `<dir>/<k0k1>/<key>.json`, where key is the job's 16-hex
+ * FNV-1a content address (spec.hh) and k0k1 its first two digits
+ * (256-way sharding keeps directories small for big sweeps). Each
+ * record is one pretty-printed JSON object carrying the schema
+ * version, the job's canonical serialization (for audit and
+ * collision detection) and the full JobResult.
+ *
+ * Writes go through a per-process unique temp file + atomic rename,
+ * so concurrent sweeps — including several processes sharing one
+ * cache directory — never observe torn records. Unreadable or
+ * mismatching records degrade to cache misses; the cache is always
+ * safe to delete wholesale.
+ */
+
+#ifndef SMTSIM_LAB_CACHE_HH
+#define SMTSIM_LAB_CACHE_HH
+
+#include <string>
+
+#include "lab/result.hh"
+#include "lab/spec.hh"
+
+namespace smtsim::lab
+{
+
+class ResultCache
+{
+  public:
+    /** @param dir cache root; empty disables the cache entirely. */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Look up @p job. On a hit, fill @p out (with from_cache set
+     * and the job's current id) and return true. Corrupt records,
+     * schema mismatches and FNV collisions (canonical text differs)
+     * all miss.
+     */
+    bool load(const Job &job, JobResult *out) const;
+
+    /**
+     * Persist a result (creating directories as needed). Only
+     * called for ok results: failures are typically environmental
+     * (timeout, budget) and must be retried on the next sweep.
+     * I/O errors are swallowed — a read-only cache dir degrades to
+     * "no caching", it does not fail the sweep.
+     */
+    void store(const Job &job, const JobResult &result) const;
+
+    /** Record path for a key (exists or not). */
+    std::string pathFor(const std::string &key) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace smtsim::lab
+
+#endif // SMTSIM_LAB_CACHE_HH

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Umbrella header for the `smtsim::lab` experiment engine: declare
+ * a sweep (spec.hh), run it in parallel with resumable
+ * content-addressed caching (executor.hh, cache.hh), export the
+ * results (result.hh). See docs/LAB.md.
+ */
+
+#ifndef SMTSIM_LAB_LAB_HH
+#define SMTSIM_LAB_LAB_HH
+
+#include "lab/cache.hh"
+#include "lab/executor.hh"
+#include "lab/result.hh"
+#include "lab/spec.hh"
+
+#endif // SMTSIM_LAB_LAB_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Declarative experiment descriptions for `smtsim::lab`.
+ *
+ * The paper's whole evaluation is grid sweeps — thread slots x
+ * context frames x load/store units x standby on/off x rotation
+ * intervals, per workload. An ExperimentSpec describes such a grid;
+ * expand() turns it into a flat vector of Jobs, the unit the
+ * executor (executor.hh) runs in parallel and the result cache
+ * (cache.hh) keys.
+ *
+ * Every Job has a *canonical serialization*: a stable text rendering
+ * of engine + full configuration + workload identity. The cache key
+ * is the FNV-1a hash of that text plus kCacheSchemaVersion, so any
+ * config field change — and any deliberate format bump — moves the
+ * job to a different cache address.
+ */
+
+#ifndef SMTSIM_LAB_SPEC_HH
+#define SMTSIM_LAB_SPEC_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline.hh"
+#include "core/config.hh"
+#include "workloads/workloads.hh"
+
+namespace smtsim::lab
+{
+
+/**
+ * Version of the cache record format *and* of anything that changes
+ * simulated results without changing the config (pipeline model
+ * fixes, workload generator changes). Bump it to invalidate every
+ * cached result.
+ */
+constexpr int kCacheSchemaVersion = 1;
+
+/**
+ * Workload identity as data: a factory kind plus its parameters.
+ * Unlike the Workload struct (which holds closures), a WorkloadSpec
+ * is comparable, hashable and serializable — it *is* the workload's
+ * cache identity.
+ */
+struct WorkloadSpec
+{
+    /** Factory name: raytrace, livermore1, matmul, bsearch,
+     *  stencil, radiosity, recurrence, listwalk. */
+    std::string kind;
+    /** Factory parameters; keys sorted by std::map => canonical. */
+    std::map<std::string, std::int64_t> params;
+
+    // Builders mirroring the factories in workloads.hh (defaults
+    // identical to the corresponding params structs).
+    static WorkloadSpec rayTrace(int width = 16, int height = 16,
+                                 int spheres = 5,
+                                 std::uint64_t seed = 42,
+                                 bool shadows = true);
+    static WorkloadSpec livermore1(int n = 200,
+                                   bool parallel = false);
+    static WorkloadSpec matmul(int n = 12);
+    static WorkloadSpec bsearch(int table_size = 256,
+                                int queries_per_thread = 48,
+                                std::uint64_t seed = 5);
+    static WorkloadSpec stencil(int width = 16, int height = 12,
+                                int sweeps = 2);
+    static WorkloadSpec radiosity(int num_patches = 24,
+                                  std::uint64_t seed = 9);
+    static WorkloadSpec recurrence(int n = 128,
+                                   RecurrenceVariant variant =
+                                       RecurrenceVariant::Sequential);
+    static WorkloadSpec listWalk(int num_nodes = 64,
+                                 int break_at = -1,
+                                 bool eager = false,
+                                 std::uint64_t seed = 7);
+
+    /**
+     * Parse "kind" or "kind:key=value,key=value" (e.g.
+     * "raytrace:width=24,height=24"). Unknown kinds or keys throw
+     * std::invalid_argument; values use strict integer parsing.
+     */
+    static WorkloadSpec fromString(const std::string &text);
+
+    /** Stable text identity, e.g. "raytrace{height=24,width=24}". */
+    std::string canonical() const;
+
+    bool operator==(const WorkloadSpec &o) const = default;
+};
+
+/**
+ * Instantiate the runnable Workload a spec describes.
+ * @throws std::invalid_argument on an unknown kind or parameter.
+ */
+Workload instantiate(const WorkloadSpec &spec);
+
+/** Which engine executes a job. */
+enum class EngineKind { Core, Baseline, Interp };
+
+const char *engineName(EngineKind kind);
+
+/** One simulation point: engine + configuration + workload. */
+struct Job
+{
+    /** Display/lookup label; unique within one sweep. */
+    std::string id;
+    EngineKind engine = EngineKind::Core;
+    WorkloadSpec workload;
+    CoreConfig core;            ///< used when engine == Core
+    BaselineConfig baseline;    ///< used when engine == Baseline
+    int interp_threads = 1;     ///< used when engine == Interp
+
+    /**
+     * Canonical serialization of everything that determines the
+     * result (engine + active config + workload identity + schema
+     * version). The id is deliberately excluded: renaming a point
+     * must not invalidate its cached result.
+     */
+    std::string canonical() const;
+
+    /** Content address: 16 hex digits of FNV-1a(canonical()). */
+    std::string cacheKey() const;
+};
+
+/** Convenience constructors. */
+Job coreJob(std::string id, WorkloadSpec workload,
+            const CoreConfig &cfg);
+Job baselineJob(std::string id, WorkloadSpec workload,
+                const BaselineConfig &cfg = {});
+Job interpJob(std::string id, WorkloadSpec workload,
+              int num_threads = 1);
+
+/** Canonical config renderings (exposed for tests/debugging). */
+std::string canonicalConfig(const CoreConfig &cfg);
+std::string canonicalConfig(const BaselineConfig &cfg);
+
+/**
+ * A declarative grid sweep: the cross product of the axis vectors,
+ * per workload, on the core engine — optionally with one sequential
+ * baseline point per workload as the speed-up denominator.
+ */
+struct ExperimentSpec
+{
+    std::string name = "sweep";
+    std::vector<WorkloadSpec> workloads;
+
+    // Grid axes (cross product). Non-swept CoreConfig fields come
+    // from core_template.
+    std::vector<int> slots{4};
+    std::vector<int> frames{-1};
+    std::vector<int> lsu{1};
+    std::vector<int> widths{1};
+    std::vector<bool> standby{true};
+    std::vector<int> rotation_intervals{8};
+
+    CoreConfig core_template;
+    /** Add runBaseline point(s) ("<workload>/baseline"). */
+    bool include_baseline = false;
+    BaselineConfig baseline_template;
+
+    /**
+     * Flatten the grid into jobs, ids like
+     * "raytrace/s4/f4/ls2/w1/sb/r8" (axes with one value are still
+     * spelled out — ids stay stable when an axis grows).
+     * @throws std::invalid_argument on an empty axis or duplicate
+     * points.
+     */
+    std::vector<Job> expand() const;
+};
+
+} // namespace smtsim::lab
+
+#endif // SMTSIM_LAB_SPEC_HH

@@ -1,0 +1,107 @@
+#include "run_stats_json.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+Json
+u64Array(const std::uint64_t *data, std::size_t n)
+{
+    Json arr = Json::array();
+    for (std::size_t i = 0; i < n; ++i)
+        arr.push(Json(data[i]));
+    return arr;
+}
+
+void
+readU64Array(const Json &arr, std::uint64_t *out, std::size_t n)
+{
+    if (arr.size() != n)
+        throw JsonParseError("stats array length mismatch");
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = arr.at(i).asU64();
+}
+
+} // namespace
+
+Json
+statsToJson(const RunStats &s)
+{
+    Json j = Json::object();
+    j.set("cycles", Json(s.cycles));
+    j.set("instructions", Json(s.instructions));
+    j.set("finished", Json(s.finished));
+    j.set("fu_grants",
+          u64Array(s.fu_grants.data(), s.fu_grants.size()));
+    j.set("fu_busy", u64Array(s.fu_busy.data(), s.fu_busy.size()));
+    Json unit_busy = Json::array();
+    for (const auto &units : s.unit_busy)
+        unit_busy.push(u64Array(units.data(), units.size()));
+    j.set("unit_busy", std::move(unit_busy));
+    j.set("branches", Json(s.branches));
+    j.set("loads", Json(s.loads));
+    j.set("stores", Json(s.stores));
+    j.set("standby_stalls", Json(s.standby_stalls));
+    j.set("context_switches", Json(s.context_switches));
+    j.set("writeback_conflicts", Json(s.writeback_conflicts));
+    j.set("dcache_hits", Json(s.dcache_hits));
+    j.set("dcache_misses", Json(s.dcache_misses));
+    j.set("icache_hits", Json(s.icache_hits));
+    j.set("icache_misses", Json(s.icache_misses));
+    return j;
+}
+
+RunStats
+statsFromJson(const Json &j)
+{
+    RunStats s;
+    s.cycles = j.at("cycles").asU64();
+    s.instructions = j.at("instructions").asU64();
+    s.finished = j.at("finished").asBool();
+    readU64Array(j.at("fu_grants"), s.fu_grants.data(),
+                 s.fu_grants.size());
+    readU64Array(j.at("fu_busy"), s.fu_busy.data(),
+                 s.fu_busy.size());
+    const Json &unit_busy = j.at("unit_busy");
+    if (unit_busy.size() != s.unit_busy.size())
+        throw JsonParseError("unit_busy class count mismatch");
+    for (std::size_t cls = 0; cls < s.unit_busy.size(); ++cls) {
+        const Json &units = unit_busy.at(cls);
+        s.unit_busy[cls].resize(units.size());
+        readU64Array(units, s.unit_busy[cls].data(),
+                     s.unit_busy[cls].size());
+    }
+    s.branches = j.at("branches").asU64();
+    s.loads = j.at("loads").asU64();
+    s.stores = j.at("stores").asU64();
+    s.standby_stalls = j.at("standby_stalls").asU64();
+    s.context_switches = j.at("context_switches").asU64();
+    s.writeback_conflicts = j.at("writeback_conflicts").asU64();
+    s.dcache_hits = j.at("dcache_hits").asU64();
+    s.dcache_misses = j.at("dcache_misses").asU64();
+    s.icache_hits = j.at("icache_hits").asU64();
+    s.icache_misses = j.at("icache_misses").asU64();
+    return s;
+}
+
+bool
+statsEqual(const RunStats &a, const RunStats &b)
+{
+    return a.cycles == b.cycles &&
+           a.instructions == b.instructions &&
+           a.finished == b.finished && a.fu_grants == b.fu_grants &&
+           a.fu_busy == b.fu_busy && a.unit_busy == b.unit_busy &&
+           a.branches == b.branches && a.loads == b.loads &&
+           a.stores == b.stores &&
+           a.standby_stalls == b.standby_stalls &&
+           a.context_switches == b.context_switches &&
+           a.writeback_conflicts == b.writeback_conflicts &&
+           a.dcache_hits == b.dcache_hits &&
+           a.dcache_misses == b.dcache_misses &&
+           a.icache_hits == b.icache_hits &&
+           a.icache_misses == b.icache_misses;
+}
+
+} // namespace smtsim

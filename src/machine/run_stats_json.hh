@@ -1,0 +1,32 @@
+/**
+ * @file
+ * JSON serialization of RunStats, shared by `smtsim-run --json` and
+ * the experiment engine's on-disk result cache. Every counter is
+ * round-tripped exactly (integers stay integers), so a cached
+ * record restores a bitwise-identical RunStats.
+ */
+
+#ifndef SMTSIM_MACHINE_RUN_STATS_JSON_HH
+#define SMTSIM_MACHINE_RUN_STATS_JSON_HH
+
+#include "base/json.hh"
+#include "machine/run_stats.hh"
+
+namespace smtsim
+{
+
+/** Serialize every RunStats field into a JSON object. */
+Json statsToJson(const RunStats &stats);
+
+/**
+ * Rebuild a RunStats from statsToJson output.
+ * @throws JsonParseError on missing/malformed members.
+ */
+RunStats statsFromJson(const Json &j);
+
+/** Field-by-field equality (used by the determinism tests). */
+bool statsEqual(const RunStats &a, const RunStats &b);
+
+} // namespace smtsim
+
+#endif // SMTSIM_MACHINE_RUN_STATS_JSON_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * base/json.hh: writer/parser round trips, escaping, strict
+ * integer preservation, and malformed-input diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+
+using namespace smtsim;
+
+TEST(Json, ScalarRoundTrip)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(Json, LargeIntegersStayExact)
+{
+    const std::uint64_t big = 2'000'000'000ull * 3;   // > 2^32
+    const Json j = Json::parse(Json(big).dump());
+    EXPECT_EQ(j.asU64(), big);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zebra", Json(1));
+    obj.set("alpha", Json(2));
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2}");
+    obj.set("zebra", Json(3));   // overwrite keeps position
+    EXPECT_EQ(obj.dump(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(Json, NestedRoundTrip)
+{
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json("two"));
+    Json inner = Json::object();
+    inner.set("pi", Json(3.25));
+    arr.push(std::move(inner));
+    Json doc = Json::object();
+    doc.set("items", std::move(arr));
+    doc.set("ok", Json(true));
+
+    const Json back = Json::parse(doc.dump(2));
+    EXPECT_EQ(back.at("items").size(), 3u);
+    EXPECT_EQ(back.at("items").at(0).asInt(), 1);
+    EXPECT_EQ(back.at("items").at(1).asString(), "two");
+    EXPECT_DOUBLE_EQ(back.at("items").at(2).at("pi").asDouble(),
+                     3.25);
+    EXPECT_TRUE(back.at("ok").asBool());
+    // Pretty and compact dumps parse identically.
+    EXPECT_EQ(Json::parse(doc.dump()).dump(), back.dump());
+}
+
+TEST(Json, StringEscaping)
+{
+    const std::string nasty = "a\"b\\c\nd\te\x01f";
+    const Json back = Json::parse(Json(nasty).dump());
+    EXPECT_EQ(back.asString(), nasty);
+}
+
+TEST(Json, UnicodeEscapeParsing)
+{
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(Json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(Json::parse(""), JsonParseError);
+    EXPECT_THROW(Json::parse("{"), JsonParseError);
+    EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+    EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonParseError);
+    EXPECT_THROW(Json::parse("tru"), JsonParseError);
+    EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+    EXPECT_THROW(Json::parse("1 2"), JsonParseError);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonParseError);
+}
+
+TEST(Json, AccessorTypeChecks)
+{
+    const Json j = Json::parse("{\"n\":1}");
+    EXPECT_THROW(j.at("missing"), JsonParseError);
+    EXPECT_THROW(j.at("n").asString(), JsonParseError);
+    EXPECT_THROW(j.at("n").asBool(), JsonParseError);
+    EXPECT_EQ(j.at("n").asInt(), 1);
+}
+
+TEST(Json, WhitespaceTolerance)
+{
+    const Json j =
+        Json::parse("  { \"a\" : [ 1 , 2 ] , \"b\" : null }  ");
+    EXPECT_EQ(j.at("a").size(), 2u);
+    EXPECT_TRUE(j.at("b").isNull());
+}

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * smtsim::lab — the parallel experiment engine.
+ *
+ * The contracts under test:
+ *  - simulations are deterministic: the same job yields bitwise-
+ *    identical RunStats on every run, serial or parallel (this is
+ *    what makes result caching sound at all);
+ *  - the content-addressed cache: a warm rerun is 100% cache hits
+ *    with identical stats, any config/workload change moves the
+ *    key, corrupt records degrade to misses;
+ *  - failure isolation: one failing point never fails the sweep,
+ *    and failures are not cached.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "lab/lab.hh"
+#include "machine/run_stats_json.hh"
+
+using namespace smtsim;
+using namespace smtsim::lab;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Small, fast grid used by most tests. */
+std::vector<Job>
+smallGrid()
+{
+    const WorkloadSpec wl = WorkloadSpec::matmul(6);
+    std::vector<Job> jobs;
+    jobs.push_back(baselineJob("mm/baseline", wl));
+    for (int slots : {1, 2, 4}) {
+        CoreConfig cfg;
+        cfg.num_slots = slots;
+        jobs.push_back(
+            coreJob("mm/s" + std::to_string(slots), wl, cfg));
+    }
+    return jobs;
+}
+
+/** Fresh per-test cache directory under the build tree's tmp. */
+class LabCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::path(::testing::TempDir()) /
+               ("smtsim-lab-" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string cacheDir() const { return dir_.string(); }
+
+  private:
+    fs::path dir_;
+};
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Determinism
+// ----------------------------------------------------------------
+
+TEST(LabDeterminism, RepeatedRunsAreBitwiseIdentical)
+{
+    const std::vector<Job> jobs = smallGrid();
+    LabOptions opts;
+    opts.num_threads = 2;
+    const ResultSet a = runJobs(jobs, opts);
+    const ResultSet b = runJobs(jobs, opts);
+    ASSERT_EQ(a.results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].id);
+        EXPECT_TRUE(a.results[i].ok) << a.results[i].error;
+        EXPECT_TRUE(
+            statsEqual(a.results[i].stats, b.results[i].stats));
+    }
+}
+
+TEST(LabDeterminism, ParallelMatchesSerial)
+{
+    const std::vector<Job> jobs = smallGrid();
+    LabOptions serial;
+    serial.num_threads = 1;
+    LabOptions parallel;
+    parallel.num_threads = 4;
+    const ResultSet a = runJobs(jobs, serial);
+    const ResultSet b = runJobs(jobs, parallel);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].id);
+        EXPECT_TRUE(
+            statsEqual(a.results[i].stats, b.results[i].stats));
+        EXPECT_EQ(a.results[i].id, b.results[i].id);
+    }
+}
+
+// ----------------------------------------------------------------
+// Cache keys
+// ----------------------------------------------------------------
+
+TEST(LabCacheKey, StableForIdenticalJobs)
+{
+    const std::vector<Job> a = smallGrid();
+    const std::vector<Job> b = smallGrid();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].cacheKey(), b[i].cacheKey());
+}
+
+TEST(LabCacheKey, IdDoesNotAffectKey)
+{
+    Job a = coreJob("one", WorkloadSpec::matmul(6), CoreConfig{});
+    Job b = coreJob("two", WorkloadSpec::matmul(6), CoreConfig{});
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+}
+
+TEST(LabCacheKey, EveryConfigFieldMoves)
+{
+    const WorkloadSpec wl = WorkloadSpec::matmul(6);
+    const Job base = coreJob("p", wl, CoreConfig{});
+    const std::string k0 = base.cacheKey();
+
+    auto variant = [&](auto mutate) {
+        CoreConfig cfg;
+        mutate(cfg);
+        return coreJob("p", wl, cfg).cacheKey();
+    };
+    EXPECT_NE(k0, variant([](CoreConfig &c) { c.num_slots = 8; }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) { c.num_frames = 8; }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) { c.width = 2; }));
+    EXPECT_NE(k0,
+              variant([](CoreConfig &c) { c.fus.load_store = 2; }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) {
+                  c.standby_enabled = false;
+              }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) {
+                  c.rotation_mode = RotationMode::Explicit;
+              }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) {
+                  c.rotation_interval = 16;
+              }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) {
+                  c.private_icache = true;
+              }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) {
+                  c.dcache.size_bytes = 4096;
+              }));
+    EXPECT_NE(k0, variant([](CoreConfig &c) {
+                  c.max_cycles = 1000;
+              }));
+
+    // Workload identity and engine selection move the key too.
+    EXPECT_NE(k0, coreJob("p", WorkloadSpec::matmul(7),
+                          CoreConfig{})
+                      .cacheKey());
+    EXPECT_NE(k0, coreJob("p", WorkloadSpec::bsearch(),
+                          CoreConfig{})
+                      .cacheKey());
+    EXPECT_NE(k0, baselineJob("p", wl).cacheKey());
+    EXPECT_NE(k0, interpJob("p", wl).cacheKey());
+}
+
+// ----------------------------------------------------------------
+// The on-disk cache
+// ----------------------------------------------------------------
+
+TEST_F(LabCacheTest, SecondSweepIsAllHits)
+{
+    const std::vector<Job> jobs = smallGrid();
+    LabOptions opts;
+    opts.num_threads = 2;
+    opts.cache_dir = cacheDir();
+
+    const ResultSet cold = runJobs(jobs, opts);
+    EXPECT_EQ(cold.cacheHits(), 0u);
+    EXPECT_EQ(cold.failures(), 0u);
+
+    const ResultSet warm = runJobs(jobs, opts);
+    EXPECT_EQ(warm.cacheHits(), jobs.size());   // 100% hits
+    EXPECT_EQ(warm.failures(), 0u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].id);
+        EXPECT_TRUE(warm.results[i].from_cache);
+        EXPECT_TRUE(statsEqual(cold.results[i].stats,
+                               warm.results[i].stats));
+    }
+}
+
+TEST_F(LabCacheTest, ChangedConfigMissesWarmCache)
+{
+    const WorkloadSpec wl = WorkloadSpec::matmul(6);
+    LabOptions opts;
+    opts.cache_dir = cacheDir();
+
+    CoreConfig cfg;
+    runJobs({coreJob("p", wl, cfg)}, opts);
+
+    cfg.standby_enabled = false;   // different point, same id
+    const ResultSet rs = runJobs({coreJob("p", wl, cfg)}, opts);
+    EXPECT_EQ(rs.cacheHits(), 0u);
+    EXPECT_TRUE(rs.results[0].ok);
+}
+
+TEST_F(LabCacheTest, CorruptRecordDegradesToMiss)
+{
+    const std::vector<Job> jobs = {
+        coreJob("p", WorkloadSpec::matmul(6), CoreConfig{})};
+    LabOptions opts;
+    opts.cache_dir = cacheDir();
+    runJobs(jobs, opts);
+
+    const ResultCache cache(cacheDir());
+    const std::string path = cache.pathFor(jobs[0].cacheKey());
+    ASSERT_TRUE(fs::exists(path));
+    {
+        std::ofstream trunc(path);
+        trunc << "{\"schema\": 1, \"garb";
+    }
+    const ResultSet rs = runJobs(jobs, opts);
+    EXPECT_EQ(rs.cacheHits(), 0u);   // resimulated
+    EXPECT_TRUE(rs.results[0].ok);
+}
+
+TEST_F(LabCacheTest, FailuresAreNotCached)
+{
+    Job job = coreJob("tiny-budget", WorkloadSpec::matmul(6),
+                      CoreConfig{});
+    job.core.max_cycles = 10;   // guaranteed budget exhaustion
+    LabOptions opts;
+    opts.cache_dir = cacheDir();
+
+    const ResultSet first = runJobs({job}, opts);
+    EXPECT_EQ(first.failures(), 1u);
+    EXPECT_FALSE(fs::exists(
+        ResultCache(cacheDir()).pathFor(job.cacheKey())));
+
+    const ResultSet again = runJobs({job}, opts);
+    EXPECT_EQ(again.cacheHits(), 0u);
+    EXPECT_EQ(again.failures(), 1u);
+}
+
+TEST_F(LabCacheTest, DisabledCacheWritesNothing)
+{
+    runJobs({coreJob("p", WorkloadSpec::matmul(6), CoreConfig{})},
+            LabOptions{});
+    EXPECT_FALSE(fs::exists(cacheDir()));
+}
+
+// ----------------------------------------------------------------
+// Failure isolation + budgets
+// ----------------------------------------------------------------
+
+TEST(LabExecutor, OneBadPointDoesNotSinkTheSweep)
+{
+    std::vector<Job> jobs = smallGrid();
+    Job bad = coreJob("bad", WorkloadSpec::matmul(6),
+                      CoreConfig{});
+    bad.core.max_cycles = 10;
+    jobs.insert(jobs.begin() + 1, bad);
+
+    LabOptions opts;
+    opts.num_threads = 2;
+    const ResultSet rs = runJobs(jobs, opts);
+    EXPECT_EQ(rs.failures(), 1u);
+    const JobResult *failed = rs.find("bad");
+    ASSERT_NE(failed, nullptr);
+    EXPECT_FALSE(failed->ok);
+    EXPECT_NE(failed->error.find("budget"), std::string::npos);
+    EXPECT_TRUE(rs.find("mm/baseline")->ok);
+    EXPECT_TRUE(rs.find("mm/s4")->ok);
+    EXPECT_THROW(rs.statsOf("bad"), std::runtime_error);
+}
+
+TEST(LabExecutor, MaxCyclesOverrideClampsAndRekeys)
+{
+    const Job job =
+        coreJob("p", WorkloadSpec::matmul(6), CoreConfig{});
+    LabOptions clamped;
+    clamped.max_cycles = 10;
+    const ResultSet rs = runJobs({job}, clamped);
+    EXPECT_EQ(rs.failures(), 1u);   // clamp took effect
+    // The clamped run is keyed under the clamped config.
+    Job clamped_job = job;
+    clamped_job.core.max_cycles = 10;
+    EXPECT_EQ(rs.results[0].key, clamped_job.cacheKey());
+    EXPECT_NE(rs.results[0].key, job.cacheKey());
+}
+
+TEST(LabExecutor, ProgressCallbackSeesEveryJob)
+{
+    const std::vector<Job> jobs = smallGrid();
+    std::size_t calls = 0;
+    std::size_t max_done = 0;
+    LabOptions opts;
+    opts.num_threads = 2;
+    opts.progress = [&](const Progress &p) {
+        ++calls;
+        max_done = std::max(max_done, p.done);
+        EXPECT_EQ(p.total, jobs.size());
+        EXPECT_NE(p.last, nullptr);
+    };
+    runJobs(jobs, opts);
+    EXPECT_EQ(calls, jobs.size());
+    EXPECT_EQ(max_done, jobs.size());
+}
+
+// ----------------------------------------------------------------
+// Specs, expansion, serialization
+// ----------------------------------------------------------------
+
+TEST(LabSpec, ExpandProducesTheFullGrid)
+{
+    ExperimentSpec spec;
+    spec.workloads = {WorkloadSpec::matmul(6)};
+    spec.slots = {1, 2, 4};
+    spec.lsu = {1, 2};
+    spec.standby = {false, true};
+    spec.include_baseline = true;
+    const std::vector<Job> jobs = spec.expand();
+    EXPECT_EQ(jobs.size(), 1u + 3u * 2u * 2u);
+    EXPECT_EQ(jobs[0].engine, EngineKind::Baseline);
+    // Ids are unique.
+    std::set<std::string> ids;
+    for (const Job &j : jobs)
+        ids.insert(j.id);
+    EXPECT_EQ(ids.size(), jobs.size());
+}
+
+TEST(LabSpec, ExpandRejectsEmptyAxes)
+{
+    ExperimentSpec spec;
+    spec.workloads = {WorkloadSpec::matmul(6)};
+    spec.slots.clear();
+    EXPECT_THROW(spec.expand(), std::invalid_argument);
+    spec = ExperimentSpec{};
+    EXPECT_THROW(spec.expand(), std::invalid_argument);   // no wl
+}
+
+TEST(LabSpec, WorkloadFromString)
+{
+    const WorkloadSpec wl = WorkloadSpec::fromString(
+        "raytrace:width=24,height=24,seed=7");
+    EXPECT_EQ(wl.kind, "raytrace");
+    EXPECT_EQ(wl.params.at("width"), 24);
+    EXPECT_EQ(wl.params.at("height"), 24);
+    EXPECT_EQ(wl.params.at("seed"), 7);
+    EXPECT_EQ(wl.params.at("spheres"), 5);   // default kept
+
+    EXPECT_THROW(WorkloadSpec::fromString("nosuch"),
+                 std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::fromString("matmul:bogus=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::fromString("matmul:n=banana"),
+                 std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::fromString("matmul:n"),
+                 std::invalid_argument);
+}
+
+TEST(LabSpec, InstantiateRejectsUnknownParams)
+{
+    WorkloadSpec wl = WorkloadSpec::matmul(6);
+    wl.params["typo"] = 1;
+    EXPECT_THROW(instantiate(wl), std::invalid_argument);
+}
+
+TEST(LabResult, JsonRoundTrip)
+{
+    LabOptions opts;
+    const ResultSet rs = runJobs(smallGrid(), opts);
+    for (const JobResult &r : rs.results) {
+        const JobResult back =
+            resultFromJson(resultToJson(r));
+        EXPECT_EQ(back.id, r.id);
+        EXPECT_EQ(back.key, r.key);
+        EXPECT_EQ(back.ok, r.ok);
+        EXPECT_TRUE(statsEqual(back.stats, r.stats));
+    }
+    // CSV: header + one line per result.
+    const std::string csv = rs.toCsv();
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(csv.begin(), csv.end(), '\n')),
+              rs.results.size() + 1);
+    // Table renders without throwing and mentions every job.
+    const std::string table = rs.toTable("t").str();
+    for (const JobResult &r : rs.results)
+        EXPECT_NE(table.find(r.id), std::string::npos);
+}

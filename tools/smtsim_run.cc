@@ -23,6 +23,11 @@
  *     --dump-double ADDR print a double after the run
  *     --stats            print the detailed stall counters (core)
  *     --trace            stream per-cycle pipeline events (core)
+ *     --json             emit the run statistics as one JSON object
+ *
+ * Numeric options are parsed strictly: a non-numeric or
+ * out-of-range value ("--slots banana", "--width -2") is a fatal
+ * usage error, never a silent zero.
  */
 
 #include <cstdio>
@@ -35,9 +40,11 @@
 #include <vector>
 
 #include "asmr/assembler.hh"
+#include "base/strutil.hh"
 #include "baseline/baseline.hh"
 #include "core/processor.hh"
 #include "interp/interpreter.hh"
+#include "machine/run_stats_json.hh"
 #include "mem/memory.hh"
 
 using namespace smtsim;
@@ -124,6 +131,7 @@ main(int argc, char **argv)
     int threads = 4;
     bool want_detail = false;
     bool want_trace = false;
+    bool want_json = false;
     std::vector<Addr> dump_words, dump_doubles;
 
     auto need_value = [&](int &i) -> const char * {
@@ -131,45 +139,81 @@ main(int argc, char **argv)
             usage(argv[0]);
         return argv[++i];
     };
+    // Strict numeric option parsing: "--slots banana" or a
+    // negative count is a diagnosed error, not a silent 0.
+    auto int_value = [&](const std::string &opt, int &i,
+                         long long min_value) -> long long {
+        const char *text = need_value(i);
+        long long v = 0;
+        if (!parseInt(text, &v)) {
+            std::fprintf(stderr,
+                         "%s: %s needs an integer, got \"%s\"\n",
+                         argv[0], opt.c_str(), text);
+            std::exit(2);
+        }
+        if (v < min_value) {
+            std::fprintf(stderr,
+                         "%s: %s must be >= %lld, got %lld\n",
+                         argv[0], opt.c_str(), min_value, v);
+            std::exit(2);
+        }
+        return v;
+    };
+    auto uint_value = [&](const std::string &opt,
+                          int &i) -> unsigned long long {
+        const char *text = need_value(i);
+        unsigned long long v = 0;
+        if (!parseUint(text, &v)) {
+            std::fprintf(stderr,
+                         "%s: %s needs a non-negative integer, "
+                         "got \"%s\"\n",
+                         argv[0], opt.c_str(), text);
+            std::exit(2);
+        }
+        return v;
+    };
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--engine") {
             engine = need_value(i);
         } else if (arg == "--slots") {
-            cfg.num_slots = std::atoi(need_value(i));
+            cfg.num_slots = static_cast<int>(int_value(arg, i, 1));
             threads = cfg.num_slots;
         } else if (arg == "--frames") {
-            cfg.num_frames = std::atoi(need_value(i));
+            cfg.num_frames = static_cast<int>(int_value(arg, i, 1));
         } else if (arg == "--lsu") {
-            cfg.fus.load_store = std::atoi(need_value(i));
+            cfg.fus.load_store =
+                static_cast<int>(int_value(arg, i, 1));
         } else if (arg == "--width") {
-            cfg.width = std::atoi(need_value(i));
+            cfg.width = static_cast<int>(int_value(arg, i, 1));
         } else if (arg == "--no-standby") {
             cfg.standby_enabled = false;
         } else if (arg == "--explicit") {
             cfg.rotation_mode = RotationMode::Explicit;
         } else if (arg == "--interval") {
-            cfg.rotation_interval = std::atoi(need_value(i));
+            cfg.rotation_interval =
+                static_cast<int>(int_value(arg, i, 1));
         } else if (arg == "--private-icache") {
             cfg.private_icache = true;
         } else if (arg == "--dcache") {
             cfg.dcache.size_bytes =
-                static_cast<Addr>(std::atoi(need_value(i)));
+                static_cast<Addr>(uint_value(arg, i));
         } else if (arg == "--icache") {
             cfg.icache.size_bytes =
-                static_cast<Addr>(std::atoi(need_value(i)));
+                static_cast<Addr>(uint_value(arg, i));
         } else if (arg == "--threads") {
-            threads = std::atoi(need_value(i));
+            threads = static_cast<int>(int_value(arg, i, 1));
         } else if (arg == "--max-cycles") {
-            cfg.max_cycles = std::strtoull(need_value(i), nullptr,
-                                           0);
+            cfg.max_cycles = uint_value(arg, i);
         } else if (arg == "--dump-word") {
-            dump_words.push_back(static_cast<Addr>(
-                std::strtoul(need_value(i), nullptr, 0)));
+            dump_words.push_back(
+                static_cast<Addr>(uint_value(arg, i)));
         } else if (arg == "--dump-double") {
-            dump_doubles.push_back(static_cast<Addr>(
-                std::strtoul(need_value(i), nullptr, 0)));
+            dump_doubles.push_back(
+                static_cast<Addr>(uint_value(arg, i)));
+        } else if (arg == "--json") {
+            want_json = true;
         } else if (arg == "--stats") {
             want_detail = true;
         } else if (arg == "--trace") {
@@ -202,12 +246,21 @@ main(int argc, char **argv)
         MainMemory mem;
         prog.loadInto(mem);
 
+        // --json replaces the human-readable report with one
+        // machine-readable object on stdout.
+        auto report = [&](const RunStats &s) {
+            if (want_json)
+                std::cout << statsToJson(s).dump(2) << '\n';
+            else
+                printStats(s);
+        };
+
         if (engine == "core") {
             MultithreadedProcessor cpu(prog, mem, cfg);
             if (want_trace)
                 cpu.setPipeTrace(&std::cerr);
-            printStats(cpu.run());
-            if (want_detail) {
+            report(cpu.run());
+            if (want_detail && !want_json) {
                 std::printf("--- detail ---\n");
                 cpu.detail().dump(std::cout);
             }
@@ -217,16 +270,23 @@ main(int argc, char **argv)
             bcfg.fus = cfg.fus;
             bcfg.max_cycles = cfg.max_cycles;
             BaselineProcessor cpu(prog, mem, bcfg);
-            printStats(cpu.run());
+            report(cpu.run());
         } else if (engine == "interp") {
             InterpConfig icfg;
             icfg.num_threads = threads;
             Interpreter interp(prog, mem, icfg);
             const InterpResult r = interp.run();
-            std::printf("instructions  %llu\n",
-                        (unsigned long long)r.steps);
-            std::printf("finished      %s\n",
-                        r.completed ? "yes" : "NO");
+            if (want_json) {
+                RunStats s;
+                s.instructions = r.steps;
+                s.finished = r.completed;
+                std::cout << statsToJson(s).dump(2) << '\n';
+            } else {
+                std::printf("instructions  %llu\n",
+                            (unsigned long long)r.steps);
+                std::printf("finished      %s\n",
+                            r.completed ? "yes" : "NO");
+            }
         } else {
             usage(argv[0]);
         }
