@@ -3,11 +3,27 @@
  * Simulator-throughput microbenchmarks (google-benchmark): how many
  * simulated cycles and instructions per second each engine
  * achieves. Not a paper experiment — this tracks the usability of
- * the reproduction itself.
+ * the reproduction itself, and seeds the perf trajectory recorded
+ * in EXPERIMENTS.md ("simulator throughput").
+ *
+ * Representative configs:
+ *  - interpreter (functional oracle, 1 thread),
+ *  - baseline RISC,
+ *  - multithreaded core at 1/4/8 slots (dense issue),
+ *  - concurrent multithreading with a 200-cycle remote-memory
+ *    latency (the config dominated by idle cycles, where the
+ *    fast-forward event model matters most).
+ *
+ * Every engine config reports simulated cycles/s and MIPS
+ * (millions of simulated instructions per second).
+ *
+ * scripts/bench_simspeed.sh runs this binary and emits
+ * BENCH_simspeed.json for before/after tracking.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "asmr/assembler.hh"
 #include "baseline/baseline.hh"
 #include "core/processor.hh"
 #include "interp/interpreter.hh"
@@ -30,6 +46,37 @@ benchKernel(bool parallel)
     return makeSyntheticKernel(p);
 }
 
+/** The remote-memory worker of bench_concurrent, reduced. */
+constexpr Addr kRemoteBase = 0x00400000;
+constexpr int kWordsPerCtx = 24;
+constexpr int kRemoteContexts = 8;
+
+const char *kRemoteWorker = R"(
+main:   blez r2, done
+loop:   lw   r3, 0(r1)
+        add  r4, r4, r3
+        mul  r5, r4, r3
+        xor  r5, r5, r4
+        addi r1, r1, 4
+        addi r2, r2, -1
+        bgtz r2, loop
+        sw   r4, 0(r6)
+done:   halt
+        .data
+outs:   .word 0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0
+)";
+
+void
+reportRates(benchmark::State &state, std::uint64_t cycles,
+            std::uint64_t insns)
+{
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(insns) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
 } // namespace
 
 static void
@@ -45,8 +92,9 @@ BM_Interpreter(benchmark::State &state)
         insns += r.steps;
         benchmark::DoNotOptimize(r.steps);
     }
-    state.counters["insns/s"] = benchmark::Counter(
-        static_cast<double>(insns), benchmark::Counter::kIsRate);
+    state.counters["MIPS"] = benchmark::Counter(
+        static_cast<double>(insns) / 1e6,
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Interpreter);
 
@@ -54,17 +102,17 @@ static void
 BM_Baseline(benchmark::State &state)
 {
     const Program prog = benchKernel(false);
-    std::uint64_t cycles = 0;
+    std::uint64_t cycles = 0, insns = 0;
     for (auto _ : state) {
         MainMemory mem;
         prog.loadInto(mem);
         BaselineProcessor cpu(prog, mem);
         const RunStats s = cpu.run();
         cycles += s.cycles;
+        insns += s.instructions;
         benchmark::DoNotOptimize(s.cycles);
     }
-    state.counters["cycles/s"] = benchmark::Counter(
-        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    reportRates(state, cycles, insns);
 }
 BENCHMARK(BM_Baseline);
 
@@ -75,19 +123,58 @@ BM_Core(benchmark::State &state)
     CoreConfig cfg;
     cfg.num_slots = static_cast<int>(state.range(0));
     cfg.fus.load_store = 2;
-    std::uint64_t cycles = 0;
+    std::uint64_t cycles = 0, insns = 0;
     for (auto _ : state) {
         MainMemory mem;
         prog.loadInto(mem);
         MultithreadedProcessor cpu(prog, mem, cfg);
         const RunStats s = cpu.run();
         cycles += s.cycles;
+        insns += s.instructions;
         benchmark::DoNotOptimize(s.cycles);
     }
-    state.counters["cycles/s"] = benchmark::Counter(
-        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    reportRates(state, cycles, insns);
 }
 BENCHMARK(BM_Core)->Arg(1)->Arg(4)->Arg(8);
+
+static void
+BM_CoreRemote(benchmark::State &state)
+{
+    const Program prog = assemble(kRemoteWorker);
+    const Addr outs = prog.symbol("outs");
+
+    CoreConfig cfg;
+    cfg.num_slots = 2;
+    cfg.num_frames = 10;
+    cfg.remote.base = kRemoteBase;
+    cfg.remote.size = 0x100000;
+    cfg.remote.latency = static_cast<Cycle>(state.range(0));
+
+    std::uint64_t cycles = 0, insns = 0;
+    for (auto _ : state) {
+        MainMemory mem;
+        prog.loadInto(mem);
+        for (int i = 0; i < kWordsPerCtx * kRemoteContexts; ++i) {
+            mem.write32(kRemoteBase + static_cast<Addr>(4 * i),
+                        static_cast<std::uint32_t>(i * 3 + 1));
+        }
+        MultithreadedProcessor cpu(prog, mem, cfg);
+        for (int c = 0; c < kRemoteContexts; ++c) {
+            std::array<std::uint32_t, kNumRegs> regs{};
+            regs[1] = kRemoteBase +
+                      static_cast<Addr>(4 * c * kWordsPerCtx);
+            regs[2] = kWordsPerCtx;
+            regs[6] = outs + static_cast<Addr>(4 * c);
+            cpu.spawnContext(prog.entry, regs);
+        }
+        const RunStats s = cpu.run();
+        cycles += s.cycles;
+        insns += s.instructions;
+        benchmark::DoNotOptimize(s.cycles);
+    }
+    reportRates(state, cycles, insns);
+}
+BENCHMARK(BM_CoreRemote)->Arg(200)->Arg(800);
 
 static void
 BM_RayTracePixel(benchmark::State &state)

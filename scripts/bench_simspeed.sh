@@ -1,0 +1,25 @@
+#!/bin/sh
+# Run the simulator-throughput microbenchmarks and emit
+# BENCH_simspeed.json (google-benchmark JSON, incl. cycles/s and
+# MIPS counters per engine config).
+#
+# Usage: scripts/bench_simspeed.sh [build-dir] [out.json]
+#   SMTSIM_BENCH_MIN_TIME  benchmark_min_time seconds (default 0.5;
+#                          use e.g. 0.1 for a CI smoke run)
+set -eu
+
+build=${1:-build}
+out=${2:-BENCH_simspeed.json}
+min_time=${SMTSIM_BENCH_MIN_TIME:-0.5}
+
+if [ ! -x "$build/bench/bench_simspeed" ]; then
+    echo "bench_simspeed not built in $build (cmake --build $build)" >&2
+    exit 1
+fi
+
+"$build/bench/bench_simspeed" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+
+echo "wrote $out" >&2

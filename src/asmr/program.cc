@@ -28,11 +28,24 @@ Program::loadInto(MainMemory &mem) const
 Insn
 Program::insnAt(Addr addr) const
 {
-    if (addr < text_base || addr >= textEnd() ||
-        (addr - text_base) % kInsnBytes != 0) {
+    if (!holdsInsn(addr))
         fatal("instruction fetch outside text segment: ", addr);
-    }
     return decode(text[(addr - text_base) / kInsnBytes]);
+}
+
+PredecodedText::PredecodedText(const Program &prog)
+    : base_(prog.text_base),
+      size_bytes_(static_cast<Addr>(prog.text.size()) * kInsnBytes)
+{
+    insns_.reserve(prog.text.size());
+    for (std::uint32_t word : prog.text)
+        insns_.push_back(decode(word));
+}
+
+void
+PredecodedText::badFetch(Addr addr) const
+{
+    fatal("instruction fetch outside text segment: ", addr);
 }
 
 namespace

@@ -6,6 +6,7 @@
 #ifndef SMTSIM_ASMR_PROGRAM_HH
 #define SMTSIM_ASMR_PROGRAM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -59,6 +60,14 @@ struct Program
     /** Decode the text word holding @p addr. */
     Insn insnAt(Addr addr) const;
 
+    /** Bounds/alignment check shared with PredecodedText. */
+    bool
+    holdsInsn(Addr addr) const
+    {
+        return addr >= text_base && addr < textEnd() &&
+               (addr - text_base) % kInsnBytes == 0;
+    }
+
     /**
      * Serialize to / deserialize from a simple binary object
      * format (magic "SMTP"), preserving segments, the entry point
@@ -67,6 +76,44 @@ struct Program
      */
     void save(std::ostream &os) const;
     static Program load(std::istream &is);
+};
+
+/**
+ * Decoded view of a program's text segment.
+ *
+ * Program::insnAt runs the full decoder on every call, which is
+ * fine for cold paths (disassembly, trap re-decode) but far too
+ * expensive once per dynamic fetch. Engines build one of these at
+ * construction: the whole text segment is decoded exactly once and
+ * the dynamic path becomes a bounds-checked array index. at() keeps
+ * insnAt's fatal-on-stray-fetch contract bit for bit.
+ */
+class PredecodedText
+{
+  public:
+    PredecodedText() = default;
+    explicit PredecodedText(const Program &prog);
+
+    /** Decoded instruction at @p addr; fatal outside the text
+     *  segment (same contract as Program::insnAt). */
+    const Insn &
+    at(Addr addr) const
+    {
+        // One unsigned compare covers addr < base_ too (wraps big).
+        const Addr off = addr - base_;
+        if (off >= size_bytes_ || off % kInsnBytes != 0)
+            badFetch(addr);
+        return insns_[off / kInsnBytes];
+    }
+
+    std::size_t size() const { return insns_.size(); }
+
+  private:
+    [[noreturn]] void badFetch(Addr addr) const;
+
+    Addr base_ = 0;
+    Addr size_bytes_ = 0;
+    std::vector<Insn> insns_;
 };
 
 } // namespace smtsim

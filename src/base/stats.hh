@@ -12,6 +12,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace smtsim
 {
@@ -28,23 +29,33 @@ class Group
   public:
     explicit Group(std::string name = "") : name_(std::move(name)) {}
 
-    /** Mutable reference to the counter @p key (created at zero). */
+    /**
+     * Mutable reference to the counter @p key (created at zero).
+     * Heterogeneous lookup: a string-literal call site allocates a
+     * std::string only on the first access, when the counter node
+     * is created. The reference stays valid for the lifetime of
+     * the group (std::map nodes are stable) — hot paths resolve it
+     * once and bump the referenced value directly.
+     */
     std::uint64_t &
-    counter(const std::string &key)
+    counter(std::string_view key)
     {
-        return counters_[key];
+        auto it = counters_.find(key);
+        if (it == counters_.end())
+            it = counters_.emplace(std::string(key), 0).first;
+        return it->second;
     }
 
     /** Read-only lookup; returns 0 for unknown counters. */
     std::uint64_t
-    get(const std::string &key) const
+    get(std::string_view key) const
     {
         auto it = counters_.find(key);
         return it == counters_.end() ? 0 : it->second;
     }
 
     bool
-    has(const std::string &key) const
+    has(std::string_view key) const
     {
         return counters_.find(key) != counters_.end();
     }
@@ -52,7 +63,7 @@ class Group
     /** Name the group was constructed with. */
     const std::string &name() const { return name_; }
 
-    const std::map<std::string, std::uint64_t> &
+    const std::map<std::string, std::uint64_t, std::less<>> &
     all() const
     {
         return counters_;
@@ -65,7 +76,9 @@ class Group
 
   private:
     std::string name_;
-    std::map<std::string, std::uint64_t> counters_;
+    /** std::less<> enables find() on string_view without a
+     *  temporary std::string. */
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 /**

@@ -42,6 +42,13 @@ struct BaselineConfig
     FuPoolConfig fus;
     /** Issue-to-issue gap after any branch (paper: 4 cycles). */
     int branch_gap = 4;
+    /**
+     * Skip cycles that provably issue nothing (branch-gap bubbles,
+     * scoreboard/FU waits) by jumping to the next cycle a hazard
+     * comparison can flip. Cycle counts and statistics are
+     * bit-identical either way; off = naive-loop oracle.
+     */
+    bool fast_forward = true;
     /** Simulation budget. */
     std::uint64_t max_cycles = 2'000'000'000ull;
 };
@@ -90,9 +97,20 @@ class BaselineProcessor
 
     void refillWindow();
 
+    /**
+     * Earliest cycle after @p c at which any issue-blocking
+     * comparison (register clear cycle, FU free cycle) can change
+     * its outcome; kNeverCycle when nothing is pending. Only valid
+     * right after a cycle that issued nothing: until that cycle,
+     * the window contents and all hazard state are frozen.
+     */
+    Cycle nextIssueEventCycle(Cycle c) const;
+
     const Program &prog_;
     MainMemory &mem_;
     BaselineConfig cfg_;
+    /** Text segment decoded once; refillWindow indexes it. */
+    PredecodedText text_;
 
     std::array<std::uint32_t, kNumRegs> iregs_{};
     std::array<double, kNumRegs> fregs_{};
@@ -103,6 +121,9 @@ class BaselineProcessor
     std::array<std::vector<Cycle>, kNumFuClasses> fu_free_;
 
     std::vector<WindowEntry> window_;
+    /** Scratch for the per-cycle issued-entry marks (reused so the
+     *  issue loop never heap-allocates after warm-up). */
+    std::vector<char> done_;
     Addr fetch_pc_ = 0;
     Cycle stall_until_ = 0;
     Cycle last_activity_ = 0;

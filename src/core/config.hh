@@ -84,6 +84,17 @@ struct CoreConfig
     CacheConfig dcache;
     CacheConfig icache;
 
+    /**
+     * Idle-cycle fast-forward: when a cycle provably admits no
+     * state change (every slot drained or stalled on a known-future
+     * event), jump straight to the next event cycle instead of
+     * walking every phase. Simulated cycle counts, statistics and
+     * rotation phase are bit-identical either way (docs/PERF.md);
+     * the flag exists so the naive loop stays available as the
+     * oracle for the cycle-exactness tests.
+     */
+    bool fast_forward = true;
+
     std::uint64_t max_cycles = 2'000'000'000ull;
 
     int

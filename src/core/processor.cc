@@ -29,11 +29,21 @@ addMask(std::uint32_t &mask, RegIndex idx)
 MultithreadedProcessor::MultithreadedProcessor(const Program &prog,
                                                MainMemory &mem,
                                                const CoreConfig &cfg)
-    : prog_(prog), mem_(mem), cfg_(cfg),
+    : prog_(prog), mem_(mem), cfg_(cfg), text_(prog),
       ring_regs_(cfg.num_slots, cfg.queue_reg_depth),
       rotation_mode_(cfg.rotation_mode),
       rotation_interval_(cfg.rotation_interval)
 {
+    stall_branch_operands_ =
+        &detail_.counter("stall.branch_operands");
+    stall_priority_ = &detail_.counter("stall.priority");
+    stall_waw_ = &detail_.counter("stall.waw");
+    stall_standby_ = &detail_.counter("stall.standby");
+    stall_no_standby_ = &detail_.counter("stall.no_standby");
+    stall_memorder_ = &detail_.counter("stall.memorder");
+    stall_operands_ = &detail_.counter("stall.operands");
+    stall_queue_full_ = &detail_.counter("stall.queue_full");
+
     SMTSIM_ASSERT(cfg_.num_slots >= 1, "need at least one slot");
     SMTSIM_ASSERT(cfg_.frames() >= cfg_.num_slots,
                   "need at least one frame per slot");
@@ -313,6 +323,7 @@ MultithreadedProcessor::cancelFetches(int slot_id)
             ++it;
         }
     }
+    slots_[slot_id].fetch_inflight = false;
     if (removed) {
         Cycle free_at = 0;
         for (const FetchOp &op : port.inflight)
@@ -342,6 +353,7 @@ MultithreadedProcessor::scheduleRedirect(int slot_id, Addr target,
     const Cycle miss_delay = icacheDelay(target, op.words);
     op.done_at = s + cache + miss_delay;
     port.inflight.push_back(op);
+    slots_[slot_id].fetch_inflight = true;
     port.free_at = s + cache + miss_delay;
     // Subsequent sequential refills continue past this block.
     slots_[slot_id].fetch_addr =
@@ -381,6 +393,7 @@ MultithreadedProcessor::fetchPhase(Cycle c)
                         it->addr + static_cast<Addr>(n) * kInsnBytes;
                 }
             }
+            slots_[it->slot].fetch_inflight = false;
             it = port.inflight.erase(it);
         }
 
@@ -395,15 +408,10 @@ MultithreadedProcessor::fetchPhase(Cycle c)
             if (!cfg_.private_icache && &portOf(s) != &port)
                 continue;
             Slot &slot = slots_[s];
-            if (slot.frame < 0 || slot.trap_pending)
+            if (slot.frame < 0 || slot.trap_pending ||
+                slot.fetch_inflight) {
                 continue;
-            bool has_inflight = false;
-            for (const FetchOp &op : port.inflight) {
-                if (op.slot == s)
-                    has_inflight = true;
             }
-            if (has_inflight)
-                continue;
             const int space =
                 cfg_.iqueueWords() -
                 static_cast<int>(slot.iqueue.size());
@@ -424,6 +432,7 @@ MultithreadedProcessor::fetchPhase(Cycle c)
             slot.fetch_addr +=
                 static_cast<Addr>(op.words) * kInsnBytes;
             port.inflight.push_back(op);
+            slot.fetch_inflight = true;
             port.free_at = op.done_at;
             port.rr_next = (s + 1) % num_slots;
             break;
@@ -461,7 +470,7 @@ MultithreadedProcessor::bindContext(int frame, int slot_id, Cycle c)
     slot.ungranted_class.fill(0);
     slot.ungranted_mem = 0;
     slot.queue_push_pending = 0;
-    slot.wb_cycles.clear();
+    slot.wb_ring.fill({});
 
     ctx.state = CtxState::Running;
 
@@ -566,11 +575,14 @@ MultithreadedProcessor::writeResult(int slot_id, const IssuedOp &op,
         // retiring in the same cycle for one slot is a structural
         // conflict (reported as a statistic; the paper leaves its
         // resolution open).
-        if (++slot.wb_cycles[clear_at] > 1)
-            ++stats_.writeback_conflicts;
-        while (!slot.wb_cycles.empty() &&
-               slot.wb_cycles.begin()->first + 64 < clear_at) {
-            slot.wb_cycles.erase(slot.wb_cycles.begin());
+        Slot::WbBin &bin =
+            slot.wb_ring[clear_at % slot.wb_ring.size()];
+        if (bin.at == clear_at) {
+            if (++bin.count > 1)
+                ++stats_.writeback_conflicts;
+        } else {
+            bin.at = clear_at;
+            bin.count = 1;
         }
     }
     last_activity_ = std::max(last_activity_, clear_at);
@@ -616,8 +628,13 @@ MultithreadedProcessor::performGrant(const Grant &grant, Cycle c)
     stats_.fu_busy[cls] += meta.issue_latency;
     stats_.unit_busy[cls][grant.unit] += meta.issue_latency;
 
-    trace("grant  slot", op.slot, " ", fuClassName(meta.fu), "[",
-          grant.unit, "] '", disassemble(op.insn), "' @", op.pc);
+    // Guarded: disassemble() builds a string, far too costly to
+    // evaluate per grant only to be dropped by a disabled trace.
+    if (pipe_trace_) {
+        trace("grant  slot", op.slot, " ", fuClassName(meta.fu),
+              "[", grant.unit, "] '", disassemble(op.insn), "' @",
+              op.pc);
+    }
 
     Context &ctx = ctxOf(op.slot);
 
@@ -707,7 +724,10 @@ MultithreadedProcessor::schedulePhase(Cycle c)
     }
 
     for (ScheduleUnit &su : sched_units_) {
-        for (const Grant &grant : su.select(c, ring_))
+        if (su.idle())
+            continue;
+        su.select(c, ring_, grants_scratch_);
+        for (const Grant &grant : grants_scratch_)
             performGrant(grant, c);
     }
 }
@@ -770,7 +790,7 @@ MultithreadedProcessor::handleControl(int slot_id,
 
     if (insn.isBranch()) {
         if (!operandsReady(slot, ctx, insn, c, 0, 0)) {
-            ++detail_.counter("stall.branch_operands");
+            ++*stall_branch_operands_;
             return ControlOutcome::Blocked;
         }
         // Link-writing jumps respect the write-after-write
@@ -823,8 +843,10 @@ MultithreadedProcessor::handleControl(int slot_id,
         if (next == entry.pc + kInsnBytes)
             return ControlOutcome::Issued;
 
-        trace("branch slot", slot_id, " '", disassemble(insn),
-              "' @", entry.pc, " -> ", next);
+        if (pipe_trace_) {
+            trace("branch slot", slot_id, " '", disassemble(insn),
+                  "' @", entry.pc, " -> ", next);
+        }
         flushFrontEnd(slot_id);
         slot.fetch_addr = next;
         const Cycle s = scheduleRedirect(slot_id, next, c);
@@ -871,14 +893,14 @@ MultithreadedProcessor::handleControl(int slot_id,
       }
       case Op::CHGPRI:
         if (!hasTopPriority(slot_id)) {
-            ++detail_.counter("stall.priority");
+            ++*stall_priority_;
             return ControlOutcome::Blocked;
         }
         rotate_requested_ = true;
         break;
       case Op::KILLT:
         if (!hasTopPriority(slot_id)) {
-            ++detail_.counter("stall.priority");
+            ++*stall_priority_;
             return ControlOutcome::Blocked;
         }
         killOtherThreads(slot_id, c);
@@ -887,7 +909,7 @@ MultithreadedProcessor::handleControl(int slot_id,
       case Op::NSLOT: {
         const RegRef dst = insn.dst();
         if (sbOf(slot, dst) > c) {
-            ++detail_.counter("stall.waw");
+            ++*stall_waw_;
             return ControlOutcome::Blocked;
         }
         if (dst.idx != 0) {
@@ -946,7 +968,10 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
         bool flushed = false;
         std::uint32_t pr_int = 0, pr_fp = 0;
         std::uint32_t pw_int = 0, pw_fp = 0;
-        std::vector<char> done(slot.window.size(), 0);
+        // assign() reuses the slot's scratch capacity: no heap
+        // allocation on the per-cycle path after warm-up.
+        slot.decode_done.assign(slot.window.size(), 0);
+        std::vector<char> &done = slot.decode_done;
 
         for (size_t i = 0;
              i < slot.window.size() && issues < cfg_.width; ++i) {
@@ -991,7 +1016,7 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
 
             if (isPriorityStoreOp(insn.op) &&
                 !hasTopPriority(slot_id)) {
-                ++detail_.counter("stall.priority");
+                ++*stall_priority_;
                 issuable = false;
             }
 
@@ -1001,25 +1026,25 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
                     if (slot.ungranted_class[static_cast<int>(
                             cls)] > 0) {
                         ++stats_.standby_stalls;
-                        ++detail_.counter("stall.standby");
+                        ++*stall_standby_;
                         issuable = false;
                     }
                 } else if (slot.ungranted_total > 0) {
                     ++stats_.standby_stalls;
-                    ++detail_.counter("stall.no_standby");
+                    ++*stall_no_standby_;
                     issuable = false;
                 }
             }
 
             if (issuable && insn.isMem() &&
                 (slot.ungranted_mem > 0 || mem_blocked)) {
-                ++detail_.counter("stall.memorder");
+                ++*stall_memorder_;
                 issuable = false;
             }
 
             if (issuable &&
                 !operandsReady(slot, ctx, insn, c, pw_int, pw_fp)) {
-                ++detail_.counter("stall.operands");
+                ++*stall_operands_;
                 issuable = false;
             }
 
@@ -1035,7 +1060,7 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
                     if (queue_write_blocked ||
                         slot.queue_push_pending > 0 ||
                         !ring_regs_.canReserve(slot_id)) {
-                        ++detail_.counter("stall.queue_full");
+                        ++*stall_queue_full_;
                         issuable = false;
                     }
                 } else if (sbOf(slot, dst) > c ||
@@ -1045,7 +1070,7 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
                            inMask(dst.file == RF::Fp ? pw_fp
                                                      : pw_int,
                                   dst.idx)) {
-                    ++detail_.counter("stall.waw");
+                    ++*stall_waw_;
                     issuable = false;
                 }
             }
@@ -1065,8 +1090,10 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
                 } else if (dst.valid()) {
                     sbOf(slot, dst) = kNeverCycle;
                 }
-                trace("issue  slot", slot_id, " '",
-                      disassemble(insn), "' @", entry.pc);
+                if (pipe_trace_) {
+                    trace("issue  slot", slot_id, " '",
+                          disassemble(insn), "' @", entry.pc);
+                }
                 sched_units_[static_cast<int>(cls)].submit(
                     std::move(op));
                 ++slot.ungranted_total;
@@ -1115,7 +1142,7 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
             const Addr a = slot.iqueue.front();
             slot.iqueue.pop_front();
             slot.window.push_back(
-                WindowEntry{prog_.insnAt(a), a, false});
+                WindowEntry{text_.at(a), a, false});
         }
     }
 }
@@ -1124,9 +1151,11 @@ void
 MultithreadedProcessor::decodePhase(Cycle c)
 {
     // Decode in current priority order; determinism matters for the
-    // queue-register network.
-    const std::vector<int> order = ring_;
-    for (int s : order)
+    // queue-register network. The order is snapshotted into a
+    // reused buffer (decodeSlot must not observe a mid-phase ring
+    // change, and a fresh vector per cycle would churn the heap).
+    decode_order_.assign(ring_.begin(), ring_.end());
+    for (int s : decode_order_)
         decodeSlot(s, c);
 }
 
@@ -1192,6 +1221,116 @@ MultithreadedProcessor::dumpState(std::ostream &os) const
     }
 }
 
+// ---------------------------------------------------------------
+// Idle-cycle fast-forward (docs/PERF.md)
+// ---------------------------------------------------------------
+
+Cycle
+MultithreadedProcessor::nextEventCycle(Cycle c) const
+{
+    Cycle ev = kNeverCycle;
+    const Addr end = prog_.textEnd();
+
+    // Fetch deliveries land at their done_at.
+    for (const FetchPort &port : ports_) {
+        for (const FetchOp &op : port.inflight)
+            ev = std::min(ev, op.done_at);
+    }
+
+    bool free_slot = false;
+    for (int s = 0; s < cfg_.num_slots; ++s) {
+        const Slot &slot = slots_[s];
+        if (slot.frame < 0) {
+            free_slot = true;
+            continue;
+        }
+        if (slot.trap_pending) {
+            // A drained switch-out unbinds in the next contextPhase.
+            if (slot.ungranted_total == 0)
+                return c + 1;
+            continue;   // remaining drain comes via grant events
+        }
+        // A new fetch starts once this slot's port is idle.
+        if (!slot.fetch_inflight &&
+            cfg_.iqueueWords() >
+                static_cast<int>(slot.iqueue.size()) &&
+            slot.fetch_addr < end) {
+            const FetchPort &port =
+                ports_[cfg_.private_icache ? s : 0];
+            ev = std::min(ev, std::max(c + 1, port.free_at));
+        }
+        // A non-empty window is (re)examined by D2 once the refill
+        // bubble expires — even a fruitless attempt bumps stall
+        // counters, so it can never be skipped over.
+        if (!slot.window.empty())
+            ev = std::min(ev, std::max(c + 1, slot.d2_allowed));
+        // D1 moves queued instructions into free window space.
+        if (static_cast<int>(slot.window.size()) < cfg_.width &&
+            !slot.iqueue.empty()) {
+            return c + 1;
+        }
+    }
+
+    // Queue-register deposits land at the producer's write-back.
+    for (const PendingPush &push : pending_pushes_)
+        ev = std::min(ev, push.at);
+
+    // Standby latches and grants.
+    for (const ScheduleUnit &su : sched_units_)
+        ev = std::min(ev, su.nextEventCycle());
+
+    // Context wake-ups and binds.
+    if (free_slot && !ready_fifo_.empty())
+        return c + 1;
+    for (const Context &ctx : contexts_) {
+        if (ctx.state == CtxState::WaitRemote)
+            ev = std::min(ev, ctx.ready_at);
+    }
+
+    return std::max(ev, c + 1);
+}
+
+void
+MultithreadedProcessor::fastForward()
+{
+    // Cheap gate: when any slot can attempt a decode or refill its
+    // window next cycle, nothing is skippable — bail before the
+    // full event scan below touches ports, schedule units and
+    // contexts. On busy workloads this loop is the entire cost of
+    // having fast-forward enabled.
+    for (const Slot &slot : slots_) {
+        if (slot.frame < 0 || slot.trap_pending)
+            continue;
+        if (!slot.window.empty() && slot.d2_allowed <= now_ + 1)
+            return;
+        if (static_cast<int>(slot.window.size()) < cfg_.width &&
+            !slot.iqueue.empty())
+            return;
+    }
+    const Cycle next = nextEventCycle(now_);
+    if (next <= now_ + 1)
+        return;
+    // Skip cycles now_+1 .. target-1; the loop increment then lands
+    // on the event cycle (or past max_cycles when nothing is
+    // pending, matching the naive loop's budget exhaustion).
+    const Cycle target = std::min(next, cfg_.max_cycles + 1);
+    if (rotation_mode_ == RotationMode::Implicit &&
+        rotation_interval_ > 0 && ring_.size() > 1) {
+        // Batch-apply the implicit rotations the skipped cycles
+        // would have performed: one per multiple of the interval.
+        const Cycle ival = static_cast<Cycle>(rotation_interval_);
+        const std::uint64_t rotations =
+            (target - 1) / ival - now_ / ival;
+        const std::size_t r = rotations % ring_.size();
+        if (r > 0) {
+            std::rotate(ring_.begin(),
+                        ring_.begin() + static_cast<long>(r),
+                        ring_.end());
+        }
+    }
+    now_ = target - 1;
+}
+
 RunStats
 MultithreadedProcessor::run()
 {
@@ -1206,6 +1345,8 @@ MultithreadedProcessor::run()
             stats_.finished = true;
             return stats_;
         }
+        if (cfg_.fast_forward)
+            fastForward();
     }
     stats_.cycles = cfg_.max_cycles;
     stats_.finished = false;

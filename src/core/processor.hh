@@ -27,7 +27,6 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
 #include <ostream>
 #include <vector>
@@ -137,6 +136,9 @@ class MultithreadedProcessor
 
         std::deque<Addr> iqueue;    ///< instruction queue unit
         Addr fetch_addr = 0;        ///< next address to fetch
+        /** A FetchOp for this slot is in flight (at most one ever
+         *  is; spares fetchPhase an O(inflight) scan per port). */
+        bool fetch_inflight = false;
         std::vector<WindowEntry> window;
         Cycle d2_allowed = 0;       ///< front-end refill bubble
 
@@ -151,9 +153,28 @@ class MultithreadedProcessor
         /** Queue-register writes reserved but not yet deposited. */
         int queue_push_pending = 0;
 
-        /** Write-back cycles seen recently, for the 1-write-port
-         *  conflict statistic (each bank has one write port). */
-        std::map<Cycle, int> wb_cycles;
+        /** One {clear-cycle, count} bin of the write-back conflict
+         *  tracker (each bank has one write port). */
+        struct WbBin
+        {
+            Cycle at = 0;
+            int count = 0;
+        };
+
+        /**
+         * Write-back cycles seen recently, for the 1-write-port
+         * conflict statistic, binned modulo the ring size. Live
+         * clear-at values span at most the maximum result latency
+         * (12 cycles), far below the ring size, so distinct live
+         * cycles never share a bin; stale bins are simply
+         * overwritten. Replaces a std::map whose node churn cost a
+         * malloc/free pair per retired instruction.
+         */
+        std::array<WbBin, 64> wb_ring{};
+
+        /** Scratch for decodeSlot's issued-entry marks; a member so
+         *  the per-cycle loop never heap-allocates after warm-up. */
+        std::vector<char> decode_done;
     };
 
     // ----- fetch engine ------------------------------------------
@@ -187,6 +208,19 @@ class MultithreadedProcessor
     void decodePhase(Cycle c);
     void rotationPhase(Cycle c);
     bool allDone() const;
+
+    // idle-cycle fast-forward (docs/PERF.md)
+    /**
+     * Earliest cycle after @p c at which any pipeline state can
+     * change: fetch deliveries/starts, schedule-unit latches and
+     * grants, queue-register deposits, context wake-ups/binds, and
+     * decode attempts. Returns c + 1 whenever the very next cycle
+     * may do work and kNeverCycle when the machine is drained.
+     */
+    Cycle nextEventCycle(Cycle c) const;
+    /** Jump now_ to just before the next event, batch-applying the
+     *  implicit priority rotations of the skipped cycles. */
+    void fastForward();
 
     // decode helpers
     enum class ControlOutcome { Blocked, Issued, Flushed };
@@ -233,6 +267,8 @@ class MultithreadedProcessor
     const Program &prog_;
     MainMemory &mem_;
     CoreConfig cfg_;
+    /** Text segment decoded once; every window fill indexes it. */
+    PredecodedText text_;
 
     std::vector<Context> contexts_;
     std::vector<Slot> slots_;
@@ -256,6 +292,24 @@ class MultithreadedProcessor
     RunStats stats_;
     stats::Group detail_{"core"};
     std::ostream *pipe_trace_ = nullptr;
+
+    /** Reused per-cycle buffers (no per-cycle heap traffic). */
+    std::vector<Grant> grants_scratch_;
+    std::vector<int> decode_order_;
+
+    /**
+     * Issue-path stall counters resolved once at construction;
+     * detail_'s string-keyed export surface is unchanged (std::map
+     * node references are stable).
+     */
+    std::uint64_t *stall_branch_operands_ = nullptr;
+    std::uint64_t *stall_priority_ = nullptr;
+    std::uint64_t *stall_waw_ = nullptr;
+    std::uint64_t *stall_standby_ = nullptr;
+    std::uint64_t *stall_no_standby_ = nullptr;
+    std::uint64_t *stall_memorder_ = nullptr;
+    std::uint64_t *stall_operands_ = nullptr;
+    std::uint64_t *stall_queue_full_ = nullptr;
 
     /** Emit one pipeline-trace line (no-op unless enabled). */
     template <typename... Args>

@@ -1,5 +1,7 @@
 #include "schedule.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace smtsim
@@ -34,12 +36,24 @@ ScheduleUnit::submit(IssuedOp op)
 std::vector<Grant>
 ScheduleUnit::select(Cycle c, const std::vector<int> &priority_order)
 {
+    std::vector<Grant> grants;
+    select(c, priority_order, grants);
+    return grants;
+}
+
+void
+ScheduleUnit::select(Cycle c, const std::vector<int> &priority_order,
+                     std::vector<Grant> &grants)
+{
+    grants.clear();
+
     // Latch newly arriving instructions into their standby stations.
     for (auto it = incoming_.begin(); it != incoming_.end();) {
         if (it->arrive <= c) {
             SMTSIM_ASSERT(!standby_[it->slot].has_value(),
                           "standby station collision");
             standby_[it->slot] = std::move(*it);
+            ++standby_occupied_;
             it = incoming_.erase(it);
         } else {
             ++it;
@@ -47,7 +61,6 @@ ScheduleUnit::select(Cycle c, const std::vector<int> &priority_order)
     }
 
     // Grant in priority order while units can accept.
-    std::vector<Grant> grants;
     for (int slot : priority_order) {
         if (!standby_[slot].has_value())
             continue;
@@ -62,16 +75,36 @@ ScheduleUnit::select(Cycle c, const std::vector<int> &priority_order)
             break;      // every unit busy: lower priorities wait too
         IssuedOp op = std::move(*standby_[slot]);
         standby_[slot].reset();
+        --standby_occupied_;
         units_[unit] =
             c + static_cast<Cycle>(opMeta(op.insn.op).issue_latency);
         grants.push_back(Grant{std::move(op), unit});
     }
-    return grants;
+}
+
+Cycle
+ScheduleUnit::nextEventCycle() const
+{
+    Cycle ev = kNeverCycle;
+    if (standby_occupied_ > 0) {
+        // A waiting instruction is granted as soon as any unit
+        // frees up (select() never leaves a unit idle while a
+        // standby station is occupied, so the free times here are
+        // all in the future).
+        for (Cycle u : units_)
+            ev = std::min(ev, u);
+    }
+    // Arrival latches an instruction into its standby station.
+    for (const IssuedOp &op : incoming_)
+        ev = std::min(ev, op.arrive);
+    return ev;
 }
 
 void
 ScheduleUnit::flushSlot(int slot)
 {
+    if (standby_[slot].has_value())
+        --standby_occupied_;
     standby_[slot].reset();
     for (auto it = incoming_.begin(); it != incoming_.end();) {
         if (it->slot == slot)

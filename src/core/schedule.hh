@@ -65,8 +65,34 @@ class ScheduleUnit
     std::vector<Grant> select(Cycle c,
                               const std::vector<int> &priority_order);
 
+    /** Allocation-free variant: grants are appended to @p out
+     *  (cleared first) so the caller can reuse one buffer. */
+    void select(Cycle c, const std::vector<int> &priority_order,
+                std::vector<Grant> &out);
+
+    /**
+     * Earliest cycle at which this unit can act on its current
+     * contents — an incoming instruction latching into its standby
+     * station, or a waiting instruction being granted once a unit
+     * frees up. kNeverCycle when empty. Used by the idle-cycle
+     * fast-forward; callers clamp the result to "next cycle".
+     */
+    Cycle nextEventCycle() const;
+
     /** Discard any waiting instruction of @p slot (thread killed). */
     void flushSlot(int slot);
+
+    /**
+     * Nothing in flight anywhere in this unit: no arriving
+     * instructions, no occupied standby station. An idle unit's
+     * select() is a guaranteed no-op, so the per-cycle schedule
+     * phase skips it (hot-path profile, docs/PERF.md).
+     */
+    bool
+    idle() const
+    {
+        return incoming_.empty() && standby_occupied_ == 0;
+    }
 
     int numUnits() const { return static_cast<int>(units_.size()); }
     FuClass fuClass() const { return cls_; }
@@ -77,6 +103,8 @@ class ScheduleUnit
     std::vector<Cycle> units_;
     /** Standby stations, one per thread slot, depth 1. */
     std::vector<std::optional<IssuedOp>> standby_;
+    /** Count of occupied standby stations (backs idle()). */
+    int standby_occupied_ = 0;
     /** Instructions issued this cycle, arriving at S next cycle. */
     std::vector<IssuedOp> incoming_;
 };

@@ -10,7 +10,7 @@ namespace smtsim
 
 Interpreter::Interpreter(const Program &prog, MainMemory &mem,
                          const InterpConfig &cfg)
-    : prog_(prog), mem_(mem), cfg_(cfg)
+    : prog_(prog), mem_(mem), cfg_(cfg), text_(prog)
 {
     SMTSIM_ASSERT(cfg_.num_threads >= 1, "need at least one thread");
     threads_.resize(cfg_.num_threads);
@@ -137,7 +137,7 @@ Interpreter::step(int tid)
 {
     Thread &t = threads_[tid];
     const Addr insn_pc = t.pc;
-    const Insn insn = prog_.insnAt(insn_pc);
+    const Insn &insn = text_.at(insn_pc);
     const Op op = insn.op;
 
     // --- Blocking pre-checks -------------------------------------

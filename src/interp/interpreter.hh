@@ -115,6 +115,8 @@ class Interpreter
     const Program &prog_;
     MainMemory &mem_;
     InterpConfig cfg_;
+    /** Text segment decoded once; step() indexes it. */
+    PredecodedText text_;
 
     std::vector<Thread> threads_;
     /** Per-link FIFO: queues_[i] carries LP i -> LP i+1 data. */

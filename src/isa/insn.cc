@@ -138,111 +138,6 @@ fpRegName(RegIndex idx)
 
 } // namespace
 
-int
-Insn::srcs(RegRef out[3]) const
-{
-    int n = 0;
-    auto add = [&](RF file, RegIndex idx) {
-        // r0 is hardwired to zero: never a real dependence.
-        if (file == RF::Int && idx == 0)
-            return;
-        out[n++] = RegRef{file, idx};
-    };
-
-    switch (opMeta(op).format) {
-      case Format::R3:
-        add(RF::Int, rs);
-        add(RF::Int, rt);
-        break;
-      case Format::R2:
-        add(RF::Int, rs);
-        break;
-      case Format::SHI:
-      case Format::I:
-        add(RF::Int, rs);
-        break;
-      case Format::LUIF:
-        break;
-      case Format::FR3:
-        add(RF::Fp, rs);
-        add(RF::Fp, rt);
-        break;
-      case Format::FR2:
-        add(RF::Fp, rs);
-        break;
-      case Format::FCMP:
-        add(RF::Fp, rs);
-        add(RF::Fp, rt);
-        break;
-      case Format::ITOFF:
-        add(RF::Int, rs);
-        break;
-      case Format::FTOIF:
-        add(RF::Fp, rs);
-        break;
-      case Format::MEM:
-        add(RF::Int, rs);          // address base
-        if (isStoreOp(op))
-            add(isFpFormatOp(op) ? RF::Fp : RF::Int, rt);
-        break;
-      case Format::BR2:
-        add(RF::Int, rs);
-        add(RF::Int, rt);
-        break;
-      case Format::BR1:
-        add(RF::Int, rs);
-        break;
-      case Format::JRF:
-      case Format::JALRF:
-        add(RF::Int, rs);
-        break;
-      case Format::JF:
-      case Format::THR0:
-      case Format::THR1D:
-      case Format::THR2:
-      case Format::ROT:
-        break;
-    }
-    return n;
-}
-
-RegRef
-Insn::dst() const
-{
-    switch (opMeta(op).format) {
-      case Format::R3:
-      case Format::R2:
-      case Format::SHI:
-        return {RF::Int, rd};
-      case Format::I:
-      case Format::LUIF:
-        return {RF::Int, rt};
-      case Format::FR3:
-      case Format::FR2:
-        return {RF::Fp, rd};
-      case Format::FCMP:
-        return {RF::Int, rd};
-      case Format::ITOFF:
-        return {RF::Fp, rd};
-      case Format::FTOIF:
-        return {RF::Int, rd};
-      case Format::MEM:
-        if (isLoadOp(op))
-            return {isFpFormatOp(op) ? RF::Fp : RF::Int, rt};
-        return {};
-      case Format::JF:
-        if (op == Op::JAL)
-            return {RF::Int, 31};
-        return {};
-      case Format::JALRF:
-        return {RF::Int, rd};
-      case Format::THR1D:
-        return {RF::Int, rd};
-      default:
-        return {};
-    }
-}
-
 std::uint32_t
 encode(const Insn &insn)
 {

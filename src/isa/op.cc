@@ -1,11 +1,9 @@
 #include "op.hh"
 
-#include "base/logging.hh"
-
 namespace smtsim
 {
 
-namespace
+namespace detail
 {
 
 /**
@@ -13,7 +11,7 @@ namespace
  * rows the scan garbled are reconstructed as documented in DESIGN.md
  * section 2.
  */
-const OpMeta op_table[kNumOps] = {
+const OpMeta kOpTable[kNumOps] = {
     // mnemonic  format        fu                 issue result
     {"add",      Format::R3,   FuClass::IntAlu,    1, 2},
     {"sub",      Format::R3,   FuClass::IntAlu,    1, 2},
@@ -80,72 +78,6 @@ const OpMeta op_table[kNumOps] = {
     {"setrmode", Format::ROT,  FuClass::None,      1, 1},
 };
 
-} // namespace
-
-const OpMeta &
-opMeta(Op op)
-{
-    const int idx = static_cast<int>(op);
-    SMTSIM_ASSERT(idx >= 0 && idx < kNumOps, "bad op ", idx);
-    return op_table[idx];
-}
-
-bool
-isBranchOp(Op op)
-{
-    return op >= Op::BEQ && op <= Op::JALR;
-}
-
-bool
-isCondBranchOp(Op op)
-{
-    return op >= Op::BEQ && op <= Op::BGEZ;
-}
-
-bool
-isMemOp(Op op)
-{
-    return op >= Op::LW && op <= Op::PSTF;
-}
-
-bool
-isLoadOp(Op op)
-{
-    return op == Op::LW || op == Op::LF;
-}
-
-bool
-isStoreOp(Op op)
-{
-    return op == Op::SW || op == Op::SF || op == Op::PSTW ||
-           op == Op::PSTF;
-}
-
-bool
-isPriorityStoreOp(Op op)
-{
-    return op == Op::PSTW || op == Op::PSTF;
-}
-
-bool
-isThreadCtlOp(Op op)
-{
-    return op >= Op::NOP && op <= Op::SETRMODE;
-}
-
-bool
-isFpFormatOp(Op op)
-{
-    switch (opMeta(op).format) {
-      case Format::FR3:
-      case Format::FR2:
-      case Format::FCMP:
-      case Format::ITOFF:
-      case Format::FTOIF:
-        return true;
-      default:
-        return op == Op::LF || op == Op::SF || op == Op::PSTF;
-    }
-}
+} // namespace detail
 
 } // namespace smtsim

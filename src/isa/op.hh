@@ -117,18 +117,85 @@ struct OpMeta
     int result_latency;
 };
 
-/** Metadata for @p op (static table defined in op.cc). */
-const OpMeta &opMeta(Op op);
+namespace detail
+{
+/** One row per Op, in enum order (defined in op.cc). */
+extern const OpMeta kOpTable[kNumOps];
+} // namespace detail
 
-/** Shorthand queries. */
-bool isBranchOp(Op op);     ///< conditional or unconditional branch
-bool isCondBranchOp(Op op);
-bool isMemOp(Op op);
-bool isLoadOp(Op op);
-bool isStoreOp(Op op);
-bool isPriorityStoreOp(Op op);
-bool isThreadCtlOp(Op op);  ///< NOP..SETRMODE (decode-executed)
-bool isFpFormatOp(Op op);   ///< operates on the FP register file
+/**
+ * Metadata for @p op. Inline: every engine consults the table for
+ * every simulated instruction, so the lookup must not cost a
+ * cross-translation-unit call (hot-path profile, docs/PERF.md).
+ */
+inline const OpMeta &
+opMeta(Op op)
+{
+    return detail::kOpTable[static_cast<int>(op)];
+}
+
+/** Shorthand queries (inline: hot on every engine's decode path). */
+
+/** Conditional or unconditional branch. */
+inline bool
+isBranchOp(Op op)
+{
+    return op >= Op::BEQ && op <= Op::JALR;
+}
+
+inline bool
+isCondBranchOp(Op op)
+{
+    return op >= Op::BEQ && op <= Op::BGEZ;
+}
+
+inline bool
+isMemOp(Op op)
+{
+    return op >= Op::LW && op <= Op::PSTF;
+}
+
+inline bool
+isLoadOp(Op op)
+{
+    return op == Op::LW || op == Op::LF;
+}
+
+inline bool
+isStoreOp(Op op)
+{
+    return op == Op::SW || op == Op::SF || op == Op::PSTW ||
+           op == Op::PSTF;
+}
+
+inline bool
+isPriorityStoreOp(Op op)
+{
+    return op == Op::PSTW || op == Op::PSTF;
+}
+
+/** NOP..SETRMODE (decode-executed). */
+inline bool
+isThreadCtlOp(Op op)
+{
+    return op >= Op::NOP && op <= Op::SETRMODE;
+}
+
+/** Operates on the FP register file. */
+inline bool
+isFpFormatOp(Op op)
+{
+    switch (opMeta(op).format) {
+      case Format::FR3:
+      case Format::FR2:
+      case Format::FCMP:
+      case Format::ITOFF:
+      case Format::FTOIF:
+        return true;
+      default:
+        return op == Op::LF || op == Op::SF || op == Op::PSTF;
+    }
+}
 
 } // namespace smtsim
 

@@ -12,6 +12,8 @@
  *     --lsu N            load/store units (default 1)
  *     --width D          issue width per slot (default 1)
  *     --no-standby       disable standby stations
+ *     --no-fast-forward  naive every-cycle loops (oracle; same
+ *                        cycle counts, slower — docs/PERF.md)
  *     --explicit         explicit rotation mode
  *     --interval N       rotation interval (default 8)
  *     --private-icache   per-slot fetch units
@@ -189,6 +191,8 @@ main(int argc, char **argv)
             cfg.width = static_cast<int>(int_value(arg, i, 1));
         } else if (arg == "--no-standby") {
             cfg.standby_enabled = false;
+        } else if (arg == "--no-fast-forward") {
+            cfg.fast_forward = false;
         } else if (arg == "--explicit") {
             cfg.rotation_mode = RotationMode::Explicit;
         } else if (arg == "--interval") {
@@ -269,6 +273,7 @@ main(int argc, char **argv)
             bcfg.width = cfg.width;
             bcfg.fus = cfg.fus;
             bcfg.max_cycles = cfg.max_cycles;
+            bcfg.fast_forward = cfg.fast_forward;
             BaselineProcessor cpu(prog, mem, bcfg);
             report(cpu.run());
         } else if (engine == "interp") {
