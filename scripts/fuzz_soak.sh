@@ -1,0 +1,28 @@
+#!/bin/sh
+# Long differential-fuzz soak: replay the checked-in regression
+# corpus, then fuzz a large batch of fresh programs with shrinking
+# enabled. Divergence repros are written to the corpus directory and
+# the exit status is non-zero, so CI fails loudly.
+#
+# Usage: scripts/fuzz_soak.sh [build-dir] [runs] [seed]
+#   build-dir  default: build (must already contain smtsim-fuzz)
+#   runs       default: 2000
+#   seed       default: derived from the UTC date, so every night
+#              explores new programs while staying reproducible
+#   SMTSIM_FUZZ_CORPUS  output dir for repros (default fuzz-findings)
+set -eu
+
+build=${1:-build}
+runs=${2:-2000}
+seed=${3:-$(date -u +%Y%m%d)}
+corpus=${SMTSIM_FUZZ_CORPUS:-fuzz-findings}
+
+fuzz="$build/tools/smtsim-fuzz"
+if [ ! -x "$fuzz" ]; then
+    echo "smtsim-fuzz not built in $build (cmake --build $build)" >&2
+    exit 2
+fi
+
+echo "fuzz soak: runs=$runs seed=$seed corpus=$corpus"
+"$fuzz" --replay tests/data/fuzz-corpus
+exec "$fuzz" --runs "$runs" --seed "$seed" --shrink --corpus "$corpus"

@@ -1,0 +1,232 @@
+#include "asmr/disasm.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "isa/insn.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+/** Branch target address encoded by a BR1/BR2 instruction at @p pc. */
+Addr
+branchTarget(Addr pc, const Insn &insn)
+{
+    return static_cast<Addr>(static_cast<std::int64_t>(pc) +
+                             kInsnBytes +
+                             static_cast<std::int64_t>(insn.imm) *
+                                 kInsnBytes);
+}
+
+/** Jump target address encoded by a JF instruction. */
+Addr
+jumpTarget(const Insn &insn)
+{
+    return static_cast<Addr>(
+               static_cast<std::uint32_t>(insn.imm))
+           << 2;
+}
+
+bool
+isControlTransfer(Format f)
+{
+    return f == Format::BR1 || f == Format::BR2 || f == Format::JF;
+}
+
+} // namespace
+
+std::string
+programToAsm(const Program &prog)
+{
+    if (prog.text_base != kDefaultTextBase ||
+        prog.data_base != kDefaultDataBase) {
+        fatal("programToAsm: only the default segment bases are "
+              "expressible (text ",
+              hexAddr(prog.text_base), ", data ",
+              hexAddr(prog.data_base), ")");
+    }
+
+    const Addr text_end = prog.textEnd();
+    const Addr data_end =
+        prog.data_base + static_cast<Addr>(prog.data.size());
+
+    // Partition the symbol table: labels we can place in the text
+    // stream, labels we can place in the data stream, and everything
+    // else (constants, odd addresses) that must travel as .equ.
+    std::multimap<Addr, std::string> text_labels, data_labels;
+    std::vector<std::pair<std::string, Addr>> equs;
+    for (const auto &[name, addr] : prog.symbols) {
+        if (prog.holdsInsn(addr) ||
+            (addr == text_end && addr > prog.text_base)) {
+            text_labels.emplace(addr, name);
+        } else if (addr >= prog.data_base && addr <= data_end) {
+            data_labels.emplace(addr, name);
+        } else {
+            equs.emplace_back(name, addr);
+        }
+    }
+
+    // Entry point: the assembler derives it from the "main" symbol
+    // (or defaults to text_base), so the image's entry must agree.
+    if (auto it = prog.symbols.find("main");
+        it != prog.symbols.end()) {
+        if (it->second != prog.entry) {
+            fatal("programToAsm: \"main\" symbol at ",
+                  hexAddr(it->second),
+                  " disagrees with the entry point ",
+                  hexAddr(prog.entry));
+        }
+    } else if (prog.entry != prog.text_base) {
+        if (!prog.holdsInsn(prog.entry)) {
+            fatal("programToAsm: entry ", hexAddr(prog.entry),
+                  " is outside the text segment");
+        }
+        text_labels.emplace(prog.entry, "main");
+    }
+
+    // Decode everything up front and synthesize labels for
+    // control-flow targets that have none (disassemble() prints raw
+    // offsets, which the assembler does not accept).
+    std::vector<Insn> insns;
+    insns.reserve(prog.text.size());
+    std::map<Addr, std::string> synth;
+    for (std::size_t i = 0; i < prog.text.size(); ++i) {
+        const Addr pc =
+            prog.text_base + static_cast<Addr>(i) * kInsnBytes;
+        insns.push_back(decode(prog.text[i]));
+        const Insn &insn = insns.back();
+        const Format f = opMeta(insn.op).format;
+        if (!isControlTransfer(f))
+            continue;
+        const Addr target = f == Format::JF ? jumpTarget(insn)
+                                            : branchTarget(pc, insn);
+        if (prog.holdsInsn(target) && !text_labels.count(target))
+            synth.emplace(target, "");
+    }
+    for (auto &[addr, name] : synth) {
+        std::string candidate = "L_" + hexAddr(addr).substr(2);
+        while (prog.symbols.count(candidate))
+            candidate += "_";
+        name = candidate;
+    }
+
+    auto targetExpr = [&](Addr target) -> std::string {
+        if (auto it = synth.find(target); it != synth.end())
+            return it->second;
+        auto range = text_labels.equal_range(target);
+        if (range.first != range.second)
+            return range.first->second;
+        return hexAddr(target);     // out-of-text absolute target
+    };
+
+    std::ostringstream os;
+    for (const auto &[name, value] : equs)
+        os << "        .equ " << name << ", " << hexAddr(value)
+           << "\n";
+
+    os << "        .text\n";
+    for (std::size_t i = 0; i < prog.text.size(); ++i) {
+        const Addr pc =
+            prog.text_base + static_cast<Addr>(i) * kInsnBytes;
+        auto range = text_labels.equal_range(pc);
+        for (auto it = range.first; it != range.second; ++it)
+            os << it->second << ":\n";
+        if (auto it = synth.find(pc); it != synth.end())
+            os << it->second << ":\n";
+
+        const Insn &insn = insns[i];
+        const Format f = opMeta(insn.op).format;
+        os << "        ";
+        if (f == Format::BR2) {
+            os << opMeta(insn.op).mnemonic << " r"
+               << static_cast<int>(insn.rs) << ", r"
+               << static_cast<int>(insn.rt) << ", "
+               << targetExpr(branchTarget(pc, insn));
+        } else if (f == Format::BR1) {
+            os << opMeta(insn.op).mnemonic << " r"
+               << static_cast<int>(insn.rs) << ", "
+               << targetExpr(branchTarget(pc, insn));
+        } else if (f == Format::JF) {
+            os << opMeta(insn.op).mnemonic << " "
+               << targetExpr(jumpTarget(insn));
+        } else {
+            os << disassemble(insn);
+        }
+        os << "\n";
+    }
+    {   // labels sitting one past the last instruction
+        auto range = text_labels.equal_range(text_end);
+        for (auto it = range.first; it != range.second; ++it)
+            os << it->second << ":\n";
+    }
+
+    if (prog.data.empty() && data_labels.empty())
+        return os.str();
+
+    os << "        .data\n";
+    std::set<Addr> boundaries;
+    for (const auto &[addr, name] : data_labels)
+        boundaries.insert(addr);
+
+    const std::vector<std::uint8_t> &d = prog.data;
+    std::size_t i = 0;
+    auto emitLabels = [&](Addr addr) {
+        auto range = data_labels.equal_range(addr);
+        for (auto it = range.first; it != range.second; ++it)
+            os << it->second << ":\n";
+    };
+    while (i < d.size()) {
+        const Addr addr = prog.data_base + static_cast<Addr>(i);
+        emitLabels(addr);
+        // The segment runs to the next label (labels force directive
+        // boundaries because there is no sub-word data directive).
+        auto next = boundaries.upper_bound(addr);
+        std::size_t seg_end =
+            next == boundaries.end()
+                ? d.size()
+                : static_cast<std::size_t>(*next - prog.data_base);
+        // Compress the all-zero tail of the segment into .space.
+        std::size_t last_nonzero = i;
+        for (std::size_t j = i; j < seg_end; ++j) {
+            if (d[j] != 0)
+                last_nonzero = j + 1;
+        }
+        while (i < seg_end) {
+            if (i >= last_nonzero) {
+                os << "        .space " << (seg_end - i) << "\n";
+                i = seg_end;
+                break;
+            }
+            if (seg_end - i < 4) {
+                fatal("programToAsm: non-zero data tail of ",
+                      seg_end - i,
+                      " bytes is not expressible with .word");
+            }
+            const std::uint32_t w =
+                static_cast<std::uint32_t>(d[i]) |
+                (static_cast<std::uint32_t>(d[i + 1]) << 8) |
+                (static_cast<std::uint32_t>(d[i + 2]) << 16) |
+                (static_cast<std::uint32_t>(d[i + 3]) << 24);
+            os << "        .word " << w << "\n";
+            i += 4;
+        }
+    }
+    emitLabels(data_end);
+    return os.str();
+}
+
+} // namespace smtsim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Program -> assembly round-trip serialization.
+ *
+ * Renders an assembled Program back into source the assembler
+ * accepts, such that `assemble(programToAsm(p))` reproduces the same
+ * text words, data bytes, entry point and symbols. Plain
+ * disassembly is not enough for that: branch and jump operands print
+ * as raw offsets/word indices while the assembler expects target
+ * *expressions*, so this pass resolves every control-flow target to
+ * a label (an existing symbol, or a synthesized `L_<addr>` one).
+ */
+
+#ifndef SMTSIM_ASMR_DISASM_HH
+#define SMTSIM_ASMR_DISASM_HH
+
+#include <string>
+
+#include "asmr/program.hh"
+
+namespace smtsim
+{
+
+/**
+ * Serialize @p prog as assembly source.
+ *
+ * Throws FatalError for images this textual format cannot express:
+ * a data segment whose trailing non-word-sized bytes are non-zero,
+ * or a "main" symbol pointing anywhere but the entry.
+ */
+std::string programToAsm(const Program &prog);
+
+} // namespace smtsim
+
+#endif // SMTSIM_ASMR_DISASM_HH

@@ -211,6 +211,25 @@ MultithreadedProcessor::operandsReady(const Slot &slot,
     return pops == 0 || ring_regs_.canPop(slot_id, pops);
 }
 
+int
+MultithreadedProcessor::queuePopCount(const Context &ctx,
+                                      const Insn &insn) const
+{
+    RegRef srcs[3];
+    const int n = insn.srcs(srcs);
+    int pops = 0;
+    for (int i = 0; i < n; ++i) {
+        const RegRef &src = srcs[i];
+        if ((src.file == RF::Int && ctx.q_read_int &&
+             *ctx.q_read_int == src.idx) ||
+            (src.file == RF::Fp && ctx.q_read_fp &&
+             *ctx.q_read_fp == src.idx)) {
+            ++pops;
+        }
+    }
+    return pops;
+}
+
 OperandValues
 MultithreadedProcessor::readOperands(int slot_id, const Insn &insn)
 {
@@ -499,12 +518,24 @@ MultithreadedProcessor::unbindSlot(int slot_id)
 }
 
 Addr
-MultithreadedProcessor::nextUnissuedPc(const Slot &slot) const
+MultithreadedProcessor::nextUnissuedPc(int slot_id) const
 {
+    const Slot &slot = slots_[slot_id];
     if (!slot.window.empty())
         return slot.window.front().pc;
     if (!slot.iqueue.empty())
         return slot.iqueue.front();
+    // fetch_addr has already advanced past any in-flight fetch
+    // block; resuming there would skip the block's instructions
+    // once the switch-out cancels the fetch.
+    if (slot.fetch_inflight) {
+        const FetchPort &port =
+            ports_[cfg_.private_icache ? slot_id : 0];
+        for (const FetchOp &op : port.inflight) {
+            if (op.slot == slot_id)
+                return op.addr;
+        }
+    }
     return slot.fetch_addr;
 }
 
@@ -605,7 +636,7 @@ MultithreadedProcessor::takeRemoteTrap(const IssuedOp &op, Cycle c)
     ctx.ready_at = c + cfg_.remote.latency;
     ctx.satisfied_addr = addr;
     ctx.replay.push_back(ReplayEntry{op.insn, op.pc});
-    ctx.resume_pc = nextUnissuedPc(slot);
+    ctx.resume_pc = nextUnissuedPc(op.slot);
 
     flushFrontEnd(op.slot);
     slot.trap_pending = true;
@@ -965,6 +996,7 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
         int issues = 0;
         bool mem_blocked = false;
         bool queue_write_blocked = false;
+        bool queue_read_blocked = false;
         bool flushed = false;
         std::uint32_t pr_int = 0, pr_fp = 0;
         std::uint32_t pw_int = 0, pw_fp = 0;
@@ -1039,6 +1071,15 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
             if (issuable && insn.isMem() &&
                 (slot.ungranted_mem > 0 || mem_blocked)) {
                 ++*stall_memorder_;
+                issuable = false;
+            }
+
+            // Queue-register reads dequeue, so they must stay in
+            // program order: a younger pop may not overtake an
+            // older instruction still waiting in the window.
+            if (issuable && queue_read_blocked &&
+                queuePopCount(ctx, insn) > 0) {
+                ++*stall_operands_;
                 issuable = false;
             }
 
@@ -1119,9 +1160,11 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
                 }
                 if (insn.isMem())
                     mem_blocked = true;
-                // Conservatively keep queue writes in order even
-                // when we cannot cheaply tell the mapping here.
+                // Conservatively keep queue writes and reads in
+                // order even when we cannot cheaply tell the
+                // mapping here.
                 queue_write_blocked = true;
+                queue_read_blocked = true;
             }
         }
 

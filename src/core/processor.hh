@@ -233,6 +233,9 @@ class MultithreadedProcessor
                        const Insn &insn, Cycle c,
                        std::uint32_t pw_int,
                        std::uint32_t pw_fp) const;
+    /** Queue-register pops @p insn performs under @p ctx's current
+     *  queue mappings (0 = reads no queue register). */
+    int queuePopCount(const Context &ctx, const Insn &insn) const;
     Cycle &sbOf(Slot &slot, RegRef ref);
     Cycle sbOf(const Slot &slot, RegRef ref) const;
 
@@ -247,7 +250,7 @@ class MultithreadedProcessor
     void unbindSlot(int slot_id);
     void flushFrontEnd(int slot_id);
     void killOtherThreads(int killer_slot, Cycle c);
-    Addr nextUnissuedPc(const Slot &slot) const;
+    Addr nextUnissuedPc(int slot_id) const;
 
     // fetch helpers
     FetchPort &portOf(int slot_id);

@@ -1,0 +1,566 @@
+#include "generate.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace smtsim::fuzz
+{
+
+namespace
+{
+
+/** Pseudo-instructions that expand to two text words. */
+bool
+isTwoWordLine(const std::string &line)
+{
+    return line.rfind("la ", 0) == 0 || line.rfind("li ", 0) == 0;
+}
+
+// Built via insert-free concatenation: GCC 12's -Wrestrict fires a
+// false positive (PR105329) on `"r" + std::to_string(i)` at -O3.
+std::string
+reg(char file, int idx)
+{
+    std::string s(1, file);
+    s += std::to_string(idx);
+    return s;
+}
+
+std::string
+r(int idx)
+{
+    return reg('r', idx);
+}
+
+std::string
+f(int idx)
+{
+    return reg('f', idx);
+}
+
+/**
+ * The generator proper. All randomness flows through one Rng in a
+ * fixed draw order, so a seed maps to exactly one program on every
+ * host.
+ */
+class Gen
+{
+  public:
+    explicit Gen(const GenOptions &opts)
+        : opts_(opts), rng_(opts.seed * 0x9e3779b97f4a7c15ull + 1)
+    {}
+
+    GenProgram run();
+
+  private:
+    int below(int n) { return static_cast<int>(rng_.nextBelow(n)); }
+    bool chance(int percent) { return below(100) < percent; }
+
+    // ----- operand pickers ---------------------------------------
+    /** Writable integer data register (r8..r15). */
+    std::string intDst() { return r(8 + below(8)); }
+    /** Readable integer register (data regs + tid/nslot + r0). */
+    std::string
+    intSrc()
+    {
+        const int pick = below(12);
+        if (pick < 8)
+            return r(8 + pick);
+        if (pick == 8)
+            return r(5);    // tid
+        if (pick == 9)
+            return r(6);    // nslot
+        return r(0);
+    }
+    std::string fpDst() { return f(below(8)); }
+    std::string fpSrc() { return f(below(8)); }
+
+    /** Aligned offset into a region of @p bytes, @p align bytes. */
+    int
+    offset(int bytes, int align)
+    {
+        // Bias toward small offsets so stores and loads alias often.
+        const int words = bytes / align;
+        const int w = chance(50) ? below(words < 8 ? words : 8)
+                                 : below(words);
+        return w * align;
+    }
+
+    // ----- leaf instruction builders -----------------------------
+    std::string aluInsn();
+    std::string shiftInsn();
+    std::string mulInsn();
+    std::string loadInsn();
+    std::string storeInsn();
+    std::string fpInsn();
+    std::string fpCmpInsn();
+    std::string convInsn();
+    std::string anyLeaf();
+    std::string burstLeaf(int cls);
+
+    // ----- unit builders -----------------------------------------
+    GenUnit codeUnit();
+    GenUnit loopUnit(bool uniform, int depth);
+    GenUnit ifUnit(int depth);
+    GenUnit queueUnit();
+    std::vector<GenUnit> body(int count, bool uniform, int depth);
+
+    GenOptions opts_;
+    Rng rng_;
+    GenFeatures feat_;
+    int loop_depth_ = 0;
+};
+
+std::string
+Gen::aluInsn()
+{
+    static const char *r3[] = {"add", "sub", "and", "or",
+                               "xor", "nor", "slt", "sltu"};
+    static const char *imm[] = {"addi", "slti", "andi", "ori",
+                                "xori"};
+    if (chance(55)) {
+        return std::string(r3[below(8)]) + " " + intDst() + ", " +
+               intSrc() + ", " + intSrc();
+    }
+    const int which = below(5);
+    const bool sign = which < 2;    // addi/slti sign-extend
+    const int v = sign ? below(8192) - 4096 : below(0x10000);
+    return std::string(imm[which]) + " " + intDst() + ", " +
+           intSrc() + ", " + std::to_string(v);
+}
+
+std::string
+Gen::shiftInsn()
+{
+    static const char *shi[] = {"sll", "srl", "sra"};
+    static const char *shv[] = {"sllv", "srlv", "srav"};
+    if (chance(60)) {
+        return std::string(shi[below(3)]) + " " + intDst() + ", " +
+               intSrc() + ", " + std::to_string(below(32));
+    }
+    return std::string(shv[below(3)]) + " " + intDst() + ", " +
+           intSrc() + ", " + intSrc();
+}
+
+std::string
+Gen::mulInsn()
+{
+    static const char *ops[] = {"mul", "divq", "remq"};
+    return std::string(ops[below(3)]) + " " + intDst() + ", " +
+           intSrc() + ", " + intSrc();
+}
+
+std::string
+Gen::loadInsn()
+{
+    if (feat_.fp && chance(35)) {
+        // FP loads: private slice or the read-only double table.
+        if (chance(60)) {
+            return "lf " + fpDst() + ", " +
+                   std::to_string(offset(kSliceBytes, 8)) + "(r1)";
+        }
+        return "lf " + fpDst() + ", " +
+               std::to_string(offset(64, 8)) + "(r3)";
+    }
+    if (chance(60)) {
+        return "lw " + intDst() + ", " +
+               std::to_string(offset(kSliceBytes, 4)) + "(r1)";
+    }
+    return "lw " + intDst() + ", " + std::to_string(offset(64, 4)) +
+           "(r2)";
+}
+
+std::string
+Gen::storeInsn()
+{
+    const bool pst = feat_.priority && chance(25);
+    if (feat_.fp && chance(35)) {
+        return std::string(pst ? "pstf " : "sf ") + fpSrc() + ", " +
+               std::to_string(offset(kSliceBytes, 8)) + "(r1)";
+    }
+    return std::string(pst ? "pstw " : "sw ") + intSrc() + ", " +
+           std::to_string(offset(kSliceBytes, 4)) + "(r1)";
+}
+
+std::string
+Gen::fpInsn()
+{
+    static const char *fr3[] = {"fadd", "fsub", "fmul", "fdiv"};
+    static const char *fr2[] = {"fabs", "fneg", "fmov", "fsqrt"};
+    if (chance(60)) {
+        return std::string(fr3[below(4)]) + " " + fpDst() + ", " +
+               fpSrc() + ", " + fpSrc();
+    }
+    return std::string(fr2[below(4)]) + " " + fpDst() + ", " +
+           fpSrc();
+}
+
+std::string
+Gen::fpCmpInsn()
+{
+    static const char *ops[] = {"fcmplt", "fcmple", "fcmpeq"};
+    return std::string(ops[below(3)]) + " " + intDst() + ", " +
+           fpSrc() + ", " + fpSrc();
+}
+
+std::string
+Gen::convInsn()
+{
+    if (chance(50))
+        return "itof " + fpDst() + ", " + intSrc();
+    return "ftoi " + intDst() + ", " + fpSrc();
+}
+
+std::string
+Gen::anyLeaf()
+{
+    // Category weights; FP categories collapse onto int ones when
+    // the program has no FP feature.
+    const int w = below(100);
+    if (w < 30)
+        return aluInsn();
+    if (w < 42)
+        return shiftInsn();
+    if (w < 52)
+        return mulInsn();
+    if (w < 68)
+        return loadInsn();
+    if (w < 82)
+        return storeInsn();
+    if (!feat_.fp)
+        return chance(50) ? aluInsn() : loadInsn();
+    if (w < 92)
+        return fpInsn();
+    if (w < 96)
+        return fpCmpInsn();
+    return convInsn();
+}
+
+/** One instruction of a fixed FU class (standby-station stress). */
+std::string
+Gen::burstLeaf(int cls)
+{
+    switch (cls) {
+      case 0: return mulInsn();
+      case 1: return feat_.fp ? fpInsn() : mulInsn();
+      case 2:
+        if (feat_.fp) {
+            // FP divider: longest issue/result latencies.
+            return chance(50)
+                       ? "fdiv " + fpDst() + ", " + fpSrc() + ", " +
+                             fpSrc()
+                       : "fsqrt " + fpDst() + ", " + fpSrc();
+        }
+        return mulInsn();
+      default:
+        return chance(50) ? loadInsn() : storeInsn();
+    }
+}
+
+GenUnit
+Gen::codeUnit()
+{
+    GenUnit u;
+    u.kind = GenUnit::Kind::Code;
+    if (chance(25)) {
+        // Homogeneous burst: every thread slams one FU class, so
+        // standby stations and schedule-unit arbitration contend.
+        const int cls = below(4);
+        const int n = 3 + below(4);
+        for (int i = 0; i < n; ++i)
+            u.code.push_back(burstLeaf(cls));
+    } else {
+        const int n = 1 + below(5);
+        for (int i = 0; i < n; ++i)
+            u.code.push_back(anyLeaf());
+    }
+    if (feat_.priority && chance(20))
+        u.code.push_back("chgpri");
+    return u;
+}
+
+GenUnit
+Gen::loopUnit(bool uniform, int depth)
+{
+    GenUnit u;
+    u.kind = GenUnit::Kind::Loop;
+    u.trip = 1 + below(6);
+    u.counter = 16 + loop_depth_;
+    ++loop_depth_;
+    u.kids = body(1 + below(3), uniform, depth + 1);
+    --loop_depth_;
+    return u;
+}
+
+GenUnit
+Gen::ifUnit(int depth)
+{
+    GenUnit u;
+    u.kind = GenUnit::Kind::If;
+    static const char *br2[] = {"beq", "bne"};
+    static const char *br1[] = {"blez", "bgtz", "bltz", "bgez"};
+    if (chance(50)) {
+        u.cond = std::string(br2[below(2)]) + " " + intSrc() + ", " +
+                 intSrc();
+    } else {
+        u.cond = std::string(br1[below(4)]) + " " + intSrc();
+    }
+    // Body executes thread-dependently: no queue traffic below here.
+    u.kids = body(1 + below(3), false, depth + 1);
+    return u;
+}
+
+GenUnit
+Gen::queueUnit()
+{
+    GenUnit u;
+    u.kind = GenUnit::Kind::Queue;
+    const bool fp = feat_.fp_queues &&
+                    (!feat_.int_queues || chance(50));
+    u.burst = 1 + below(4);     // <= queue depth (4)
+    for (int i = 0; i < u.burst; ++i) {
+        if (fp) {
+            u.code.push_back(chance(50)
+                                 ? "fmov f9, " + fpSrc()
+                                 : "fadd f9, " + fpSrc() + ", " +
+                                       fpSrc());
+        } else {
+            u.code.push_back(
+                chance(50) ? "add r21, " + intSrc() + ", r0"
+                           : "addi r21, " + intSrc() + ", " +
+                                 std::to_string(below(256)));
+        }
+    }
+    for (int i = 0; i < u.burst; ++i) {
+        if (fp) {
+            u.code.push_back(
+                chance(60) ? "fmov " + fpDst() + ", f8"
+                           : "sf f8, " +
+                                 std::to_string(
+                                     offset(kSliceBytes, 8)) +
+                                 "(r1)");
+        } else {
+            u.code.push_back(
+                chance(60) ? "add " + intDst() + ", r20, r0"
+                           : "sw r20, " +
+                                 std::to_string(
+                                     offset(kSliceBytes, 4)) +
+                                 "(r1)");
+        }
+    }
+    return u;
+}
+
+std::vector<GenUnit>
+Gen::body(int count, bool uniform, int depth)
+{
+    std::vector<GenUnit> units;
+    for (int i = 0; i < count; ++i) {
+        const int w = below(100);
+        if (depth < 3 && w < 18 && loop_depth_ < 3) {
+            units.push_back(loopUnit(uniform, depth));
+        } else if (depth < 3 && w < 32) {
+            units.push_back(ifUnit(depth));
+        } else if (uniform && feat_.usesQueues() && w < 55) {
+            units.push_back(queueUnit());
+        } else {
+            units.push_back(codeUnit());
+        }
+    }
+    return units;
+}
+
+GenProgram
+Gen::run()
+{
+    GenProgram prog;
+    prog.seed = opts_.seed;
+
+    // Feature draw (fixed order for determinism).
+    feat_.fp = opts_.allow_fp && chance(70);
+    if (opts_.allow_queues && chance(45)) {
+        feat_.int_queues = chance(80);
+        feat_.fp_queues = feat_.fp && (!feat_.int_queues || chance(40));
+        if (!feat_.int_queues && !feat_.fp_queues)
+            feat_.int_queues = true;
+    }
+    // Priority-gated instructions block until the thread reaches the
+    // ring head; mixed with queue blocking they could cross-deadlock,
+    // so a program draws one of the two features at most.
+    feat_.priority = !feat_.usesQueues() && opts_.allow_priority &&
+                     chance(40);
+    feat_.setrmode = chance(30);
+    prog.features = feat_;
+
+    // Read-only data tables: a mix of full-range and small values so
+    // branches and divisions see both regimes.
+    for (int i = 0; i < 16; ++i) {
+        prog.table.push_back(
+            chance(50) ? static_cast<std::uint32_t>(rng_.next())
+                       : static_cast<std::uint32_t>(below(16)));
+    }
+    for (int i = 0; i < 8; ++i)
+        prog.ftable.push_back(rng_.nextRange(-4.0, 4.0));
+
+    // ----- init units --------------------------------------------
+    auto code1 = [](std::string line, bool removable = true) {
+        GenUnit u;
+        u.kind = GenUnit::Kind::Code;
+        u.code.push_back(std::move(line));
+        u.removable = removable;
+        return u;
+    };
+    prog.units.push_back(code1("la r1, priv"));
+    prog.units.push_back(code1("la r2, table"));
+    if (feat_.fp)
+        prog.units.push_back(code1("la r3, ftab"));
+    if (feat_.setrmode) {
+        prog.units.push_back(code1(
+            std::string("setrmode ") +
+            (chance(50) ? "implicit" : "explicit") + ", " +
+            std::to_string(1 << below(6))));
+    }
+
+    // Fork block: atomic so the tid-derived private-slice base can
+    // never survive without the fork (shrinking it apart would let
+    // every thread write slice 0 and the program would stop being
+    // interleaving-deterministic).
+    {
+        GenUnit fork;
+        fork.kind = GenUnit::Kind::Code;
+        fork.code = {"fastfork", "tid r5", "nslot r6",
+                     "sll r7, r5, 8", "add r1, r1, r7"};
+        // Queue exchange blocks are deadlock-free only when every
+        // logical processor participates; dropping the fork would
+        // leave thread 0 receiving from a ring nobody feeds.
+        fork.removable = !feat_.usesQueues();
+        prog.units.push_back(std::move(fork));
+    }
+
+    if (feat_.int_queues)
+        prog.units.push_back(code1("qen r20, r21"));
+    if (feat_.fp_queues)
+        prog.units.push_back(code1("qenf f8, f9"));
+
+    // Seed registers so the body starts from varied values.
+    prog.units.push_back(code1("lw r8, 0(r2)"));
+    prog.units.push_back(code1("lw r9, 4(r2)"));
+    prog.units.push_back(code1("add r12, r5, r0"));
+    if (feat_.fp) {
+        prog.units.push_back(code1("lf f0, 0(r3)"));
+        prog.units.push_back(code1("lf f1, 8(r3)"));
+    }
+
+    // ----- body --------------------------------------------------
+    for (GenUnit &u : body(2 + below(opts_.max_top_units - 1),
+                           /*uniform=*/true, /*depth=*/0)) {
+        prog.units.push_back(std::move(u));
+    }
+
+    if (feat_.usesQueues())
+        prog.units.push_back(code1("qdis"));
+    return prog;
+}
+
+void
+renderUnit(std::ostringstream &os, const GenUnit &u, int &label)
+{
+    switch (u.kind) {
+      case GenUnit::Kind::Code:
+      case GenUnit::Kind::Queue:
+        for (const std::string &line : u.code)
+            os << "        " << line << "\n";
+        break;
+      case GenUnit::Kind::Loop: {
+        const int l = label++;
+        os << "        addi r" << u.counter << ", r0, " << u.trip
+           << "\n";
+        os << "L" << l << ":\n";
+        for (const GenUnit &kid : u.kids)
+            renderUnit(os, kid, label);
+        os << "        addi r" << u.counter << ", r" << u.counter
+           << ", -1\n";
+        os << "        bgtz r" << u.counter << ", L" << l << "\n";
+        break;
+      }
+      case GenUnit::Kind::If: {
+        const int l = label++;
+        os << "        " << u.cond << ", L" << l << "\n";
+        for (const GenUnit &kid : u.kids)
+            renderUnit(os, kid, label);
+        os << "L" << l << ":\n";
+        break;
+      }
+    }
+}
+
+} // namespace
+
+int
+GenUnit::countInsns() const
+{
+    int n = 0;
+    for (const std::string &line : code)
+        n += isTwoWordLine(line) ? 2 : 1;
+    for (const GenUnit &kid : kids)
+        n += kid.countInsns();
+    switch (kind) {
+      case Kind::Loop: return n + 3;    // counter init, dec, latch
+      case Kind::If: return n + 1;      // the branch
+      default: return n;
+    }
+}
+
+int
+GenProgram::countInsns() const
+{
+    int n = 1;      // halt
+    for (const GenUnit &u : units)
+        n += u.countInsns();
+    return n;
+}
+
+std::string
+GenProgram::render() const
+{
+    std::ostringstream os;
+    os << "# smtsim-fuzz generated program\n";
+    os << "# seed: " << seed << "\n";
+    os << "        .text\n";
+    os << "main:\n";
+    int label = 0;
+    for (const GenUnit &u : units)
+        renderUnit(os, u, label);
+    os << "        halt\n";
+    os << "        .data\n";
+    os << "priv:   .space " << kSliceBytes * kMaxFuzzSlots << "\n";
+    os << "table:";
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        os << (i % 4 == 0 ? (i ? "\n        .word " : "  .word ")
+                          : ", ")
+           << table[i];
+    }
+    os << "\n";
+    os << "ftab:";
+    for (std::size_t i = 0; i < ftable.size(); ++i) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", ftable[i]);
+        os << (i % 4 == 0 ? (i ? "\n        .float " : "  .float ")
+                          : ", ")
+           << buf;
+    }
+    os << "\n";
+    return os.str();
+}
+
+GenProgram
+generate(const GenOptions &opts)
+{
+    SMTSIM_ASSERT(opts.max_top_units >= 2,
+                  "generator needs at least two body units");
+    return Gen(opts).run();
+}
+
+} // namespace smtsim::fuzz

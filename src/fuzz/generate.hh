@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic random program generator for differential fuzzing.
+ *
+ * Programs are generated as a tree of units (straight-line code,
+ * bounded loops, forward branches, queue-register exchange blocks)
+ * and rendered to assembly on demand. Every generated program is
+ * well-formed by construction:
+ *
+ *  - Termination (fuel): every loop decrements a dedicated counter
+ *    register initialised to a constant trip count; there are no
+ *    backward branches outside loop latches and no indirect jumps.
+ *  - Determinism across engines: threads are SPMD (fast-fork, then
+ *    one tid read); every store targets the thread's private slice
+ *    of the scratch region, so final memory does not depend on the
+ *    interleaving an engine happens to produce. Shared data is
+ *    read-only. KILLT is never generated (its effect is inherently
+ *    timing-dependent).
+ *  - Deadlock freedom: queue-register traffic is organised as
+ *    atomic "exchange blocks" of b sends followed by b receives
+ *    with b <= queue depth, placed only at thread-uniform points
+ *    (top level or inside constant-trip loops, never under a
+ *    data-dependent branch), so send/receive counts match around
+ *    the ring and FIFO occupancy never exceeds capacity. Programs
+ *    that use queue registers never use the priority-gated
+ *    instructions (CHGPRI / priority stores) and vice versa, which
+ *    rules out cross-blocking cycles.
+ *
+ * The same tree is the unit of shrinking: removing any unit whose
+ * `removable` flag is set preserves all of the properties above.
+ */
+
+#ifndef SMTSIM_FUZZ_GENERATE_HH
+#define SMTSIM_FUZZ_GENERATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smtsim::fuzz
+{
+
+/** Generator tuning knobs. */
+struct GenOptions
+{
+    std::uint64_t seed = 1;
+    /** Top-level body units (loops/ifs expand recursively). */
+    int max_top_units = 10;
+    /** Feature gates (a program draws a subset of the allowed set). */
+    bool allow_queues = true;
+    bool allow_fp = true;
+    bool allow_priority = true;
+};
+
+/** Features drawn for one program (drives oracle grid choices). */
+struct GenFeatures
+{
+    bool int_queues = false;
+    bool fp_queues = false;
+    /** CHGPRI / priority stores (mutually exclusive with queues). */
+    bool priority = false;
+    bool fp = false;
+    bool setrmode = false;
+
+    bool usesQueues() const { return int_queues || fp_queues; }
+};
+
+/** One node of the program tree. */
+struct GenUnit
+{
+    enum class Kind
+    {
+        Code,   ///< straight-line instructions (no labels)
+        Loop,   ///< constant-trip counted loop around kids
+        If,     ///< forward conditional branch over kids
+        Queue   ///< atomic send/receive exchange block
+    };
+
+    Kind kind = Kind::Code;
+    /** Instruction lines (Code and Queue bodies). */
+    std::vector<std::string> code;
+    /** Loop trip count (>= 1). */
+    int trip = 1;
+    /** Loop counter register index (r16..r19 by nesting depth). */
+    int counter = 16;
+    /** If condition without target, e.g. "bne r8, r9". */
+    std::string cond;
+    /** Queue block: number of send/receive pairs (code holds the
+     *  burst sends followed by the burst receives). */
+    int burst = 0;
+    std::vector<GenUnit> kids;
+    /** May the shrinker delete this unit outright? */
+    bool removable = true;
+
+    int countInsns() const;
+};
+
+/** A generated program: unit tree + read-only data tables. */
+struct GenProgram
+{
+    std::uint64_t seed = 0;
+    GenFeatures features;
+    /** Init units, body units and tail units, in program order. */
+    std::vector<GenUnit> units;
+    /** Shared read-only word table ("table" symbol). */
+    std::vector<std::uint32_t> table;
+    /** Shared read-only double table ("ftab" symbol). */
+    std::vector<double> ftable;
+
+    /** Render to assembly source (deterministic). */
+    std::string render() const;
+    /** Static instruction count of the rendered program. */
+    int countInsns() const;
+};
+
+/** Bytes of private scratch per logical processor. */
+constexpr int kSliceBytes = 256;
+/** Largest thread-slot count a generated program must be valid for. */
+constexpr int kMaxFuzzSlots = 8;
+
+/** Generate one program from @p opts (same options => same bytes). */
+GenProgram generate(const GenOptions &opts);
+
+} // namespace smtsim::fuzz
+
+#endif // SMTSIM_FUZZ_GENERATE_HH

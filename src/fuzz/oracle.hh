@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Differential oracle: run one program through the interpreter, the
+ * baseline pipeline and the multithreaded core across a grid of
+ * configurations and diff the architectural outcomes.
+ *
+ * The reference for every comparison is the interpreter at the same
+ * logical-processor count, because a fuzz program's final state is
+ * only interleaving-independent *per thread count* (each thread owns
+ * a private memory slice indexed by TID, and queue traffic wraps a
+ * ring whose shape depends on S). The baseline engine executes the
+ * thread-control instructions as no-ops, so it is compared against
+ * interpreter(1) and skipped entirely for queue-register programs.
+ */
+
+#ifndef SMTSIM_FUZZ_ORACLE_HH
+#define SMTSIM_FUZZ_ORACLE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "fuzz/generate.hh"
+
+namespace smtsim::fuzz
+{
+
+enum class Engine
+{
+    Interp,
+    Baseline,
+    Core
+};
+
+/** One cell of the oracle grid. */
+struct RunConfig
+{
+    Engine engine = Engine::Core;
+    /** Thread slots (core) / logical processors (interp). */
+    int slots = 4;
+    bool fast_forward = true;
+    /** Finite i+d cache models on (timing-only; results identical). */
+    bool cache = false;
+    bool standby = true;
+    int width = 1;
+    bool explicit_rot = false;
+    int interval = 8;
+    /** Map the shared word table as remote memory (data-absence
+     *  traps + concurrent-MT context switches). */
+    bool remote = false;
+
+    /** Human-readable cell name for reports and repro files. */
+    std::string name() const;
+};
+
+/** Architectural outcome of one engine run. */
+struct EngineState
+{
+    /** Engine threw FatalError/PanicError. */
+    bool trapped = false;
+    std::string trap;
+    /** Ran to completion within budget. */
+    bool finished = false;
+    /** Retired instructions. */
+    std::uint64_t instructions = 0;
+    /** Per-thread integer registers. */
+    std::vector<std::array<std::uint32_t, kNumRegs>> iregs;
+    /** Per-thread FP registers as bit patterns. */
+    std::vector<std::array<std::uint64_t, kNumRegs>> fregs;
+    /** Data-segment words. */
+    std::vector<std::uint32_t> mem;
+};
+
+/** Simulation budgets (generated programs stay far below these; the
+ *  ceiling only matters when a real bug livelocks an engine). */
+struct OracleBudget
+{
+    std::uint64_t interp_max_steps = 50'000'000;
+    std::uint64_t max_cycles = 50'000'000;
+};
+
+/** Execute @p prog under one grid cell. Never throws: engine traps
+ *  are captured in the returned state. */
+EngineState runEngine(const Program &prog, const RunConfig &rc,
+                      const OracleBudget &budget = {});
+
+/**
+ * Compare two outcomes; returns an empty string when they agree or
+ * a one-line description of the first mismatch. When
+ * @p mask_queue_regs is set the architectural values of the queue
+ * pair registers (r20/r21, f8/f9) are ignored: while mapped, those
+ * names address the FIFO, and the leftover architectural values are
+ * not specified by the paper.
+ */
+std::string diffStates(const EngineState &ref,
+                       const EngineState &got,
+                       bool mask_queue_regs);
+
+/** (reference, candidate) grid for a program's feature set. */
+std::vector<std::pair<RunConfig, RunConfig>>
+buildGrid(const GenFeatures &features);
+
+/** One detected disagreement. */
+struct Divergence
+{
+    RunConfig ref;
+    RunConfig cfg;
+    std::string detail;
+};
+
+/**
+ * Coarse divergence signature, used by the shrinker to keep a
+ * candidate's failure on the *same* bug: delta debugging may
+ * otherwise slip from, say, a register mismatch to an unrelated
+ * budget-timeout divergence.
+ */
+enum class DivClass
+{
+    Trap,
+    Finished,
+    Instructions,
+    State       ///< registers or memory
+};
+
+DivClass classifyDivergence(const std::string &detail);
+
+/** Run one (ref, cfg) pair; nullopt when the outcomes agree. */
+std::optional<Divergence> checkPair(const Program &prog,
+                                    const GenFeatures &features,
+                                    const RunConfig &ref,
+                                    const RunConfig &cfg,
+                                    const OracleBudget &budget = {});
+
+/** Run the whole grid; first divergence wins. */
+std::optional<Divergence> checkProgram(const Program &prog,
+                                       const GenFeatures &features,
+                                       const OracleBudget &budget = {});
+
+} // namespace smtsim::fuzz
+
+#endif // SMTSIM_FUZZ_ORACLE_HH

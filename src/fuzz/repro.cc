@@ -1,0 +1,178 @@
+#include "repro.hh"
+
+#include <sstream>
+
+#include "asmr/assembler.hh"
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace smtsim::fuzz
+{
+
+namespace
+{
+
+const char *
+engineToken(Engine e)
+{
+    switch (e) {
+      case Engine::Interp: return "interp";
+      case Engine::Baseline: return "baseline";
+      case Engine::Core: return "core";
+    }
+    return "core";
+}
+
+Engine
+parseEngineToken(const std::string &tok)
+{
+    if (tok == "interp")
+        return Engine::Interp;
+    if (tok == "baseline")
+        return Engine::Baseline;
+    if (tok == "core")
+        return Engine::Core;
+    fatal("repro: unknown engine \"", tok, "\"");
+}
+
+int
+parseIntToken(const std::string &key, const std::string &value)
+{
+    long long v = 0;
+    if (!parseInt(value, &v))
+        fatal("repro: ", key, " needs an integer, got \"",
+              value, "\"");
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+std::string
+formatRunConfig(const RunConfig &rc)
+{
+    std::ostringstream os;
+    os << "engine=" << engineToken(rc.engine)
+       << " slots=" << rc.slots
+       << " ff=" << (rc.fast_forward ? 1 : 0)
+       << " cache=" << (rc.cache ? 1 : 0)
+       << " standby=" << (rc.standby ? 1 : 0)
+       << " width=" << rc.width
+       << " rot=" << (rc.explicit_rot ? "explicit" : "implicit")
+       << " interval=" << rc.interval
+       << " remote=" << (rc.remote ? 1 : 0);
+    return os.str();
+}
+
+RunConfig
+parseRunConfig(const std::string &text)
+{
+    RunConfig rc;
+    std::istringstream is(text);
+    std::string tok;
+    while (is >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            fatal("repro: malformed token \"", tok, "\"");
+        const std::string key = tok.substr(0, eq);
+        const std::string value = tok.substr(eq + 1);
+        if (key == "engine") {
+            rc.engine = parseEngineToken(value);
+        } else if (key == "slots") {
+            rc.slots = parseIntToken(key, value);
+        } else if (key == "ff") {
+            rc.fast_forward = parseIntToken(key, value) != 0;
+        } else if (key == "cache") {
+            rc.cache = parseIntToken(key, value) != 0;
+        } else if (key == "standby") {
+            rc.standby = parseIntToken(key, value) != 0;
+        } else if (key == "width") {
+            rc.width = parseIntToken(key, value);
+        } else if (key == "rot") {
+            if (value != "explicit" && value != "implicit")
+                fatal("repro: rot must be explicit|implicit");
+            rc.explicit_rot = value == "explicit";
+        } else if (key == "interval") {
+            rc.interval = parseIntToken(key, value);
+        } else if (key == "remote") {
+            rc.remote = parseIntToken(key, value) != 0;
+        } else {
+            fatal("repro: unknown config key \"", key, "\"");
+        }
+    }
+    if (rc.slots < 1)
+        fatal("repro: slots must be >= 1");
+    return rc;
+}
+
+std::string
+formatRepro(const GenProgram &prog, const Divergence &div)
+{
+    std::ostringstream os;
+    os << "# smtsim-fuzz divergence repro\n";
+    os << "#! ref " << formatRunConfig(div.ref) << "\n";
+    os << "#! cfg " << formatRunConfig(div.cfg) << "\n";
+    os << "#! mask-queue-regs "
+       << (prog.features.usesQueues() ? 1 : 0) << "\n";
+    // Informational only: replay re-derives the expectation.
+    os << "# divergence: " << div.detail << "\n";
+    os << "# instructions: " << prog.countInsns() << "\n";
+    os << prog.render();
+    return os.str();
+}
+
+Repro
+parseRepro(const std::string &text)
+{
+    Repro repro;
+    repro.asm_text = text;
+    bool have_ref = false, have_cfg = false;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("#!", 0) != 0)
+            continue;
+        std::istringstream ls(line.substr(2));
+        std::string directive;
+        ls >> directive;
+        std::string rest;
+        std::getline(ls, rest);
+        if (directive == "ref") {
+            repro.ref = parseRunConfig(rest);
+            have_ref = true;
+        } else if (directive == "cfg") {
+            repro.cfg = parseRunConfig(rest);
+            have_cfg = true;
+        } else if (directive == "mask-queue-regs") {
+            repro.mask_queue_regs =
+                parseIntToken(directive, trim(rest)) != 0;
+        } else {
+            fatal("repro: unknown directive \"#! ", directive,
+                  "\"");
+        }
+    }
+    if (!have_ref || !have_cfg)
+        fatal("repro: missing #! ref or #! cfg directive");
+    return repro;
+}
+
+std::string
+replayRepro(const Repro &repro, const OracleBudget &budget)
+{
+    const Program prog = assemble(repro.asm_text);
+    const EngineState a = runEngine(prog, repro.ref, budget);
+    const EngineState b = runEngine(prog, repro.cfg, budget);
+    return diffStates(a, b, repro.mask_queue_regs);
+}
+
+std::string
+reproFileName(const GenProgram &prog, const Divergence &div)
+{
+    Fnv1a h;
+    h.add(prog.render());
+    h.add(formatRunConfig(div.cfg));
+    return "div-" + std::to_string(prog.seed) + "-" +
+           hashToHex(h.digest()) + ".s";
+}
+
+} // namespace smtsim::fuzz

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Self-contained divergence repros.
+ *
+ * A repro is a single `.s` file that the assembler accepts as-is:
+ * the oracle configuration travels in `#!` directive comments (the
+ * assembler treats `#` as a comment starter), so one file carries
+ * the program, the (reference, candidate) pair that disagreed and an
+ * informational snapshot of the first mismatch. Replaying a repro
+ * re-derives the expectation by running both configurations again —
+ * there is no separately maintained golden state to go stale.
+ *
+ *     # smtsim-fuzz divergence repro
+ *     #! ref engine=interp slots=4
+ *     #! cfg engine=core slots=4 ff=0 cache=1 ...
+ *     #! mask-queue-regs 0
+ *     # divergence: thread 0 r9: ref 5 vs 7
+ *     main:   ...
+ */
+
+#ifndef SMTSIM_FUZZ_REPRO_HH
+#define SMTSIM_FUZZ_REPRO_HH
+
+#include <string>
+
+#include "fuzz/generate.hh"
+#include "fuzz/oracle.hh"
+
+namespace smtsim::fuzz
+{
+
+/** A parsed repro file. */
+struct Repro
+{
+    RunConfig ref;
+    RunConfig cfg;
+    /** Ignore architectural queue-pair registers in the diff. */
+    bool mask_queue_regs = false;
+    /** Assembly source (the full file text; directives are
+     *  comments, so it assembles unchanged). */
+    std::string asm_text;
+};
+
+/** Serialize one RunConfig as `key=value` tokens. */
+std::string formatRunConfig(const RunConfig &rc);
+/** Parse the output of formatRunConfig; throws FatalError. */
+RunConfig parseRunConfig(const std::string &text);
+
+/** Render a diverging program as a repro file. */
+std::string formatRepro(const GenProgram &prog,
+                        const Divergence &div);
+
+/** Parse a repro file; throws FatalError when directives are
+ *  missing or malformed. */
+Repro parseRepro(const std::string &text);
+
+/**
+ * Re-run both configurations of @p repro and diff them.
+ * @return empty string when the engines now agree (the bug is
+ * fixed), else the first mismatch.
+ */
+std::string replayRepro(const Repro &repro,
+                        const OracleBudget &budget = {});
+
+/** Corpus file name: `div-<seed>-<hash16>.s`. */
+std::string reproFileName(const GenProgram &prog,
+                          const Divergence &div);
+
+} // namespace smtsim::fuzz
+
+#endif // SMTSIM_FUZZ_REPRO_HH

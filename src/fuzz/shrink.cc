@@ -1,0 +1,163 @@
+#include "shrink.hh"
+
+#include <utility>
+#include <vector>
+
+namespace smtsim::fuzz
+{
+
+namespace
+{
+
+/** Path from the program root to one unit (child indices). */
+using Path = std::vector<int>;
+
+std::vector<GenUnit> *
+siblingsOf(GenProgram &prog, const Path &path)
+{
+    std::vector<GenUnit> *units = &prog.units;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        units = &(*units)[path[i]].kids;
+    return units;
+}
+
+GenUnit *
+unitAt(GenProgram &prog, const Path &path)
+{
+    return &(*siblingsOf(prog, path))[path.back()];
+}
+
+void
+collectPaths(const std::vector<GenUnit> &units, Path &prefix,
+             std::vector<Path> &out)
+{
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        prefix.push_back(static_cast<int>(i));
+        out.push_back(prefix);
+        collectPaths(units[i].kids, prefix, out);
+        prefix.pop_back();
+    }
+}
+
+std::vector<Path>
+allPaths(const GenProgram &prog)
+{
+    std::vector<Path> out;
+    Path prefix;
+    collectPaths(prog.units, prefix, out);
+    return out;
+}
+
+bool
+tryCandidate(GenProgram &prog, GenProgram candidate,
+             const FailFn &fails, ShrinkStats *stats)
+{
+    if (stats)
+        ++stats->attempts;
+    bool still_fails = false;
+    try {
+        still_fails = fails(candidate);
+    } catch (...) {
+        still_fails = false;
+    }
+    if (!still_fails)
+        return false;
+    prog = std::move(candidate);
+    if (stats)
+        ++stats->accepted;
+    return true;
+}
+
+/** One sweep over every unit; true if any edit was accepted. */
+bool
+sweep(GenProgram &prog, const FailFn &fails, ShrinkStats *stats)
+{
+    // Edits ordered by how much they delete: whole-unit removal
+    // first, then structure collapses, then line-level trims.
+    for (const Path &path : allPaths(prog)) {
+        const GenUnit *u = unitAt(prog, path);
+        if (!u->removable)
+            continue;
+        GenProgram cand = prog;
+        std::vector<GenUnit> *sibs = siblingsOf(cand, path);
+        sibs->erase(sibs->begin() + path.back());
+        if (tryCandidate(prog, std::move(cand), fails, stats))
+            return true;
+    }
+
+    for (const Path &path : allPaths(prog)) {
+        const GenUnit *u = unitAt(prog, path);
+        if (u->kind != GenUnit::Kind::Loop &&
+            u->kind != GenUnit::Kind::If) {
+            continue;
+        }
+        // Hoist: replace the loop/if with its body. The body ran at
+        // least zero times before; running it exactly once at a
+        // uniform point keeps all invariants.
+        GenProgram cand = prog;
+        std::vector<GenUnit> *sibs = siblingsOf(cand, path);
+        std::vector<GenUnit> kids =
+            std::move((*sibs)[path.back()].kids);
+        sibs->erase(sibs->begin() + path.back());
+        sibs->insert(sibs->begin() + path.back(),
+                     std::make_move_iterator(kids.begin()),
+                     std::make_move_iterator(kids.end()));
+        if (tryCandidate(prog, std::move(cand), fails, stats))
+            return true;
+    }
+
+    for (const Path &path : allPaths(prog)) {
+        const GenUnit *u = unitAt(prog, path);
+        if (u->kind == GenUnit::Kind::Loop && u->trip > 1) {
+            GenProgram cand = prog;
+            unitAt(cand, path)->trip = 1;
+            if (tryCandidate(prog, std::move(cand), fails, stats))
+                return true;
+        }
+    }
+
+    for (const Path &path : allPaths(prog)) {
+        const GenUnit *u = unitAt(prog, path);
+        if (u->kind == GenUnit::Kind::Code && u->removable &&
+            u->code.size() > 1) {
+            for (std::size_t line = 0; line < u->code.size();
+                 ++line) {
+                GenProgram cand = prog;
+                GenUnit *cu = unitAt(cand, path);
+                cu->code.erase(cu->code.begin() + line);
+                if (tryCandidate(prog, std::move(cand), fails,
+                                 stats)) {
+                    return true;
+                }
+            }
+        } else if (u->kind == GenUnit::Kind::Queue && u->burst > 1) {
+            // Drop the i-th send together with the i-th receive so
+            // the block stays balanced around the ring.
+            for (int i = 0; i < u->burst; ++i) {
+                GenProgram cand = prog;
+                GenUnit *cu = unitAt(cand, path);
+                cu->code.erase(cu->code.begin() + cu->burst + i);
+                cu->code.erase(cu->code.begin() + i);
+                --cu->burst;
+                if (tryCandidate(prog, std::move(cand), fails,
+                                 stats)) {
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+GenProgram
+shrink(GenProgram prog, const FailFn &fails, ShrinkStats *stats)
+{
+    while (sweep(prog, fails, stats)) {
+        // Accepted one edit; rescan from the top (paths shifted).
+    }
+    return prog;
+}
+
+} // namespace smtsim::fuzz

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Delta-debugging shrinker for diverging fuzz programs.
+ *
+ * Works on the generator's unit tree, so every candidate is
+ * well-formed by construction (see generate.hh): removing a unit,
+ * hoisting a loop/if body, collapsing a trip count or dropping a
+ * send/receive *pair* all preserve termination, SPMD determinism and
+ * queue balance. The shrinker is greedy-to-fixpoint: it keeps any
+ * edit that still makes the predicate fail and stops when no single
+ * edit does.
+ */
+
+#ifndef SMTSIM_FUZZ_SHRINK_HH
+#define SMTSIM_FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "fuzz/generate.hh"
+
+namespace smtsim::fuzz
+{
+
+/**
+ * Predicate: does this program still exhibit the divergence?
+ * Implementations should return false (not throw) for candidates
+ * that fail to assemble or run; the shrinker additionally treats a
+ * throwing predicate as "does not fail".
+ */
+using FailFn = std::function<bool(const GenProgram &)>;
+
+/** Statistics from one shrink run. */
+struct ShrinkStats
+{
+    int attempts = 0;       ///< candidate programs evaluated
+    int accepted = 0;       ///< edits kept
+};
+
+/**
+ * Minimize @p prog while @p fails stays true. @p prog must satisfy
+ * the predicate on entry; the result still does.
+ */
+GenProgram shrink(GenProgram prog, const FailFn &fails,
+                  ShrinkStats *stats = nullptr);
+
+} // namespace smtsim::fuzz
+
+#endif // SMTSIM_FUZZ_SHRINK_HH

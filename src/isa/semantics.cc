@@ -104,6 +104,16 @@ execFpToIntOp(Op op, double a, double b)
       case Op::FCMPLE: return a <= b ? 1 : 0;
       case Op::FCMPEQ: return a == b ? 1 : 0;
       case Op::FTOI:
+        // Saturating conversion with NaN -> 0: float-to-int is
+        // undefined behaviour in C++ for NaN and out-of-range
+        // values, and the architecture needs one answer every
+        // engine (and host compiler) agrees on.
+        if (std::isnan(a))
+            return 0;
+        if (a >= 2147483648.0)
+            return 0x7fffffffu;
+        if (a < -2147483648.0)
+            return 0x80000000u;
         return static_cast<std::uint32_t>(
             static_cast<std::int32_t>(a));
       default:

@@ -1,0 +1,36 @@
+# smtsim-fuzz divergence repro
+# Regression: dual-issue (width=2) let a younger queue-register
+# read issue past a blocked older one, popping the FIFO out of
+# program order. Thread 1's back-to-back `sf f8` / `fmov f7, f8`
+# received -0.0 where the interpreter received +0.0.
+#! ref engine=interp slots=4 ff=1 cache=0 standby=1 width=1 rot=implicit interval=8 remote=0
+#! cfg engine=core slots=4 ff=1 cache=0 standby=1 width=2 rot=implicit interval=8 remote=0
+#! mask-queue-regs 1
+# divergence: thread 1 f7: ref bits 0x0 vs 0x8000000000000000
+# instructions: 14
+# smtsim-fuzz generated program
+# seed: 4533825706345991893
+        .text
+main:
+        fastfork
+        tid r5
+        nslot r6
+        sll r7, r5, 8
+        add r1, r1, r7
+        qenf f8, f9
+        fneg f1, f4
+        fmov f9, f2
+        fmov f9, f1
+        fadd f9, f4, f6
+        sf f8, 32(r1)
+        sf f8, 32(r1)
+        fmov f7, f8
+        halt
+        .data
+priv:   .space 2048
+table:  .word 5, 3, 2, 1535693149
+        .word 8, 2321005595, 3, 3407988424
+        .word 2186073881, 14, 1095163244, 3366241876
+        .word 1, 11, 2, 14
+ftab:  .float -0.3622193542212786, -2.6758368839430489, 0.58696637068504831, 0.40393680904386819
+        .float -1.6875892467379376, -0.14106335386036761, 1.8950709912216741, 3.0827512153786119

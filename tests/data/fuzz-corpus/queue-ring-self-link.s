@@ -1,0 +1,30 @@
+# smtsim-fuzz divergence repro
+# Canary: queue-ring link topology. Each thread sends its TID and
+# receives its predecessor's; a self-link (or any mis-wired ring)
+# hands thread 0 its own 0 instead of thread 1's 1.
+#! ref engine=interp slots=2 ff=1 cache=0 standby=1 width=1 rot=implicit interval=8 remote=0
+#! cfg engine=core slots=2 ff=1 cache=1 standby=1 width=1 rot=implicit interval=8 remote=0
+#! mask-queue-regs 1
+# divergence: thread 0 r14: ref 1 vs 0
+# instructions: 9
+# smtsim-fuzz generated program
+# seed: 5180492295206395165
+        .text
+main:
+        fastfork
+        tid r5
+        nslot r6
+        sll r7, r5, 8
+        add r1, r1, r7
+        qen r20, r21
+        add r21, r5, r0
+        add r14, r20, r0
+        halt
+        .data
+priv:   .space 2048
+table:  .word 614896546, 193946970, 12, 4246606667
+        .word 12, 11, 2557529764, 10
+        .word 14, 2890874610, 2759462602, 6
+        .word 4, 136278989, 7, 13
+ftab:  .float 1.9201034941818031, 2.8070162503976235, 3.2121409529718195, 3.7369285718341008
+        .float -1.3458591896678325, 1.9980028787501061, -2.2264957495375048, -1.9484670830387598

@@ -1,0 +1,39 @@
+# smtsim-fuzz divergence repro
+# Regression: a data-absence trap taken while a fetch block was
+# in flight resumed at fetch_addr, which had already advanced
+# past the (cancelled) block -- skipping up to a fetch block of
+# instructions. Here the core retired 7 of 15 instructions.
+#! ref engine=interp slots=4 ff=1 cache=0 standby=1 width=1 rot=implicit interval=8 remote=0
+#! cfg engine=core slots=4 ff=1 cache=0 standby=1 width=1 rot=implicit interval=8 remote=1
+#! mask-queue-regs 0
+# divergence: retired-instruction mismatch: ref 15 vs 7
+# instructions: 16
+# smtsim-fuzz generated program
+# seed: 11932312614930163787
+        .text
+main:
+        la r2, table
+        slti r8, r14, 189
+        sw r5, 32(r1)
+        lw r13, 16(r2)
+        bne r11, r8, L0
+        xor r15, r13, r0
+L0:
+        addi r16, r0, 1
+L1:
+        xori r14, r0, 34786
+        or r11, r0, r10
+        xor r12, r5, r9
+        srl r8, r11, 27
+        sra r12, r13, 26
+        addi r16, r16, -1
+        bgtz r16, L1
+        halt
+        .data
+priv:   .space 2048
+table:  .word 14, 111541071, 1751595862, 3824179314
+        .word 258691722, 3505066452, 6, 7
+        .word 2153776386, 0, 0, 0
+        .word 2301515866, 15, 8, 8
+ftab:  .float -2.7408327032260154, -1.006250140096169, 0.06498727161009743, -2.9075265211995802
+        .float 2.6507236355123025, -0.47685745217971665, 1.6192995320338683, 3.721654589331342

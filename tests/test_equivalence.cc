@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/logging.hh"
 #include "harness/runner.hh"
 #include "interp/interpreter.hh"
 #include "test_common.hh"
@@ -80,11 +81,64 @@ TEST(Equivalence, ThreeWayAgreementOnEveryWorkload)
         makeRecurrence(cp),
     };
     for (const Workload &w : workloads) {
-        EXPECT_TRUE(runInterp(w, 1).ok) << w.name << " interp";
-        EXPECT_TRUE(runBaseline(w).ok) << w.name << " baseline";
+        const Outcome interp1 = runInterp(w, 1);
+        const Outcome base = runBaseline(w);
         CoreConfig cfg;
         cfg.num_slots = 2;
-        EXPECT_TRUE(runCore(w, cfg).ok) << w.name << " core";
+        const Outcome interp2 = runInterp(w, cfg.num_slots);
+        const Outcome core = runCore(w, cfg);
+        EXPECT_TRUE(interp1.ok) << w.name << " interp";
+        EXPECT_TRUE(base.ok) << w.name << " baseline";
+        EXPECT_TRUE(core.ok) << w.name << " core";
+
+        // Agreement extends to the dynamic instruction count: the
+        // baseline retires exactly the single-thread projection and
+        // the core exactly the S-thread one.
+        EXPECT_EQ(base.stats.instructions, interp1.stats.instructions)
+            << w.name << " baseline retired count";
+        EXPECT_EQ(core.stats.instructions, interp2.stats.instructions)
+            << w.name << " core retired count";
+    }
+}
+
+TEST(Equivalence, TrapParityOnUndecodableWord)
+{
+    // A reachable undecodable word must trap on every engine, not
+    // execute as garbage on some of them.
+    Program prog = assemble("main:   addi r8, r0, 1\n"
+                            "        nop\n"
+                            "        halt\n");
+    prog.text[1] = 0xfc000000;      // unknown primary opcode 63
+
+    {
+        MainMemory mem;
+        prog.loadInto(mem);
+        EXPECT_THROW(
+            {
+                Interpreter interp(prog, mem);
+                interp.run();
+            },
+            FatalError);
+    }
+    {
+        MainMemory mem;
+        prog.loadInto(mem);
+        EXPECT_THROW(
+            {
+                BaselineProcessor cpu(prog, mem);
+                cpu.run();
+            },
+            FatalError);
+    }
+    {
+        MainMemory mem;
+        prog.loadInto(mem);
+        EXPECT_THROW(
+            {
+                MultithreadedProcessor cpu(prog, mem);
+                cpu.run();
+            },
+            FatalError);
     }
 }
 

@@ -107,8 +107,9 @@ TEST_P(OpRoundTrip, MetadataConsistent)
         EXPECT_EQ(meta.fu, FuClass::LoadStore);
         EXPECT_EQ(meta.issue_latency, 2);   // 2-cycle data cache
     }
-    if (isBranchOp(op) || isThreadCtlOp(op))
+    if (isBranchOp(op) || isThreadCtlOp(op)) {
         EXPECT_EQ(meta.fu, FuClass::None);
+    }
 }
 
 TEST_P(OpRoundTrip, SrcsAndDstWellFormed)
@@ -123,13 +124,16 @@ TEST_P(OpRoundTrip, SrcsAndDstWellFormed)
         EXPECT_TRUE(srcs[i].valid());
         EXPECT_LT(srcs[i].idx, kNumRegs);
         // r0 never appears as a source dependence.
-        if (srcs[i].file == RF::Int)
+        if (srcs[i].file == RF::Int) {
             EXPECT_NE(srcs[i].idx, 0);
+        }
     }
-    if (isStoreOp(op))
+    if (isStoreOp(op)) {
         EXPECT_FALSE(insn.dst().valid());
-    if (isLoadOp(op))
+    }
+    if (isLoadOp(op)) {
         EXPECT_TRUE(insn.dst().valid());
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * smtsim-fuzz: differential fuzzer driver.
+ *
+ *     smtsim-fuzz [options]
+ *     smtsim-fuzz --replay FILE-OR-DIR
+ *
+ * Options:
+ *     --runs N       programs to generate and check (default 100)
+ *     --seed S       top-level seed; per-run seeds derive from it
+ *     --shrink       minimize any diverging program before reporting
+ *     --corpus DIR   write shrunken repro files into DIR
+ *     --replay PATH  replay repro file(s) instead of fuzzing; fails
+ *                    if any repro diverges again
+ *     --emit         print every generated program (debugging aid)
+ *     --quiet        suppress per-divergence detail
+ *
+ * Output is deterministic: the same --runs/--seed produce the same
+ * programs byte for byte, and the trailing "corpus hash" line
+ * fingerprints every rendered program, so two runs can be compared
+ * with a plain diff. Exit status: 0 clean, 1 any divergence (or any
+ * replayed repro diverging), 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "base/hash.hh"
+#include "base/random.hh"
+#include "base/strutil.hh"
+#include "fuzz/generate.hh"
+#include "fuzz/oracle.hh"
+#include "fuzz/repro.hh"
+#include "fuzz/shrink.hh"
+
+using namespace smtsim;
+using namespace smtsim::fuzz;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--runs N] [--seed S] [--shrink] "
+                 "[--corpus DIR] [--replay PATH] [--emit] "
+                 "[--quiet]\n",
+                 argv0);
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+int
+replay(const std::string &path, bool quiet)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    if (fs::is_directory(path)) {
+        for (const auto &entry : fs::directory_iterator(path)) {
+            if (entry.path().extension() == ".s")
+                files.push_back(entry.path().string());
+        }
+        std::sort(files.begin(), files.end());
+    } else {
+        files.push_back(path);
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "replay: no .s files under %s\n",
+                     path.c_str());
+        return 2;
+    }
+
+    int diverging = 0;
+    for (const std::string &file : files) {
+        try {
+            const Repro repro = parseRepro(readFile(file));
+            const std::string diff = replayRepro(repro);
+            if (diff.empty()) {
+                std::printf("replay %s: ok\n", file.c_str());
+            } else {
+                ++diverging;
+                std::printf("replay %s: DIVERGES\n", file.c_str());
+                if (!quiet) {
+                    std::printf("  ref: %s\n",
+                                repro.ref.name().c_str());
+                    std::printf("  cfg: %s\n",
+                                repro.cfg.name().c_str());
+                    std::printf("  %s\n", diff.c_str());
+                }
+            }
+        } catch (const std::exception &e) {
+            ++diverging;
+            std::printf("replay %s: ERROR: %s\n", file.c_str(),
+                        e.what());
+        }
+    }
+    std::printf("replay: %zu repro(s), %d diverging\n",
+                files.size(), diverging);
+    return diverging ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long long runs = 100;
+    unsigned long long seed = 1;
+    bool do_shrink = false;
+    bool emit = false;
+    bool quiet = false;
+    std::string corpus_dir;
+    std::string replay_path;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--runs") {
+            if (!parseInt(need_value(i), &runs) || runs < 1)
+                usage(argv[0]);
+        } else if (arg == "--seed") {
+            if (!parseUint(need_value(i), &seed))
+                usage(argv[0]);
+        } else if (arg == "--shrink") {
+            do_shrink = true;
+        } else if (arg == "--corpus") {
+            corpus_dir = need_value(i);
+        } else if (arg == "--replay") {
+            replay_path = need_value(i);
+        } else if (arg == "--emit") {
+            emit = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    try {
+        if (!replay_path.empty())
+            return replay(replay_path, quiet);
+
+        if (!corpus_dir.empty())
+            std::filesystem::create_directories(corpus_dir);
+
+        Rng top(seed ? seed : 1);
+        Fnv1a corpus_hash;
+        int divergences = 0;
+        for (long long run = 0; run < runs; ++run) {
+            GenOptions opts;
+            opts.seed = top.next();
+            const GenProgram prog = generate(opts);
+            const std::string text = prog.render();
+            corpus_hash.add(text);
+            if (emit) {
+                std::printf("# ---- run %lld seed %llu ----\n", run,
+                            (unsigned long long)prog.seed);
+                std::fputs(text.c_str(), stdout);
+            }
+
+            Program image;
+            std::optional<Divergence> div;
+            try {
+                image = assemble(text);
+                div = checkProgram(image, prog.features);
+            } catch (const std::exception &e) {
+                // A generated program must always assemble and run:
+                // anything else is a generator bug, reported like a
+                // divergence so the nightly job fails loudly.
+                ++divergences;
+                std::printf("run %lld seed %llu: ERROR: %s\n", run,
+                            (unsigned long long)prog.seed, e.what());
+                continue;
+            }
+            if (!div)
+                continue;
+
+            ++divergences;
+            std::printf("run %lld seed %llu: DIVERGENCE\n", run,
+                        (unsigned long long)prog.seed);
+            if (!quiet) {
+                std::printf("  ref: %s\n", div->ref.name().c_str());
+                std::printf("  cfg: %s\n", div->cfg.name().c_str());
+                std::printf("  %s\n", div->detail.c_str());
+            }
+
+            GenProgram final_prog = prog;
+            Divergence final_div = *div;
+            if (do_shrink) {
+                const RunConfig ref = div->ref;
+                const RunConfig cfg = div->cfg;
+                const DivClass klass =
+                    classifyDivergence(div->detail);
+                // Tight budget: a deadlocked/livelocked candidate
+                // must not burn the full default cycle ceiling, and
+                // the class check stops the shrinker from slipping
+                // onto a different failure than the one found.
+                OracleBudget shrink_budget;
+                shrink_budget.interp_max_steps = 2'000'000;
+                shrink_budget.max_cycles = 2'000'000;
+                ShrinkStats sstats;
+                final_prog = shrink(
+                    prog,
+                    [&](const GenProgram &cand) {
+                        const Program p = assemble(cand.render());
+                        const auto d =
+                            checkPair(p, cand.features, ref, cfg,
+                                      shrink_budget);
+                        return d && classifyDivergence(d->detail) ==
+                                        klass;
+                    },
+                    &sstats);
+                const auto re =
+                    checkPair(assemble(final_prog.render()),
+                              final_prog.features, ref, cfg);
+                if (re)
+                    final_div = *re;
+                if (!quiet) {
+                    std::printf(
+                        "  shrunk %d -> %d instructions "
+                        "(%d candidates, %d accepted)\n",
+                        prog.countInsns(), final_prog.countInsns(),
+                        sstats.attempts, sstats.accepted);
+                }
+            }
+
+            if (!corpus_dir.empty()) {
+                const std::string name =
+                    reproFileName(final_prog, final_div);
+                const std::filesystem::path out =
+                    std::filesystem::path(corpus_dir) / name;
+                std::ofstream os(out);
+                os << formatRepro(final_prog, final_div);
+                std::printf("  repro: %s\n", out.string().c_str());
+            } else if (!quiet) {
+                std::fputs(formatRepro(final_prog, final_div).c_str(),
+                           stdout);
+            }
+        }
+
+        std::printf("fuzz: %lld runs, %d divergence(s), corpus "
+                    "hash %s\n",
+                    runs, divergences,
+                    hashToHex(corpus_hash.digest()).c_str());
+        return divergences ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
