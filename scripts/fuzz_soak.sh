@@ -25,4 +25,8 @@ fi
 
 echo "fuzz soak: runs=$runs seed=$seed corpus=$corpus"
 "$fuzz" --replay tests/data/fuzz-corpus
-exec "$fuzz" --runs "$runs" --seed "$seed" --shrink --corpus "$corpus"
+# --lint: every generated program must pass the static verifier
+# (docs/ANALYSIS.md) before it executes; a diagnostic fails the run
+# like a divergence.
+exec "$fuzz" --lint --runs "$runs" --seed "$seed" --shrink \
+    --corpus "$corpus"

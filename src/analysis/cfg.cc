@@ -1,0 +1,235 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace smtsim::analysis
+{
+
+namespace
+{
+
+/** Branch target (BR1/BR2): pc-relative, word-scaled. */
+Addr
+branchTarget(Addr pc, const Insn &insn)
+{
+    return static_cast<Addr>(static_cast<std::int64_t>(pc) +
+                             kInsnBytes +
+                             static_cast<std::int64_t>(insn.imm) *
+                                 kInsnBytes);
+}
+
+/** Jump target (JF): absolute word index. */
+Addr
+jumpTarget(const Insn &insn)
+{
+    return static_cast<Addr>(
+               static_cast<std::uint32_t>(insn.imm))
+           << 2;
+}
+
+/** Ends a basic block (the next insn, if any, is a leader). */
+bool
+endsBlock(const Insn &insn)
+{
+    const OpEffects &fx = opEffects(insn.op);
+    return fx.control || fx.terminates || fx.forks;
+}
+
+/** Can execution continue sequentially past this instruction? */
+bool
+fallsThrough(const Insn &insn)
+{
+    switch (insn.op) {
+      case Op::J:
+      case Op::JR:
+      case Op::JALR:    // transfers to the register target
+      case Op::HALT:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+Cfg
+buildCfg(const Program &prog)
+{
+    Cfg cfg;
+    cfg.text_base = prog.text_base;
+    cfg.insns.reserve(prog.text.size());
+    for (std::uint32_t word : prog.text)
+        cfg.insns.push_back(decode(word));
+
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(cfg.insns.size());
+    if (n == 0) {
+        cfg.blocks.push_back({});
+        return cfg;
+    }
+
+    auto insnIndexOf = [&](Addr target) -> std::int64_t {
+        if (!prog.holdsInsn(target))
+            return -1;
+        return static_cast<std::int64_t>(
+            (target - prog.text_base) / kInsnBytes);
+    };
+
+    // --- Leaders --------------------------------------------------
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    if (const std::int64_t e = insnIndexOf(prog.entry); e >= 0)
+        leader[static_cast<std::size_t>(e)] = true;
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Insn &insn = cfg.insns[i];
+        if (endsBlock(insn) && i + 1 < n)
+            leader[i + 1] = true;
+        const Format f = opMeta(insn.op).format;
+        Addr target = 0;
+        if (f == Format::BR1 || f == Format::BR2)
+            target = branchTarget(cfg.addrOf(i), insn);
+        else if (f == Format::JF)
+            target = jumpTarget(insn);
+        else
+            continue;
+        if (const std::int64_t t = insnIndexOf(target); t >= 0)
+            leader[static_cast<std::size_t>(t)] = true;
+        else
+            cfg.bad_target_insns.push_back(i);
+    }
+
+    // --- Blocks ---------------------------------------------------
+    cfg.block_of.assign(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock bb;
+            bb.first = i;
+            cfg.blocks.push_back(bb);
+        }
+        cfg.block_of[i] =
+            static_cast<std::uint32_t>(cfg.blocks.size() - 1);
+        ++cfg.blocks.back().count;
+    }
+
+    // --- Edges ----------------------------------------------------
+    auto addEdge = [&](std::uint32_t from, std::uint32_t to_insn,
+                       EdgeKind kind) {
+        const std::uint32_t to = cfg.block_of[to_insn];
+        cfg.blocks[from].succs.push_back({to, kind});
+        cfg.blocks[to].preds.push_back(from);
+    };
+
+    for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+        BasicBlock &bb = cfg.blocks[b];
+        const std::uint32_t last = bb.first + bb.count - 1;
+        const Insn &insn = cfg.insns[last];
+        const Format f = opMeta(insn.op).format;
+        const OpEffects &fx = opEffects(insn.op);
+
+        // Direct targets.
+        if (f == Format::BR1 || f == Format::BR2 ||
+            f == Format::JF) {
+            const Addr target = f == Format::JF
+                                    ? jumpTarget(insn)
+                                    : branchTarget(cfg.addrOf(last),
+                                                   insn);
+            if (const std::int64_t t = insnIndexOf(target); t >= 0) {
+                const auto ti = static_cast<std::uint32_t>(t);
+                if (insn.op == Op::J)
+                    addEdge(b, ti, EdgeKind::Jump);
+                else if (insn.op == Op::JAL)
+                    addEdge(b, ti, EdgeKind::Call);
+                else
+                    addEdge(b, ti, EdgeKind::Taken);
+            }
+        }
+        if (insn.op == Op::JR || insn.op == Op::JALR)
+            cfg.indirect_insns.push_back(last);
+
+        if (fx.forks && last + 1 < n)
+            addEdge(b, last + 1, EdgeKind::Fork);
+
+        // Sequential successor: jal continues after return; jalr is
+        // modeled the same way (call-return assumption).
+        const bool sequential =
+            fallsThrough(insn) || insn.op == Op::JALR;
+        if (sequential) {
+            if (last + 1 < n)
+                addEdge(b, last + 1, EdgeKind::Fall);
+            else
+                cfg.fall_off_insns.push_back(last);
+        }
+    }
+
+    // --- Reachability from the entry ------------------------------
+    {
+        const std::int64_t e = insnIndexOf(prog.entry);
+        cfg.entry_block =
+            e >= 0 ? cfg.block_of[static_cast<std::size_t>(e)] : 0;
+        std::deque<std::uint32_t> work{cfg.entry_block};
+        cfg.blocks[cfg.entry_block].reachable = true;
+        while (!work.empty()) {
+            const std::uint32_t b = work.front();
+            work.pop_front();
+            for (const Edge &edge : cfg.blocks[b].succs) {
+                if (!cfg.blocks[edge.block].reachable) {
+                    cfg.blocks[edge.block].reachable = true;
+                    work.push_back(edge.block);
+                }
+            }
+        }
+    }
+
+    // Only reachable blocks can actually run off the end.
+    std::erase_if(cfg.fall_off_insns, [&](std::uint32_t i) {
+        return !cfg.blockOfInsn(i).reachable;
+    });
+
+    return cfg;
+}
+
+std::vector<bool>
+Cfg::reachableFrom(const std::vector<std::uint32_t> &seeds) const
+{
+    std::vector<bool> seen(blocks.size(), false);
+    std::deque<std::uint32_t> work;
+    for (std::uint32_t b : seeds) {
+        if (!seen[b]) {
+            seen[b] = true;
+            work.push_back(b);
+        }
+    }
+    while (!work.empty()) {
+        const std::uint32_t b = work.front();
+        work.pop_front();
+        for (const Edge &edge : blocks[b].succs) {
+            if (!seen[edge.block]) {
+                seen[edge.block] = true;
+                work.push_back(edge.block);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<std::uint32_t>
+Cfg::forkTargets() const
+{
+    std::vector<std::uint32_t> targets;
+    for (const BasicBlock &bb : blocks) {
+        if (!bb.reachable)
+            continue;
+        for (const Edge &edge : bb.succs) {
+            if (edge.kind == EdgeKind::Fork)
+                targets.push_back(edge.block);
+        }
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    return targets;
+}
+
+} // namespace smtsim::analysis

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Control-flow graph over an assembled program's text segment.
+ *
+ * The graph is built once per program and shared by every analysis
+ * pass (init dataflow, queue-protocol checking, structural lints).
+ * Blocks partition the text segment completely: unreachable words
+ * still get blocks so the lint pass can report them.
+ */
+
+#ifndef SMTSIM_ANALYSIS_CFG_HH
+#define SMTSIM_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "base/types.hh"
+#include "isa/insn.hh"
+
+namespace smtsim::analysis
+{
+
+/** How control reaches a successor block. */
+enum class EdgeKind : std::uint8_t
+{
+    Fall,   ///< sequential fall-through (incl. branch not-taken)
+    Taken,  ///< conditional branch taken
+    Jump,   ///< unconditional direct jump (j)
+    Call,   ///< jal target (paired with a Fall return edge)
+    Fork,   ///< fastfork: sibling slots start at the next insn
+};
+
+struct Edge
+{
+    std::uint32_t block;    ///< successor block index
+    EdgeKind kind;
+};
+
+struct BasicBlock
+{
+    std::uint32_t first = 0;    ///< index of the first instruction
+    std::uint32_t count = 0;    ///< number of instructions
+    std::vector<Edge> succs;
+    std::vector<std::uint32_t> preds;
+    bool reachable = false;     ///< from the program entry
+};
+
+/**
+ * The CFG proper. Instruction "indices" are word offsets into the
+ * text segment; addrOf() converts back to addresses.
+ */
+struct Cfg
+{
+    Addr text_base = 0;
+    std::vector<Insn> insns;
+    std::vector<BasicBlock> blocks;         ///< in address order
+    std::vector<std::uint32_t> block_of;    ///< insn index -> block
+
+    std::uint32_t entry_block = 0;
+
+    /** Branches/jumps whose target is outside the text segment or
+     *  misaligned (no edge is recorded for them). */
+    std::vector<std::uint32_t> bad_target_insns;
+
+    /** jr / jalr sites: targets unknown statically. jalr gets a
+     *  Fall successor (call-return assumption); jr gets none. */
+    std::vector<std::uint32_t> indirect_insns;
+
+    /** Reachable blocks whose execution can run sequentially past
+     *  the last text word (index of the offending last insn). */
+    std::vector<std::uint32_t> fall_off_insns;
+
+    Addr
+    addrOf(std::uint32_t insn_idx) const
+    {
+        return text_base + static_cast<Addr>(insn_idx) * kInsnBytes;
+    }
+
+    const BasicBlock &
+    blockOfInsn(std::uint32_t insn_idx) const
+    {
+        return blocks[block_of[insn_idx]];
+    }
+
+    /**
+     * Per-block reachability from a seed set, following every edge
+     * kind. Used by the lints that reason about code running after
+     * a fastfork (seeded with forkTargets()).
+     */
+    std::vector<bool> reachableFrom(
+        const std::vector<std::uint32_t> &seeds) const;
+
+    /** Blocks targeted by a Fork edge out of a reachable block. */
+    std::vector<std::uint32_t> forkTargets() const;
+};
+
+/** Decode @p prog and build its CFG. */
+Cfg buildCfg(const Program &prog);
+
+} // namespace smtsim::analysis
+
+#endif // SMTSIM_ANALYSIS_CFG_HH

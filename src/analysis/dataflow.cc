@@ -1,0 +1,108 @@
+#include "analysis/dataflow.hh"
+
+#include <deque>
+
+namespace smtsim::analysis
+{
+
+namespace
+{
+
+/** Apply one instruction's register writes to @p state. */
+void
+transfer(const Insn &insn, const RegSet &exclude, InitState &state)
+{
+    const RegRef dst = insn.dst();
+    if (!dst.valid() || exclude.has(dst))
+        return;
+    if (dst.file == RF::Int && dst.idx == 0)
+        return;     // r0 is hardwired; the write is discarded
+    state.must.add(dst);
+    state.may.add(dst);
+}
+
+} // namespace
+
+InitDataflow
+runInitDataflow(const Cfg &cfg, const RegSet &exclude)
+{
+    const std::size_t nb = cfg.blocks.size();
+    InitDataflow df;
+    df.in.assign(nb, {});
+    df.reached.assign(nb, false);
+
+    // Entry state: r0 alone (hardwired zero counts as initialized;
+    // everything else starts as the architectural zero, which the
+    // may-set deliberately does not contain).
+    InitState entry;
+    entry.must.add({RF::Int, 0});
+    entry.may.add({RF::Int, 0});
+    df.in[cfg.entry_block] = entry;
+    df.reached[cfg.entry_block] = true;
+
+    auto outOf = [&](std::uint32_t b) {
+        InitState s = df.in[b];
+        const BasicBlock &bb = cfg.blocks[b];
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            transfer(cfg.insns[i], exclude, s);
+        }
+        return s;
+    };
+
+    std::deque<std::uint32_t> work{cfg.entry_block};
+    std::vector<bool> queued(nb, false);
+    queued[cfg.entry_block] = true;
+    while (!work.empty()) {
+        const std::uint32_t b = work.front();
+        work.pop_front();
+        queued[b] = false;
+        const InitState out = outOf(b);
+        for (const Edge &edge : cfg.blocks[b].succs) {
+            const std::uint32_t s = edge.block;
+            InitState merged;
+            if (!df.reached[s]) {
+                merged = out;
+            } else {
+                merged.must = df.in[s].must & out.must;
+                merged.may = df.in[s].may | out.may;
+            }
+            if (!df.reached[s] || !(merged == df.in[s])) {
+                df.in[s] = merged;
+                df.reached[s] = true;
+                if (!queued[s]) {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    // Reporting pass: walk each reached block with its converged
+    // in-state and collect inconsistently initialized reads.
+    for (std::uint32_t b = 0; b < nb; ++b) {
+        if (!df.reached[b])
+            continue;
+        InitState s = df.in[b];
+        const BasicBlock &bb = cfg.blocks[b];
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            const Insn &insn = cfg.insns[i];
+            RegRef srcs[3];
+            const int n = insn.srcs(srcs);
+            RegSet seen;
+            for (int k = 0; k < n; ++k) {
+                const RegRef r = srcs[k];
+                if (exclude.has(r) || seen.has(r))
+                    continue;
+                seen.add(r);
+                if (s.may.has(r) && !s.must.has(r))
+                    df.maybe_uninit.push_back({i, r});
+            }
+            transfer(insn, exclude, s);
+        }
+    }
+    return df;
+}
+
+} // namespace smtsim::analysis

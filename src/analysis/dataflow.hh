@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Forward register-initialization dataflow over the CFG.
+ *
+ * Tracks, per register bank, which registers must / may have been
+ * written on the paths reaching each block. Registers are
+ * architecturally zero-initialized, so a read of a never-written
+ * register is defined behavior (the common "known zero" idiom) and
+ * is NOT reported; what the pass surfaces is the inconsistent case:
+ * registers written on some paths but not all (may-init minus
+ * must-init), where the value read depends on which path ran.
+ *
+ * fastfork copies the parent's register file into every sibling
+ * slot, so the Fork edge propagates state exactly like Fall.
+ */
+
+#ifndef SMTSIM_ANALYSIS_DATAFLOW_HH
+#define SMTSIM_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace smtsim::analysis
+{
+
+/** Bitset over both register banks (32 int + 32 fp). */
+struct RegSet
+{
+    std::uint32_t ints = 0;
+    std::uint32_t fps = 0;
+
+    bool
+    has(RegRef r) const
+    {
+        const std::uint32_t bit = 1u << (r.idx & 31);
+        return r.file == RF::Int ? (ints & bit) != 0
+                                 : r.file == RF::Fp && (fps & bit);
+    }
+
+    void
+    add(RegRef r)
+    {
+        const std::uint32_t bit = 1u << (r.idx & 31);
+        if (r.file == RF::Int)
+            ints |= bit;
+        else if (r.file == RF::Fp)
+            fps |= bit;
+    }
+
+    RegSet
+    operator&(const RegSet &o) const
+    {
+        return {ints & o.ints, fps & o.fps};
+    }
+
+    RegSet
+    operator|(const RegSet &o) const
+    {
+        return {ints | o.ints, fps | o.fps};
+    }
+
+    bool operator==(const RegSet &o) const = default;
+};
+
+/** Lattice element: initialized-on-all-paths / on-some-path. */
+struct InitState
+{
+    RegSet must;
+    RegSet may;
+
+    bool operator==(const InitState &o) const = default;
+};
+
+struct UninitRead
+{
+    std::uint32_t insn;     ///< insn index of the read
+    RegRef reg;
+};
+
+struct InitDataflow
+{
+    /** Converged in-state per block (meaningless if unreached). */
+    std::vector<InitState> in;
+    std::vector<bool> reached;
+
+    /** Reads of may-but-not-must initialized registers, in
+     *  address order, deduplicated per (insn, register). */
+    std::vector<UninitRead> maybe_uninit;
+};
+
+/**
+ * Run the analysis. Registers in @p exclude (queue-mapped names,
+ * whose reads pop and writes push rather than touching the register
+ * file) participate neither as definitions nor as uses.
+ */
+InitDataflow runInitDataflow(const Cfg &cfg, const RegSet &exclude);
+
+} // namespace smtsim::analysis
+
+#endif // SMTSIM_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,334 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/queue.hh"
+
+namespace smtsim::analysis
+{
+
+namespace
+{
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+std::string
+regName(RegRef r)
+{
+    return (r.file == RF::Fp ? "f" : "r") + std::to_string(r.idx);
+}
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+class Reporter
+{
+  public:
+    Reporter(const Program &prog, const Cfg &cfg,
+             std::vector<Diagnostic> &out)
+        : prog_(prog), cfg_(cfg), out_(out)
+    {}
+
+    void
+    add(const char *id, const char *name, Severity sev,
+        std::uint32_t insn_idx, std::string message)
+    {
+        const Addr pc = cfg_.addrOf(insn_idx);
+        out_.push_back({id, name, sev, pc, prog_.locAt(pc),
+                        std::move(message)});
+    }
+
+  private:
+    const Program &prog_;
+    const Cfg &cfg_;
+    std::vector<Diagnostic> &out_;
+};
+
+} // namespace
+
+LintReport
+lint(const Program &prog, const LintOptions &opts)
+{
+    LintReport report;
+    const Cfg cfg = buildCfg(prog);
+    Reporter rep(prog, cfg, report.diags);
+
+    if (cfg.insns.empty())
+        return report;
+
+    // --- Structural (C) -------------------------------------------
+    for (const BasicBlock &bb : cfg.blocks) {
+        if (!bb.reachable && bb.count > 0) {
+            rep.add("C001", "unreachable-code", Severity::Error,
+                    bb.first,
+                    std::to_string(bb.count) +
+                        " instruction(s) unreachable from the "
+                        "entry point");
+        }
+    }
+    for (std::uint32_t i : cfg.fall_off_insns) {
+        rep.add("C002", "fall-off-text-end", Severity::Error, i,
+                "execution can run sequentially past the last "
+                "text word into unmapped memory");
+    }
+    for (std::uint32_t i : cfg.bad_target_insns) {
+        if (!cfg.blockOfInsn(i).reachable)
+            continue;       // already covered by C001
+        rep.add("C003", "branch-target-outside-text",
+                Severity::Error, i,
+                "control transfer targets an address outside "
+                "the text segment");
+    }
+
+    // --- Queue protocol (Q) ---------------------------------------
+    const QueueSummary qs = analyzeQueues(cfg, opts.queue_depth);
+    for (const QueueMapping &m : qs.mappings) {
+        if (!m.illegal)
+            continue;
+        const bool self = m.read_reg == m.write_reg;
+        rep.add("Q003", "illegal-queue-pair", Severity::Error,
+                m.insn,
+                self ? "queue mapping links a register to itself "
+                       "(every pop would consume the thread's own "
+                       "push)"
+                     : "queue mapping names r0, which cannot be "
+                       "remapped");
+    }
+    {   // Q008: several distinct mappings for one register file.
+        const QueueMapping *first_int = nullptr;
+        const QueueMapping *first_fp = nullptr;
+        for (const QueueMapping &m : qs.mappings) {
+            if (m.illegal)
+                continue;
+            const QueueMapping *&first =
+                m.file == RF::Int ? first_int : first_fp;
+            if (!first) {
+                first = &m;
+            } else if (m.read_reg != first->read_reg ||
+                       m.write_reg != first->write_reg) {
+                rep.add("Q008", "inconsistent-queue-mapping",
+                        Severity::Warning, m.insn,
+                        "remaps the " +
+                            std::string(m.file == RF::Int
+                                            ? "integer"
+                                            : "floating-point") +
+                            " queue registers already mapped at " +
+                            hexAddr(cfg.addrOf(first->insn)));
+            }
+        }
+    }
+
+    // The flow-dependent queue rules assume mappings live for the
+    // whole run; a program that uses qdis re-architects the named
+    // registers mid-flight, which the summary cannot track.
+    const bool flow_rules = !qs.mappings.empty() && !qs.has_qdis;
+    if (flow_rules) {
+        auto firstTraffic = [&](bool pops) -> std::uint32_t {
+            for (const BasicBlock &bb : cfg.blocks) {
+                if (!bb.reachable)
+                    continue;
+                for (std::uint32_t i = bb.first;
+                     i < bb.first + bb.count; ++i) {
+                    const Insn &insn = cfg.insns[i];
+                    if (pops) {
+                        RegRef srcs[3];
+                        const int n = insn.srcs(srcs);
+                        for (int k = 0; k < n; ++k) {
+                            if (qs.mapped_read.has(srcs[k]))
+                                return i;
+                        }
+                    } else {
+                        const RegRef dst = insn.dst();
+                        if (dst.valid() &&
+                            qs.mapped_write.has(dst))
+                            return i;
+                    }
+                }
+            }
+            return 0;
+        };
+
+        if (qs.pops_exist && !qs.pushes_exist) {
+            rep.add("Q002", "pop-never-fed", Severity::Error,
+                    firstTraffic(true),
+                    "thread pops from its queue port but no "
+                    "thread ever pushes; the ring runs the same "
+                    "code in every slot, so the read blocks "
+                    "forever");
+        }
+        if (qs.pushes_exist && !qs.pops_exist) {
+            rep.add("Q006", "push-never-popped", Severity::Warning,
+                    firstTraffic(false),
+                    "thread pushes to its queue port but nothing "
+                    "ever pops; the link fills and later pushes "
+                    "block");
+        }
+        // The balance rules presume a ring that is actually
+        // exchanging; one-sided traffic is already fully described
+        // by Q002/Q006 above.
+        if (qs.pops_exist && qs.pushes_exist) {
+            if (!qs.push_before_pop_possible) {
+                rep.add("Q007", "pop-before-any-push",
+                        Severity::Error, firstTraffic(true),
+                        "every path pops before the first push; "
+                        "all slots run this code, so every thread "
+                        "blocks on an empty queue");
+            }
+            if (qs.negative_loop_insn != ~0u) {
+                rep.add("Q001", "unbalanced-queue-loop",
+                        Severity::Error, qs.negative_loop_insn,
+                        "queue exchange loop pops more than it "
+                        "pushes per iteration; the ring starves");
+            }
+            for (std::uint32_t i : qs.negative_halt_insns) {
+                rep.add("Q001", "unbalanced-queue-loop",
+                        Severity::Error, i,
+                        "thread reaches halt having popped "
+                        "strictly more values than it pushed on "
+                        "every path");
+            }
+            if (qs.overflow_insn != ~0u) {
+                rep.add("Q004", "queue-overflow", Severity::Error,
+                        qs.overflow_insn,
+                        "path pushes more than the queue depth "
+                        "(" + std::to_string(opts.queue_depth) +
+                            ") values before the first pop; "
+                            "every slot blocks pushing "
+                            "simultaneously");
+            }
+        }
+        for (const ShadowedAccess &sa : qs.shadowed) {
+            rep.add("Q005", "shadowed-queue-register",
+                    Severity::Warning, sa.insn,
+                    std::string(sa.is_read ? "read of "
+                                           : "write to ") +
+                        regName(sa.reg) +
+                        (sa.is_read
+                             ? ", which is mapped as a queue "
+                               "write port (the architectural "
+                               "register is shadowed)"
+                             : ", which is mapped as a queue "
+                               "read port (the architectural "
+                               "register is shadowed)"));
+        }
+    }
+
+    // --- Dataflow (D) ---------------------------------------------
+    RegSet exclude = qs.mapped_read | qs.mapped_write;
+    const InitDataflow df = runInitDataflow(cfg, exclude);
+    for (const UninitRead &ur : df.maybe_uninit) {
+        rep.add("D001", "maybe-uninit-read", Severity::Error,
+                ur.insn,
+                "read of " + regName(ur.reg) +
+                    ", which is written on some paths to this "
+                    "instruction but not all");
+    }
+    for (const BasicBlock &bb : cfg.blocks) {
+        if (!bb.reachable)
+            continue;
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            const RegRef dst = cfg.insns[i].dst();
+            if (dst.file == RF::Int && dst.idx == 0 &&
+                cfg.insns[i].op != Op::JAL) {
+                rep.add("D002", "write-to-r0", Severity::Warning,
+                        i,
+                        "destination r0 is hardwired to zero; "
+                        "the result is discarded");
+            }
+        }
+    }
+
+    // --- Thread control (T) ---------------------------------------
+    {
+        const std::vector<std::uint32_t> forks = cfg.forkTargets();
+        if (!forks.empty()) {
+            const std::vector<bool> post_fork =
+                cfg.reachableFrom(forks);
+            for (std::uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+                if (!post_fork[b])
+                    continue;
+                const BasicBlock &bb = cfg.blocks[b];
+                for (std::uint32_t i = bb.first;
+                     i < bb.first + bb.count; ++i) {
+                    const Op op = cfg.insns[i].op;
+                    if (op == Op::SETRMODE) {
+                        rep.add("T001", "setrmode-after-fork",
+                                Severity::Warning, i,
+                                "setrmode executes in every "
+                                "forked slot but selects a "
+                                "machine-global rotation mode");
+                    } else if (op == Op::FASTFORK) {
+                        rep.add("T002", "fork-after-fork",
+                                Severity::Warning, i,
+                                "fastfork is reachable from "
+                                "forked code; sibling slots are "
+                                "already active, so this fork "
+                                "does nothing");
+                    }
+                }
+            }
+        }
+    }
+
+    std::sort(report.diags.begin(), report.diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.pc != b.pc)
+                      return a.pc < b.pc;
+                  return std::strcmp(a.id, b.id) < 0;
+              });
+    return report;
+}
+
+std::string
+formatText(const LintReport &report,
+           const std::string &source_name)
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : report.diags) {
+        os << source_name;
+        if (d.loc.valid())
+            os << ":" << d.loc.line << ":" << d.loc.col;
+        os << ": " << severityName(d.severity) << ": " << d.id
+           << " " << d.name << ": " << d.message << " [pc "
+           << hexAddr(d.pc) << "]\n";
+    }
+    return os.str();
+}
+
+Json
+toJson(const LintReport &report)
+{
+    Json root = Json::object();
+    Json arr = Json::array();
+    for (const Diagnostic &d : report.diags) {
+        Json j = Json::object();
+        j.set("id", d.id);
+        j.set("name", d.name);
+        j.set("severity", severityName(d.severity));
+        j.set("pc", static_cast<std::uint64_t>(d.pc));
+        j.set("line", d.loc.line);
+        j.set("col", d.loc.col);
+        j.set("message", d.message);
+        arr.push(std::move(j));
+    }
+    root.set("diagnostics", std::move(arr));
+    root.set("errors", report.errorCount());
+    root.set("warnings", report.warningCount());
+    return root;
+}
+
+} // namespace smtsim::analysis

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Static verifier for guest programs: runs the CFG, dataflow and
+ * queue-protocol analyses and turns their results into diagnostics
+ * with stable IDs (catalog in docs/ANALYSIS.md).
+ */
+
+#ifndef SMTSIM_ANALYSIS_LINT_HH
+#define SMTSIM_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "asmr/program.hh"
+#include "base/json.hh"
+#include "base/types.hh"
+
+namespace smtsim::analysis
+{
+
+enum class Severity { Warning, Error };
+
+struct Diagnostic
+{
+    const char *id;         ///< stable catalog ID, e.g. "Q001"
+    const char *name;       ///< kebab-case rule name
+    Severity severity;
+    Addr pc;                ///< address of the offending insn
+    SrcLoc loc;             ///< source position when known
+    std::string message;
+};
+
+struct LintOptions
+{
+    /** Ring FIFO depth assumed by the overflow check (the
+     *  interpreter's InterpConfig::queue_depth default). */
+    int queue_depth = 4;
+};
+
+struct LintReport
+{
+    std::vector<Diagnostic> diags;
+
+    int
+    errorCount() const
+    {
+        int n = 0;
+        for (const Diagnostic &d : diags)
+            n += d.severity == Severity::Error;
+        return n;
+    }
+
+    int
+    warningCount() const
+    {
+        return static_cast<int>(diags.size()) - errorCount();
+    }
+
+    bool hasErrors() const { return errorCount() > 0; }
+};
+
+/** Analyze @p prog; diagnostics come back sorted by pc then ID. */
+LintReport lint(const Program &prog, const LintOptions &opts = {});
+
+/**
+ * Render as gcc-style "<source>:<line>:<col>: <severity>: <ID>
+ * <name>: <message>" lines (pc-based location when the program
+ * carries no source positions). Empty string for a clean report.
+ */
+std::string formatText(const LintReport &report,
+                       const std::string &source_name);
+
+/** {"diagnostics": [{id, name, severity, pc, line, col, message}],
+ *   "errors": N, "warnings": N} */
+Json toJson(const LintReport &report);
+
+} // namespace smtsim::analysis
+
+#endif // SMTSIM_ANALYSIS_LINT_HH

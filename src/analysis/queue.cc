@@ -1,0 +1,277 @@
+#include "analysis/queue.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace smtsim::analysis
+{
+
+namespace
+{
+
+constexpr long kNegInf = -(1L << 40);
+constexpr long kPosInf = 1L << 40;
+constexpr int kWidenAfter = 12;
+
+struct Interval
+{
+    long lo = 0;
+    long hi = 0;
+
+    bool operator==(const Interval &o) const = default;
+};
+
+/** Pop/push counts of one instruction under the current mapping. */
+struct QueueTraffic
+{
+    int pops = 0;
+    int pushes = 0;
+};
+
+QueueTraffic
+trafficOf(const Insn &insn, const QueueSummary &qs)
+{
+    QueueTraffic t;
+    RegRef srcs[3];
+    const int n = insn.srcs(srcs);
+    for (int k = 0; k < n; ++k) {
+        if (qs.mapped_read.has(srcs[k]))
+            ++t.pops;
+    }
+    const RegRef dst = insn.dst();
+    if (dst.valid() && qs.mapped_write.has(dst))
+        ++t.pushes;
+    return t;
+}
+
+} // namespace
+
+QueueSummary
+analyzeQueues(const Cfg &cfg, int queue_depth)
+{
+    QueueSummary qs;
+
+    // --- Collect reachable mappings -------------------------------
+    for (const BasicBlock &bb : cfg.blocks) {
+        if (!bb.reachable)
+            continue;
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            const Insn &insn = cfg.insns[i];
+            if (insn.op == Op::QDIS) {
+                qs.has_qdis = true;
+                continue;
+            }
+            if (insn.op != Op::QEN && insn.op != Op::QENF)
+                continue;
+            QueueMapping m;
+            m.insn = i;
+            m.file = insn.op == Op::QEN ? RF::Int : RF::Fp;
+            m.read_reg = insn.rs;
+            m.write_reg = insn.rt;
+            // The hardware rejects self-links, and r0 cannot be
+            // remapped (reads are hardwired, writes discarded).
+            m.illegal =
+                insn.rs == insn.rt ||
+                (insn.op == Op::QEN &&
+                 (insn.rs == 0 || insn.rt == 0));
+            qs.mappings.push_back(m);
+            if (!m.illegal) {
+                qs.mapped_read.add({m.file, m.read_reg});
+                qs.mapped_write.add({m.file, m.write_reg});
+            }
+        }
+    }
+    if (qs.mappings.empty())
+        return qs;
+
+    // --- Classify per-insn traffic and shadowed accesses ----------
+    for (const BasicBlock &bb : cfg.blocks) {
+        if (!bb.reachable)
+            continue;
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            const Insn &insn = cfg.insns[i];
+            RegRef srcs[3];
+            const int n = insn.srcs(srcs);
+            for (int k = 0; k < n; ++k) {
+                if (qs.mapped_read.has(srcs[k]))
+                    qs.pops_exist = true;
+                else if (qs.mapped_write.has(srcs[k]))
+                    qs.shadowed.push_back({i, srcs[k], true});
+            }
+            const RegRef dst = insn.dst();
+            if (dst.valid()) {
+                if (qs.mapped_write.has(dst))
+                    qs.pushes_exist = true;
+                else if (qs.mapped_read.has(dst))
+                    qs.shadowed.push_back({i, dst, false});
+            }
+        }
+    }
+
+    // --- Balance intervals with widening --------------------------
+    const std::size_t nb = cfg.blocks.size();
+    std::vector<Interval> in(nb);
+    std::vector<bool> reached(nb, false), queued(nb, false);
+    std::vector<int> visits(nb, 0);
+    reached[cfg.entry_block] = true;
+    std::deque<std::uint32_t> work{cfg.entry_block};
+    queued[cfg.entry_block] = true;
+
+    auto outOf = [&](std::uint32_t b) {
+        Interval v = in[b];
+        const BasicBlock &bb = cfg.blocks[b];
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            const QueueTraffic t = trafficOf(cfg.insns[i], qs);
+            const long d = t.pushes - t.pops;
+            // Infinities are sticky: once a bound is widened away
+            // it must not decay back into the finite range through
+            // per-instruction arithmetic.
+            if (v.lo > kNegInf)
+                v.lo = std::max(kNegInf, v.lo + d);
+            if (v.hi < kPosInf)
+                v.hi = std::min(kPosInf, v.hi + d);
+        }
+        return v;
+    };
+
+    auto firstPopInsn = [&](std::uint32_t b) {
+        const BasicBlock &bb = cfg.blocks[b];
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            if (trafficOf(cfg.insns[i], qs).pops > 0)
+                return i;
+        }
+        return bb.first;
+    };
+
+    while (!work.empty()) {
+        const std::uint32_t b = work.front();
+        work.pop_front();
+        queued[b] = false;
+        const Interval out = outOf(b);
+        for (const Edge &edge : cfg.blocks[b].succs) {
+            const std::uint32_t s = edge.block;
+            Interval merged = out;
+            if (reached[s]) {
+                merged.lo = std::min(in[s].lo, out.lo);
+                merged.hi = std::max(in[s].hi, out.hi);
+            }
+            if (reached[s] && merged == in[s])
+                continue;
+            if (++visits[s] > kWidenAfter) {
+                if (merged.lo < in[s].lo)
+                    merged.lo = kNegInf;
+                if (merged.hi > in[s].hi)
+                    merged.hi = kPosInf;
+            }
+            in[s] = merged;
+            reached[s] = true;
+            if (!queued[s]) {
+                queued[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+
+    // --- Starving loops -------------------------------------------
+    // A widened-to-minus-infinity lower bound alone is not enough:
+    // in a ring where slots play different roles (one seeds tokens,
+    // one retires them), a single-thread balance sees a may-negative
+    // path even though the slots' contributions cancel across the
+    // ring -- but then the seeding path widens the UPPER bound too.
+    // Only when the balance can sink without bound while no path
+    // ever replenishes it (hi stays finite) is the loop certainly
+    // net-negative on every iteration.
+    for (std::uint32_t b = 0; b < nb; ++b) {
+        if (reached[b] && in[b].lo <= kNegInf &&
+            in[b].hi < kPosInf) {
+            qs.negative_loop_insn = firstPopInsn(b);
+            break;
+        }
+    }
+
+    // --- Definitely-negative balance at halt ----------------------
+    for (std::uint32_t b = 0; b < nb; ++b) {
+        if (!reached[b])
+            continue;
+        Interval v = in[b];
+        const BasicBlock &bb = cfg.blocks[b];
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            if (cfg.insns[i].op == Op::HALT && v.hi < 0)
+                qs.negative_halt_insns.push_back(i);
+            const QueueTraffic t = trafficOf(cfg.insns[i], qs);
+            v.lo += t.pushes - t.pops;
+            v.hi += t.pushes - t.pops;
+        }
+    }
+
+    // --- Pop-free prefix pushes (acyclic paths only) --------------
+    // Back edges are ignored so a bounded seeding loop contributes
+    // one iteration's worth; the goal is catching straight-line
+    // over-priming, not loop bounds.
+    std::vector<int> color(nb, 0);      // 0 new, 1 on stack, 2 done
+    std::vector<std::uint32_t> rpo;
+    std::vector<std::vector<std::uint32_t>> fwd_succs(nb);
+    {
+        std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+        stack.push_back({cfg.entry_block, 0});
+        color[cfg.entry_block] = 1;
+        while (!stack.empty()) {
+            auto &[b, next] = stack.back();
+            if (next < cfg.blocks[b].succs.size()) {
+                const std::uint32_t s =
+                    cfg.blocks[b].succs[next++].block;
+                if (color[s] == 0) {
+                    fwd_succs[b].push_back(s);
+                    color[s] = 1;
+                    stack.push_back({s, 0});
+                } else if (color[s] == 2) {
+                    fwd_succs[b].push_back(s);
+                }
+                // color 1: back edge, dropped.
+            } else {
+                color[b] = 2;
+                rpo.push_back(b);
+                stack.pop_back();
+            }
+        }
+        std::reverse(rpo.begin(), rpo.end());
+    }
+
+    std::vector<int> prefix(nb, -1);    // -1: no pop-free path
+    prefix[cfg.entry_block] = 0;
+    for (std::uint32_t b : rpo) {
+        int p = prefix[b];
+        if (p < 0)
+            continue;
+        const BasicBlock &bb = cfg.blocks[b];
+        for (std::uint32_t i = bb.first;
+             p >= 0 && i < bb.first + bb.count; ++i) {
+            const QueueTraffic t = trafficOf(cfg.insns[i], qs);
+            if (t.pushes > 0) {
+                qs.push_before_pop_possible = true;
+                p += t.pushes;
+                if (p > queue_depth && qs.overflow_insn == ~0u)
+                    qs.overflow_insn = i;
+            }
+            if (t.pops > 0)
+                p = -1;
+        }
+        if (p < 0)
+            continue;
+        for (std::uint32_t s : fwd_succs[b])
+            prefix[s] = std::max(prefix[s], p);
+    }
+
+    std::sort(qs.shadowed.begin(), qs.shadowed.end(),
+              [](const ShadowedAccess &a, const ShadowedAccess &b) {
+                  return a.insn < b.insn;
+              });
+    return qs;
+}
+
+} // namespace smtsim::analysis

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Queue-register protocol analysis (the paper's section 2.3.1).
+ *
+ * QEN/QENF map a (read, write) register pair onto the ring of
+ * inter-LP FIFO queues: reads of the read-register pop from the
+ * upstream link, writes of the write-register push to the
+ * downstream link, and both block when the queue is empty/full.
+ * fastfork copies thread state, so every LP normally runs the same
+ * code and the ring is symmetric: each thread's pops are fed by an
+ * identical peer's pushes. Under that model a per-thread push/pop
+ * balance is meaningful, and several deadlocks are statically
+ * visible:
+ *
+ *  - a loop that pops more than it pushes starves the ring;
+ *  - a program that pops but never pushes reads a port no peer
+ *    ever feeds;
+ *  - more pushes than the queue depth before the first pop fills
+ *    every link while every peer is equally blocked pushing;
+ *  - every path popping before the first push leaves all peers
+ *    blocked on empty queues.
+ *
+ * Balances are tracked as intervals [lo, hi] with join
+ * [min, max] and widening on loops, so bounded dips (a consumer
+ * popping its seed) and leftovers (a final in-flight value at
+ * halt) do not alarm.
+ */
+
+#ifndef SMTSIM_ANALYSIS_QUEUE_HH
+#define SMTSIM_ANALYSIS_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+
+namespace smtsim::analysis
+{
+
+/** One reachable QEN/QENF site. */
+struct QueueMapping
+{
+    std::uint32_t insn;
+    RF file;                ///< Int for qen, Fp for qenf
+    RegIndex read_reg;      ///< pops
+    RegIndex write_reg;     ///< pushes
+    bool illegal;           ///< operands the hardware rejects
+};
+
+/** An architectural access to a register shadowed by a mapping:
+ *  reading the write-register or writing the read-register. */
+struct ShadowedAccess
+{
+    std::uint32_t insn;
+    RegRef reg;
+    bool is_read;
+};
+
+struct QueueSummary
+{
+    std::vector<QueueMapping> mappings;
+    RegSet mapped_read;     ///< legal read-registers, all mappings
+    RegSet mapped_write;    ///< legal write-registers, all mappings
+    bool has_qdis = false;
+
+    bool pops_exist = false;
+    bool pushes_exist = false;
+
+    /** First insn popping inside a loop whose net balance is
+     *  negative (widened to -inf); ~0u when none. */
+    std::uint32_t negative_loop_insn = ~0u;
+
+    /** HALT sites whose incoming balance is entirely negative
+     *  (hi < 0): the thread definitely popped more than it fed. */
+    std::vector<std::uint32_t> negative_halt_insns;
+
+    /** Push site exceeding queue_depth pushes with no prior pop on
+     *  an acyclic path; ~0u when none (or only via a widened
+     *  loop, which the prefix analysis does not trust). */
+    std::uint32_t overflow_insn = ~0u;
+
+    /** True when some reachable push can execute before any pop
+     *  (the ring can be primed). Meaningful only when both
+     *  pops_exist and pushes_exist. */
+    bool push_before_pop_possible = false;
+
+    std::vector<ShadowedAccess> shadowed;
+};
+
+/** Run the protocol analysis over reachable blocks. */
+QueueSummary analyzeQueues(const Cfg &cfg, int queue_depth);
+
+} // namespace smtsim::analysis
+
+#endif // SMTSIM_ANALYSIS_QUEUE_HH

@@ -24,6 +24,7 @@ enum class Segment { Text, Data };
 struct Statement
 {
     int line = 0;
+    int col = 0;                // 1-based column of the mnemonic
     std::string label;          // optional, bound at this address
     std::string mnemonic;       // lower-case; empty for label-only
     std::vector<std::string> operands;
@@ -126,6 +127,9 @@ Assembler::parseLines()
 
         Statement st;
         st.line = line_no;
+        // Column where the statement (and, absent a label, the
+        // mnemonic) starts in the original line.
+        size_t col0 = line.find_first_not_of(" \t");
 
         // Extract an optional leading label.
         size_t colon = text.find(':');
@@ -140,9 +144,15 @@ Assembler::parseLines()
             }
             if (is_label) {
                 st.label = head;
-                text = trim(text.substr(colon + 1));
+                const std::string rest = text.substr(colon + 1);
+                const size_t skip = rest.find_first_not_of(" \t");
+                col0 += colon + 1 +
+                        (skip == std::string::npos ? rest.size()
+                                                   : skip);
+                text = trim(rest);
             }
         }
+        st.col = static_cast<int>(col0) + 1;
 
         if (!text.empty()) {
             size_t sp = text.find_first_of(" \t");
@@ -459,6 +469,9 @@ Assembler::emitInsn(const Statement &st, Program &prog)
     const Addr pc = st.addr;
     auto push = [&](const Insn &insn) {
         prog.text.push_back(encode(insn));
+        prog.text_locs.push_back(
+            {static_cast<std::uint32_t>(st.line),
+             static_cast<std::uint32_t>(st.col)});
     };
     auto need = [&](size_t n) {
         if (st.operands.size() != n)

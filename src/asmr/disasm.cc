@@ -166,6 +166,8 @@ programToAsm(const Program &prog)
         } else {
             os << disassemble(insn);
         }
+        if (const SrcLoc loc = prog.locAt(pc); loc.valid())
+            os << "    # " << loc.line << ":" << loc.col;
         os << "\n";
     }
     {   // labels sitting one past the last instruction

@@ -25,6 +25,15 @@ Program::loadInto(MainMemory &mem) const
     mem.loadBytes(data_base, data);
 }
 
+SrcLoc
+Program::locAt(Addr addr) const
+{
+    if (!holdsInsn(addr))
+        return {};
+    const std::size_t i = (addr - text_base) / kInsnBytes;
+    return i < text_locs.size() ? text_locs[i] : SrcLoc{};
+}
+
 Insn
 Program::insnAt(Addr addr) const
 {

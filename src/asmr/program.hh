@@ -26,6 +26,20 @@ constexpr Addr kDefaultTextBase = 0x00001000;
 constexpr Addr kDefaultDataBase = 0x00100000;
 
 /**
+ * Source position of an assembled instruction. line is 1-based
+ * (0 = unknown, e.g. a programmatically built Program); col is the
+ * 1-based column of the statement's mnemonic.
+ */
+struct SrcLoc
+{
+    std::uint32_t line = 0;
+    std::uint32_t col = 0;
+
+    bool valid() const { return line != 0; }
+    bool operator==(const SrcLoc &other) const = default;
+};
+
+/**
  * A fully linked program image produced by the assembler (or built
  * programmatically by the schedulers).
  */
@@ -42,6 +56,17 @@ struct Program
 
     /** Label name -> address. */
     std::map<std::string, Addr> symbols;
+
+    /**
+     * Per-text-word source positions, parallel to @c text. Filled by
+     * the assembler; empty for programmatically built or
+     * deserialized images (diagnostics then fall back to the pc).
+     */
+    std::vector<SrcLoc> text_locs;
+
+    /** Source position of the instruction at @p addr ({0,0} when
+     *  unknown or out of range). */
+    SrcLoc locAt(Addr addr) const;
 
     /** Address of a required symbol; throws FatalError if missing. */
     Addr symbol(const std::string &name) const;

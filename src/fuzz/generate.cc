@@ -444,13 +444,29 @@ Gen::run()
     if (feat_.fp_queues)
         prog.units.push_back(code1("qenf f8, f9"));
 
-    // Seed registers so the body starts from varied values.
+    // Seed every writable data register so the body starts from
+    // varied values. Covering the full intDst()/fpDst() range also
+    // keeps generated programs clean under the static verifier's
+    // inconsistent-init rule (D001): a conditional body write can
+    // only ever re-define a register, never introduce a
+    // written-on-some-paths-only read.
     prog.units.push_back(code1("lw r8, 0(r2)"));
     prog.units.push_back(code1("lw r9, 4(r2)"));
+    prog.units.push_back(code1("lw r10, 8(r2)"));
+    prog.units.push_back(code1("lw r11, 12(r2)"));
     prog.units.push_back(code1("add r12, r5, r0"));
+    prog.units.push_back(code1("add r13, r6, r0"));
+    prog.units.push_back(code1("xor r14, r8, r9"));
+    prog.units.push_back(code1("addi r15, r5, 1"));
     if (feat_.fp) {
         prog.units.push_back(code1("lf f0, 0(r3)"));
         prog.units.push_back(code1("lf f1, 8(r3)"));
+        prog.units.push_back(code1("lf f2, 16(r3)"));
+        prog.units.push_back(code1("lf f3, 24(r3)"));
+        prog.units.push_back(code1("lf f4, 32(r3)"));
+        prog.units.push_back(code1("lf f5, 40(r3)"));
+        prog.units.push_back(code1("lf f6, 48(r3)"));
+        prog.units.push_back(code1("itof f7, r5"));
     }
 
     // ----- body --------------------------------------------------

@@ -1,5 +1,7 @@
 #include "op.hh"
 
+#include <array>
+
 namespace smtsim
 {
 
@@ -79,5 +81,31 @@ const OpMeta kOpTable[kNumOps] = {
 };
 
 } // namespace detail
+
+const OpEffects &
+opEffects(Op op)
+{
+    static const std::array<OpEffects, kNumOps> table = [] {
+        std::array<OpEffects, kNumOps> t{};
+        for (int i = 0; i < kNumOps; ++i) {
+            const Op o = static_cast<Op>(i);
+            OpEffects &e = t[i];
+            e.reads_mem = isLoadOp(o);
+            e.writes_mem = isStoreOp(o);
+            e.control = isBranchOp(o);
+            e.indirect = o == Op::JR || o == Op::JALR;
+            e.links = o == Op::JAL || o == Op::JALR;
+            e.terminates = o == Op::HALT;
+            e.forks = o == Op::FASTFORK;
+            e.kills = o == Op::KILLT;
+            e.priority_gated = isPriorityGatedOp(o);
+            e.queue_map = o == Op::QEN || o == Op::QENF;
+            e.queue_unmap = o == Op::QDIS;
+            e.global_state = o == Op::SETRMODE;
+        }
+        return t;
+    }();
+    return table[static_cast<int>(op)];
+}
 
 } // namespace smtsim

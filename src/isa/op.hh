@@ -181,6 +181,53 @@ isThreadCtlOp(Op op)
     return op >= Op::NOP && op <= Op::SETRMODE;
 }
 
+/** Maps or unmaps queue registers (QEN / QENF / QDIS). */
+inline bool
+isQueueCtlOp(Op op)
+{
+    return op == Op::QEN || op == Op::QENF || op == Op::QDIS;
+}
+
+/**
+ * Blocks in decode until the issuing thread reaches the head of the
+ * priority ring (section 2.3.2's ordered operations). The scoreboard
+ * does not interlock these; a gated instruction that can never reach
+ * the ring head simply never issues.
+ */
+inline bool
+isPriorityGatedOp(Op op)
+{
+    return op == Op::CHGPRI || op == Op::KILLT ||
+           isPriorityStoreOp(op);
+}
+
+/**
+ * Static side-effect summary of one operation, for analysis passes
+ * that need more than Insn::srcs()/dst() register traffic: which
+ * instructions touch memory, end or redirect a thread, mutate
+ * machine-global state, or participate in the queue / priority
+ * protocols. Timing-free: a property is set if the architectural
+ * effect exists at all.
+ */
+struct OpEffects
+{
+    bool reads_mem = false;     ///< load
+    bool writes_mem = false;    ///< store (incl. priority stores)
+    bool control = false;       ///< branch/jump: pc not sequential
+    bool indirect = false;      ///< control target from a register
+    bool links = false;         ///< writes a return address
+    bool terminates = false;    ///< HALT: thread never advances
+    bool forks = false;         ///< FASTFORK starts sibling slots
+    bool kills = false;         ///< KILLT stops sibling slots
+    bool priority_gated = false;///< waits for the priority-ring head
+    bool queue_map = false;     ///< QEN/QENF installs a mapping
+    bool queue_unmap = false;   ///< QDIS removes all mappings
+    bool global_state = false;  ///< SETRMODE: machine-wide mode
+};
+
+/** Effects of @p op (table-backed, defined in op.cc). */
+const OpEffects &opEffects(Op op);
+
 /** Operates on the FP register file. */
 inline bool
 isFpFormatOp(Op op)

@@ -1,0 +1,10 @@
+# C002: the program has no halt on the fall-through path, so
+# execution runs sequentially past the last text word and the
+# engines fatal on the stray fetch.
+        .text
+main:
+        tid r1
+        beq r1, r0, done
+        addi r2, r0, 5
+done:
+        nop                     #! expect C002

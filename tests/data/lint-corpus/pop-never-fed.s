@@ -1,0 +1,9 @@
+# Q002: the thread pops from its queue port, but no instruction
+# anywhere pushes. Every slot runs this same code, so the upstream
+# link is never fed and the first pop blocks forever.
+        .text
+main:
+        qen r20, r21
+        fastfork
+        add r3, r20, r0         #! expect Q002
+        halt

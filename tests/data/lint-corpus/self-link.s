@@ -1,0 +1,7 @@
+# Q003: mapping the same register as both the read and the write
+# port would make every pop consume the thread's own push; the
+# hardware (and the interpreter) reject the pair outright.
+        .text
+main:
+        qen r20, r20            #! expect Q003
+        halt

@@ -1,0 +1,15 @@
+# Q001: every iteration pops two values from the upstream link but
+# pushes only one downstream; since all slots run the same loop the
+# ring drains and every thread ends up blocked in a pop.
+        .text
+main:
+        qenf f20, f21
+        itof f1, r0
+        fmov f21, f1            # seed one value downstream
+        fastfork
+loop:
+        fmov f2, f20            #! expect Q001
+        fmov f3, f20
+        fadd f4, f2, f3
+        fmov f21, f4
+        j loop

@@ -1,0 +1,15 @@
+# D001: r4 is written only on the tid!=0 path, so the read after
+# the join sees either 7 or the architectural zero depending on
+# which slot runs this -- the classic inconsistent-init bug.
+#
+# Annotation format: an expect marker naming the diagnostic ID sits
+# on the line it must point at; tests/test_analysis.cc checks that
+# each file produces exactly its annotated set.
+        .text
+main:
+        tid r1
+        beq r1, r0, skip
+        addi r4, r0, 7
+skip:
+        add r5, r4, r0          #! expect D001
+        halt

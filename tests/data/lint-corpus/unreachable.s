@@ -1,0 +1,11 @@
+# C001: the two instructions after the unconditional jump have no
+# path from the entry point -- dead code the assembler accepts but
+# nothing can ever execute.
+        .text
+main:
+        addi r1, r0, 1
+        j done
+        addi r2, r0, 2          #! expect C001
+        addi r3, r0, 3
+done:
+        halt

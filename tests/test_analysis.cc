@@ -1,0 +1,739 @@
+/**
+ * @file
+ * Tests for src/analysis: CFG construction, the init dataflow, the
+ * queue-protocol checker and the lint driver — plus the contract
+ * that every first-party program (workloads, demo, fuzz corpus and
+ * freshly generated fuzz programs) is lint-clean.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/lint.hh"
+#include "asmr/assembler.hh"
+#include "asmr/disasm.hh"
+#include "fuzz/generate.hh"
+#include "workloads/workloads.hh"
+
+using namespace smtsim;
+using namespace smtsim::analysis;
+
+namespace
+{
+
+Program
+prog(const std::string &src)
+{
+    return assemble(src);
+}
+
+std::vector<std::string>
+diagIds(const LintReport &report)
+{
+    std::vector<std::string> ids;
+    for (const Diagnostic &d : report.diags)
+        ids.push_back(d.id);
+    return ids;
+}
+
+/** Expect exactly the given IDs (order-insensitive). */
+void
+expectIds(const LintReport &report,
+          std::vector<std::string> expected, const char *what)
+{
+    std::vector<std::string> actual = diagIds(report);
+    std::sort(actual.begin(), actual.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(actual, expected)
+        << what << ":\n"
+        << formatText(report, "<test>");
+}
+
+} // namespace
+
+// ===================================================================
+// CFG construction
+// ===================================================================
+
+TEST(Cfg, DiamondShape)
+{
+    const Program p = prog(R"(
+main:
+        addi r1, r0, 1
+        beq r1, r0, skip
+        addi r2, r0, 2
+skip:
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    ASSERT_EQ(cfg.insns.size(), 4u);
+
+    const BasicBlock &b0 = cfg.blocks[0];
+    EXPECT_EQ(b0.first, 0u);
+    EXPECT_EQ(b0.count, 2u);    // addi + beq
+    ASSERT_EQ(b0.succs.size(), 2u);
+    // Taken edge to the halt block, fall edge to the middle block.
+    bool has_taken = false, has_fall = false;
+    for (const Edge &e : b0.succs) {
+        if (e.kind == EdgeKind::Taken)
+            has_taken = e.block == 2;
+        if (e.kind == EdgeKind::Fall)
+            has_fall = e.block == 1;
+    }
+    EXPECT_TRUE(has_taken);
+    EXPECT_TRUE(has_fall);
+
+    for (const BasicBlock &bb : cfg.blocks)
+        EXPECT_TRUE(bb.reachable);
+    EXPECT_TRUE(cfg.fall_off_insns.empty());
+    EXPECT_TRUE(cfg.bad_target_insns.empty());
+}
+
+TEST(Cfg, ForkEdgeAndTargets)
+{
+    const Program p = prog(R"(
+main:
+        fastfork
+        tid r1
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 2u);
+    const BasicBlock &b0 = cfg.blocks[0];
+    bool fork = false, fall = false;
+    for (const Edge &e : b0.succs) {
+        fork = fork || (e.kind == EdgeKind::Fork && e.block == 1);
+        fall = fall || (e.kind == EdgeKind::Fall && e.block == 1);
+    }
+    EXPECT_TRUE(fork) << "fastfork must emit a Fork edge";
+    EXPECT_TRUE(fall) << "the parent continues at pc+4";
+    EXPECT_EQ(cfg.forkTargets(), std::vector<std::uint32_t>{1u});
+}
+
+TEST(Cfg, UnreachableAfterJump)
+{
+    const Program p = prog(R"(
+main:
+        j done
+        addi r1, r0, 1
+done:
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    EXPECT_TRUE(cfg.blocks[0].reachable);
+    EXPECT_FALSE(cfg.blocks[1].reachable);
+    EXPECT_TRUE(cfg.blocks[2].reachable);
+}
+
+TEST(Cfg, LoopBackEdge)
+{
+    const Program p = prog(R"(
+main:
+        addi r1, r0, 4
+loop:
+        addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    const BasicBlock &loop = cfg.blocks[1];
+    bool back = false;
+    for (const Edge &e : loop.succs)
+        back = back || (e.kind == EdgeKind::Taken && e.block == 1);
+    EXPECT_TRUE(back);
+}
+
+TEST(Cfg, CallHasReturnFallEdge)
+{
+    const Program p = prog(R"(
+main:
+        jal helper
+        halt
+helper:
+        jr r31
+)");
+    const Cfg cfg = buildCfg(p);
+    const BasicBlock &b0 = cfg.blocks[0];
+    bool call = false, fall = false;
+    for (const Edge &e : b0.succs) {
+        call = call || e.kind == EdgeKind::Call;
+        fall = fall || e.kind == EdgeKind::Fall;
+    }
+    EXPECT_TRUE(call);
+    EXPECT_TRUE(fall) << "jal models the post-return continuation";
+    // jr ends its block with no successors but is recorded.
+    EXPECT_EQ(cfg.indirect_insns.size(), 1u);
+    for (const BasicBlock &bb : cfg.blocks)
+        EXPECT_TRUE(bb.reachable);
+}
+
+// ===================================================================
+// Init dataflow
+// ===================================================================
+
+TEST(Dataflow, InconsistentInitIsFlagged)
+{
+    const Program p = prog(R"(
+main:
+        tid r1
+        beq r1, r0, skip
+        addi r4, r0, 7
+skip:
+        add r5, r4, r0
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    const InitDataflow df = runInitDataflow(cfg, {});
+    ASSERT_EQ(df.maybe_uninit.size(), 1u);
+    EXPECT_EQ(df.maybe_uninit[0].reg.file, RF::Int);
+    EXPECT_EQ(df.maybe_uninit[0].reg.idx, 4);
+}
+
+TEST(Dataflow, NeverWrittenReadIsSilent)
+{
+    // Registers are architecturally zero: reading a register no
+    // path ever writes is the documented "known zero" idiom.
+    const Program p = prog(R"(
+main:
+        add r5, r4, r0
+        fadd f2, f0, f1
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    const InitDataflow df = runInitDataflow(cfg, {});
+    EXPECT_TRUE(df.maybe_uninit.empty());
+}
+
+TEST(Dataflow, BothPathsWritingIsClean)
+{
+    const Program p = prog(R"(
+main:
+        tid r1
+        beq r1, r0, other
+        addi r4, r0, 7
+        j join
+other:
+        addi r4, r0, 9
+join:
+        add r5, r4, r0
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    const InitDataflow df = runInitDataflow(cfg, {});
+    EXPECT_TRUE(df.maybe_uninit.empty());
+}
+
+TEST(Dataflow, ForkPropagatesParentState)
+{
+    // fastfork copies the parent's registers into every sibling
+    // slot, so a pre-fork write is fully initialized afterwards.
+    const Program p = prog(R"(
+main:
+        addi r8, r0, 3
+        fastfork
+        add r9, r8, r8
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    const InitDataflow df = runInitDataflow(cfg, {});
+    EXPECT_TRUE(df.maybe_uninit.empty());
+}
+
+TEST(Dataflow, ExcludedRegistersDoNotParticipate)
+{
+    // With r4 excluded (as a queue-mapped name would be), its
+    // conditional write and later read are invisible.
+    const Program p = prog(R"(
+main:
+        tid r1
+        beq r1, r0, skip
+        addi r4, r0, 7
+skip:
+        add r5, r4, r0
+        halt
+)");
+    const Cfg cfg = buildCfg(p);
+    RegSet exclude;
+    exclude.add({RF::Int, 4});
+    const InitDataflow df = runInitDataflow(cfg, exclude);
+    EXPECT_TRUE(df.maybe_uninit.empty());
+}
+
+// ===================================================================
+// Lint rules, positive and negative
+// ===================================================================
+
+TEST(Lint, CleanProgramIsClean)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        addi r1, r0, 5
+loop:
+        addi r1, r1, -1
+        bgtz r1, loop
+        halt
+)"));
+    expectIds(r, {}, "straight-line loop program");
+}
+
+TEST(Lint, QueueSelfLink)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r20
+        halt
+)"));
+    expectIds(r, {"Q003"}, "self-link");
+}
+
+TEST(Lint, QueueR0Mapping)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r0, r21
+        halt
+)"));
+    expectIds(r, {"Q003"}, "r0 mapping");
+}
+
+TEST(Lint, BalancedExchangeLoopIsClean)
+{
+    // The recurrence shape: one seed push, then a loop that pops
+    // and pushes exactly once per iteration, with a leftover value
+    // at halt. None of that may alarm.
+    const LintReport r = lint(prog(R"(
+main:
+        qenf f20, f21
+        fastfork
+        tid r1
+        bne r1, r0, recv
+        itof f1, r0
+        fmov f21, f1
+recv:
+        addi r2, r0, 8
+loop:
+        fmov f1, f20
+        fadd f1, f1, f1
+        fmov f21, f1
+        addi r2, r2, -1
+        bgtz r2, loop
+        halt
+)"));
+    expectIds(r, {}, "balanced doacross exchange");
+}
+
+TEST(Lint, NetNegativeLoop)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qenf f20, f21
+        itof f1, r0
+        fmov f21, f1
+        fastfork
+loop:
+        fmov f2, f20
+        fmov f3, f20
+        fmov f21, f2
+        j loop
+)"));
+    expectIds(r, {"Q001"}, "two pops one push per iteration");
+}
+
+TEST(Lint, PopNeverFed)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        add r3, r20, r0
+        halt
+)"));
+    expectIds(r, {"Q002"}, "pop with no pushes anywhere");
+}
+
+TEST(Lint, PushNeverPopped)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        addi r21, r0, 1
+        halt
+)"));
+    expectIds(r, {"Q006"}, "push with no pops anywhere");
+}
+
+TEST(Lint, OverPrimingBeyondDepth)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        addi r21, r0, 1
+        addi r21, r0, 2
+        addi r21, r0, 3
+        addi r21, r0, 4
+        addi r21, r0, 5
+        add r3, r20, r0
+        halt
+)"));
+    expectIds(r, {"Q004"}, "five pushes before the first pop");
+}
+
+TEST(Lint, DepthManyPrimingIsClean)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        addi r21, r0, 1
+        addi r21, r0, 2
+        addi r21, r0, 3
+        addi r21, r0, 4
+        add r3, r20, r0
+        add r3, r20, r0
+        add r3, r20, r0
+        add r3, r20, r0
+        halt
+)"));
+    expectIds(r, {}, "exactly queue-depth pushes then pops");
+}
+
+TEST(Lint, AllPathsPopFirst)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        fastfork
+        add r3, r20, r0
+        addi r21, r3, 1
+        halt
+)"));
+    expectIds(r, {"Q007"}, "pop strictly precedes every push");
+}
+
+TEST(Lint, ShadowedArchAccess)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        addi r21, r0, 1
+        add r3, r21, r0
+        add r3, r20, r0
+        halt
+)"));
+    // Reading r21 (the write port) hits the shadowed register.
+    expectIds(r, {"Q005"}, "architectural read of the write port");
+}
+
+TEST(Lint, InconsistentMappingWarns)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        tid r1
+        beq r1, r0, other
+        qen r20, r21
+        j go
+other:
+        qen r18, r19
+go:
+        addi r21, r0, 1
+        addi r19, r0, 1
+        add r3, r20, r0
+        add r3, r18, r0
+        halt
+)"));
+    const std::vector<std::string> ids = diagIds(r);
+    EXPECT_TRUE(std::count(ids.begin(), ids.end(), "Q008"))
+        << formatText(r, "<test>");
+}
+
+TEST(Lint, QdisDisablesFlowRules)
+{
+    // After qdis the registers are architectural again; the
+    // flow-insensitive summary cannot track the transition, so
+    // only mapping-legality rules run.
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        addi r21, r0, 1
+        add r3, r20, r0
+        qdis
+        add r4, r20, r0
+        addi r21, r4, 1
+        halt
+)"));
+    expectIds(r, {}, "qdis program under flow rules");
+}
+
+TEST(Lint, WriteToR0Warns)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        add r0, r1, r2
+        halt
+)"));
+    expectIds(r, {"D002"}, "explicit write to r0");
+}
+
+TEST(Lint, SetrmodeAfterForkWarns)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        fastfork
+        setrmode explicit, 8
+        halt
+)"));
+    expectIds(r, {"T001"}, "machine-global setrmode in all slots");
+}
+
+TEST(Lint, SetrmodeBeforeForkIsClean)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        setrmode explicit, 8
+        fastfork
+        halt
+)"));
+    expectIds(r, {}, "setrmode before the fork");
+}
+
+TEST(Lint, ForkAfterForkWarns)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        fastfork
+        fastfork
+        halt
+)"));
+    expectIds(r, {"T002"}, "second fork runs in forked code");
+}
+
+TEST(Lint, BranchOutsideTextIsError)
+{
+    const LintReport r = lint(prog(R"(
+        .equ far, 0x4000
+main:
+        j far
+)"));
+    expectIds(r, {"C003"}, "jump outside the text segment");
+}
+
+TEST(Lint, JsonShapeAndCounts)
+{
+    const LintReport r = lint(prog(R"(
+main:
+        add r0, r1, r2
+        add r5, r4, r0
+        halt
+)"));
+    // One error (the r4 read never happens -- r4 is never written;
+    // so actually only the D002 warning fires).
+    const Json j = toJson(r);
+    ASSERT_NE(j.find("diagnostics"), nullptr);
+    EXPECT_EQ(j.at("diagnostics").size(), r.diags.size());
+    EXPECT_EQ(j.at("errors").asInt(), r.errorCount());
+    EXPECT_EQ(j.at("warnings").asInt(), r.warningCount());
+}
+
+// ===================================================================
+// Source locations
+// ===================================================================
+
+TEST(SrcLoc, AssemblerRecordsLineAndColumn)
+{
+    const Program p = prog("        .text\n"
+                           "main:   addi r1, r0, 1\n"
+                           "        halt\n");
+    ASSERT_EQ(p.text_locs.size(), 2u);
+    EXPECT_EQ(p.locAt(p.text_base).line, 2u);
+    EXPECT_EQ(p.locAt(p.text_base).col, 9u);
+    EXPECT_EQ(p.locAt(p.text_base + 4).line, 3u);
+    EXPECT_EQ(p.locAt(p.text_base + 4).col, 9u);
+    // Out of range / unknown -> invalid loc.
+    EXPECT_FALSE(p.locAt(p.text_base + 8).valid());
+    EXPECT_FALSE(p.locAt(0).valid());
+}
+
+TEST(SrcLoc, TwoWordPseudoSharesTheLine)
+{
+    const Program p = prog("main:\n"
+                           "        la r1, 0x123456\n"
+                           "        halt\n");
+    ASSERT_EQ(p.text_locs.size(), 3u);
+    EXPECT_EQ(p.text_locs[0].line, 2u);
+    EXPECT_EQ(p.text_locs[1].line, 2u);
+    EXPECT_EQ(p.text_locs[2].line, 3u);
+}
+
+TEST(SrcLoc, RoundTripThroughProgramToAsm)
+{
+    const Program p = prog("main:\n"
+                           "        addi r1, r0, 7\n"
+                           "        halt\n");
+    const std::string out = programToAsm(p);
+    EXPECT_NE(out.find("# 2:9"), std::string::npos) << out;
+    EXPECT_NE(out.find("# 3:9"), std::string::npos) << out;
+    // The location comments must not break re-assembly.
+    const Program again = assemble(out);
+    EXPECT_EQ(again.text, p.text);
+}
+
+TEST(SrcLoc, DiagnosticsCarryLocations)
+{
+    const LintReport r = lint(prog("main:\n"
+                                   "        qen r20, r20\n"
+                                   "        halt\n"));
+    ASSERT_EQ(r.diags.size(), 1u);
+    EXPECT_EQ(r.diags[0].loc.line, 2u);
+    EXPECT_EQ(r.diags[0].loc.col, 9u);
+    const std::string text = formatText(r, "file.s");
+    EXPECT_NE(text.find("file.s:2:9:"), std::string::npos) << text;
+}
+
+// ===================================================================
+// Known-bad corpus: expected vs. actual diagnostics
+// ===================================================================
+
+namespace
+{
+
+/** (id, 1-based line) pairs, sorted. */
+using Expectation = std::vector<std::pair<std::string, int>>;
+
+Expectation
+parseExpectations(const std::string &src)
+{
+    Expectation exp;
+    std::istringstream is(src);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::size_t pos = line.find("#! expect ");
+        if (pos == std::string::npos)
+            continue;
+        std::istringstream rest(line.substr(pos + 10));
+        std::string id;
+        rest >> id;
+        exp.emplace_back(id, line_no);
+    }
+    std::sort(exp.begin(), exp.end());
+    return exp;
+}
+
+} // namespace
+
+TEST(LintCorpus, EveryFileFlagsExactlyItsAnnotations)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(LINT_CORPUS_DIR))
+        if (entry.path().extension() == ".s")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    ASSERT_GE(files.size(), 6u);
+
+    for (const fs::path &file : files) {
+        std::ifstream in(file);
+        ASSERT_TRUE(in) << file;
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        const std::string src = oss.str();
+
+        const Expectation expected = parseExpectations(src);
+        ASSERT_FALSE(expected.empty())
+            << file << " has no #! expect annotations";
+
+        const LintReport r = lint(assemble(src));
+        Expectation actual;
+        for (const Diagnostic &d : r.diags) {
+            actual.emplace_back(d.id,
+                                static_cast<int>(d.loc.line));
+        }
+        std::sort(actual.begin(), actual.end());
+        EXPECT_EQ(actual, expected)
+            << file << ":\n"
+            << formatText(r, file.string());
+        EXPECT_TRUE(r.hasErrors()) << file;
+    }
+}
+
+// ===================================================================
+// Every first-party program is lint-clean
+// ===================================================================
+
+namespace
+{
+
+void
+expectClean(const Program &p, const std::string &what)
+{
+    const LintReport r = lint(p);
+    EXPECT_TRUE(r.diags.empty())
+        << what << " is not lint-clean:\n"
+        << formatText(r, what);
+}
+
+} // namespace
+
+TEST(LintClean, Workloads)
+{
+    expectClean(makeRayTrace({.width = 4, .height = 4}).program,
+                "raytrace");
+    expectClean(makeLivermore1({.n = 40, .parallel = false}).program,
+                "livermore-seq");
+    expectClean(makeLivermore1({.n = 40, .parallel = true}).program,
+                "livermore-par");
+    expectClean(makeMatmul({.n = 6}).program, "matmul");
+    expectClean(makeBsearch({.table_size = 64}).program, "bsearch");
+    expectClean(makeStencil({.width = 8, .height = 6}).program,
+                "stencil");
+    expectClean(makeRadiosity({.num_patches = 8}).program,
+                "radiosity");
+    for (const RecurrenceVariant v :
+         {RecurrenceVariant::Sequential,
+          RecurrenceVariant::DoacrossQueue,
+          RecurrenceVariant::DoacrossMemory}) {
+        expectClean(
+            makeRecurrence({.n = 32, .variant = v}).program,
+            "recurrence");
+    }
+    expectClean(makeListWalk({.num_nodes = 16, .eager = false})
+                    .program,
+                "listwalk");
+    expectClean(makeListWalk({.num_nodes = 16, .eager = true})
+                    .program,
+                "listwalk-eager");
+}
+
+TEST(LintClean, DemoProgram)
+{
+    const std::filesystem::path demo =
+        std::filesystem::path(LINT_CORPUS_DIR).parent_path() /
+        "demo.s";
+    std::ifstream in(demo);
+    ASSERT_TRUE(in) << demo;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    expectClean(assemble(oss.str()), "demo.s");
+}
+
+TEST(LintClean, FiveHundredGeneratedPrograms)
+{
+    for (unsigned long long seed = 1; seed <= 500; ++seed) {
+        fuzz::GenOptions opts;
+        opts.seed = seed;
+        const fuzz::GenProgram gp = fuzz::generate(opts);
+        expectClean(assemble(gp.render()),
+                    "generated seed " + std::to_string(seed));
+    }
+}

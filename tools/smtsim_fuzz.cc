@@ -12,6 +12,12 @@
  *     --corpus DIR   write shrunken repro files into DIR
  *     --replay PATH  replay repro file(s) instead of fuzzing; fails
  *                    if any repro diverges again
+ *     --lint         run the static verifier over every generated
+ *                    program before executing it; any diagnostic is
+ *                    a generator (or verifier) bug and fails the
+ *                    run. Applies to freshly generated programs
+ *                    only -- shrink candidates and replayed repros
+ *                    are minimized and routinely drop init code.
  *     --emit         print every generated program (debugging aid)
  *     --quiet        suppress per-divergence detail
  *
@@ -30,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "asmr/assembler.hh"
 #include "base/hash.hh"
 #include "base/random.hh"
@@ -50,8 +57,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--runs N] [--seed S] [--shrink] "
-                 "[--corpus DIR] [--replay PATH] [--emit] "
-                 "[--quiet]\n",
+                 "[--lint] [--corpus DIR] [--replay PATH] "
+                 "[--emit] [--quiet]\n",
                  argv0);
     std::exit(2);
 }
@@ -126,6 +133,7 @@ main(int argc, char **argv)
     long long runs = 100;
     unsigned long long seed = 1;
     bool do_shrink = false;
+    bool do_lint = false;
     bool emit = false;
     bool quiet = false;
     std::string corpus_dir;
@@ -147,6 +155,8 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--shrink") {
             do_shrink = true;
+        } else if (arg == "--lint") {
+            do_lint = true;
         } else if (arg == "--corpus") {
             corpus_dir = need_value(i);
         } else if (arg == "--replay") {
@@ -186,6 +196,23 @@ main(int argc, char **argv)
             std::optional<Divergence> div;
             try {
                 image = assemble(text);
+                if (do_lint) {
+                    // Lint-before-execute: the generator promises
+                    // structurally clean programs, so any
+                    // diagnostic at all means the generator (or
+                    // the verifier) regressed.
+                    const analysis::LintReport lr =
+                        analysis::lint(image);
+                    if (!lr.diags.empty()) {
+                        ++divergences;
+                        std::printf(
+                            "run %lld seed %llu: LINT\n%s", run,
+                            (unsigned long long)prog.seed,
+                            analysis::formatText(lr, "  <gen>")
+                                .c_str());
+                        continue;
+                    }
+                }
                 div = checkProgram(image, prog.features);
             } catch (const std::exception &e) {
                 // A generated program must always assemble and run:

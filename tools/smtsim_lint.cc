@@ -1,0 +1,131 @@
+/**
+ * @file
+ * smtsim-lint: static verifier for guest programs.
+ *
+ *     smtsim-lint [options] program.s [more.s ...]
+ *
+ * Options:
+ *     --json           one JSON object per input file on stdout
+ *     --werror         treat warnings as errors for the exit code
+ *     --queue-depth N  ring FIFO depth assumed by the overflow
+ *                      check (default 4, the interpreter default)
+ *
+ * Inputs may be assembly source or assembled object images (the
+ * "SMTP" binary format); images carry no source positions, so
+ * their diagnostics are located by pc only.
+ *
+ * Exit status: 0 clean (or warnings without --werror), 1 when any
+ * input has diagnostics at error severity, 2 on usage errors or
+ * unreadable/unassemblable input.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hh"
+#include "asmr/assembler.hh"
+#include "base/strutil.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--werror] [--queue-depth N] "
+                 "program.s [more.s ...]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool want_json = false;
+    bool werror = false;
+    analysis::LintOptions opts;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            want_json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--queue-depth") {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            long long v = 0;
+            if (!parseInt(argv[++i], &v) || v < 1) {
+                std::fprintf(stderr,
+                             "%s: --queue-depth needs a positive "
+                             "integer, got \"%s\"\n",
+                             argv[0], argv[i]);
+                return 2;
+            }
+            opts.queue_depth = static_cast<int>(v);
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        usage(argv[0]);
+
+    bool any_error = false;
+    bool any_warning = false;
+    for (const std::string &path : paths) {
+        Program prog;
+        try {
+            std::ifstream probe(path, std::ios::binary);
+            char magic[4] = {};
+            probe.read(magic, 4);
+            if (probe && magic[0] == 'S' && magic[1] == 'T' &&
+                magic[2] == 'M' && magic[3] == 'P') {
+                std::ifstream in(path, std::ios::binary);
+                prog = Program::load(in);
+            } else {
+                std::ifstream in(path);
+                if (!in) {
+                    std::fprintf(stderr, "cannot open %s\n",
+                                 path.c_str());
+                    return 2;
+                }
+                std::ostringstream oss;
+                oss << in.rdbuf();
+                prog = assemble(oss.str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         e.what());
+            return 2;
+        }
+
+        const analysis::LintReport report =
+            analysis::lint(prog, opts);
+        if (want_json) {
+            Json j = analysis::toJson(report);
+            j.set("file", path);
+            std::cout << j.dump(2) << '\n';
+        } else {
+            std::cout << analysis::formatText(report, path);
+        }
+        any_error = any_error || report.hasErrors();
+        any_warning = any_warning || report.warningCount() > 0;
+    }
+
+    if (!want_json && !any_error && !any_warning)
+        std::fprintf(stderr, "%zu file(s) clean\n", paths.size());
+    return any_error || (werror && any_warning) ? 1 : 0;
+}

@@ -23,6 +23,9 @@
  *     --max-cycles N     simulation budget
  *     --dump-word ADDR   print a 32-bit word of memory after the run
  *     --dump-double ADDR print a double after the run
+ *     --lint             run the static verifier first; any
+ *                        error-severity diagnostic aborts the run
+ *                        with exit 1 (docs/ANALYSIS.md)
  *     --stats            print the detailed stall counters (core)
  *     --trace            stream per-cycle pipeline events (core)
  *     --json             emit the run statistics as one JSON object
@@ -41,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "asmr/assembler.hh"
 #include "base/strutil.hh"
 #include "baseline/baseline.hh"
@@ -134,6 +138,7 @@ main(int argc, char **argv)
     bool want_detail = false;
     bool want_trace = false;
     bool want_json = false;
+    bool want_lint = false;
     std::vector<Addr> dump_words, dump_doubles;
 
     auto need_value = [&](int &i) -> const char * {
@@ -218,6 +223,8 @@ main(int argc, char **argv)
                 static_cast<Addr>(uint_value(arg, i)));
         } else if (arg == "--json") {
             want_json = true;
+        } else if (arg == "--lint") {
+            want_lint = true;
         } else if (arg == "--stats") {
             want_detail = true;
         } else if (arg == "--trace") {
@@ -247,6 +254,17 @@ main(int argc, char **argv)
                 prog = assemble(readFile(path));
             }
         }
+        if (want_lint) {
+            const analysis::LintReport lr = analysis::lint(prog);
+            std::cerr << analysis::formatText(lr, path);
+            if (lr.hasErrors()) {
+                std::fprintf(stderr,
+                             "%s: %d lint error(s); not running\n",
+                             path.c_str(), lr.errorCount());
+                return 1;
+            }
+        }
+
         MainMemory mem;
         prog.loadInto(mem);
 
