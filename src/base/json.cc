@@ -47,6 +47,13 @@ Json::at(const std::string &key) const
     return *j;
 }
 
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    static const std::vector<std::pair<std::string, Json>> empty;
+    return type_ == Type::Object ? obj_ : empty;
+}
+
 void
 Json::push(Json value)
 {
@@ -260,7 +267,8 @@ class Parser
     fail(const std::string &what)
     {
         throw JsonParseError("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
+                                 std::to_string(pos_) + ": " + what,
+                             pos_);
     }
 
     void
@@ -323,9 +331,27 @@ class Parser
         }
     }
 
+    /**
+     * Bound container recursion: deeply nested input must fail with
+     * a diagnostic, not exhaust the host stack.
+     */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser &p) : parser(p)
+        {
+            if (++parser.depth_ > Json::kMaxParseDepth)
+                parser.fail("nesting deeper than " +
+                            std::to_string(Json::kMaxParseDepth) +
+                            " levels");
+        }
+        ~DepthGuard() { --parser.depth_; }
+        Parser &parser;
+    };
+
     Json
     objectValue()
     {
+        const DepthGuard guard(*this);
         expect('{');
         Json obj = Json::object();
         skipWs();
@@ -356,6 +382,7 @@ class Parser
     Json
     arrayValue()
     {
+        const DepthGuard guard(*this);
         expect('[');
         Json arr = Json::array();
         skipWs();
@@ -484,6 +511,7 @@ class Parser
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

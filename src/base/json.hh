@@ -20,11 +20,27 @@
 namespace smtsim
 {
 
-/** Thrown by Json::parse on malformed input. */
+/**
+ * Thrown by Json::parse on malformed input and by the typed
+ * accessors on shape mismatches. For parse failures offset() is the
+ * byte position the parser rejected (<= input size) and what()
+ * spells it out; accessor errors carry offset() == npos.
+ */
 class JsonParseError : public std::runtime_error
 {
   public:
-    using std::runtime_error::runtime_error;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    explicit JsonParseError(const std::string &what,
+                            std::size_t offset = npos)
+        : std::runtime_error(what), offset_(offset)
+    {}
+
+    /** Byte offset of a parse failure; npos for accessor errors. */
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
 };
 
 class Json
@@ -64,6 +80,9 @@ class Json
     /** Member lookup that throws JsonParseError when absent. */
     const Json &at(const std::string &key) const;
 
+    /** Object members in insertion order; empty for non-objects. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
     // -- array ----------------------------------------------------
     void push(Json value);
     std::size_t size() const;
@@ -80,8 +99,16 @@ class Json
     std::string dump(int indent = 0) const;
     void write(std::ostream &os, int indent = 0) const;
 
-    /** Parse one JSON document (throws JsonParseError). */
+    /**
+     * Parse one JSON document. Malformed, truncated or overly
+     * nested (> kMaxParseDepth) input throws JsonParseError with
+     * the failing byte offset — parsing never crashes, whatever the
+     * bytes (tests/test_json.cc fuzzes this contract).
+     */
     static Json parse(std::string_view text);
+
+    /** Container-nesting bound enforced by parse(). */
+    static constexpr int kMaxParseDepth = 192;
 
   private:
     void writeImpl(std::ostream &os, int indent, int depth) const;

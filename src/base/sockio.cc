@@ -1,0 +1,207 @@
+#include "sockio.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace smtsim
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxLineBytes = 64u << 20;
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** Fill a sockaddr_un; false when the path does not fit. */
+bool
+makeAddr(const std::string &path, sockaddr_un *addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr->sun_path))
+        return false;
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+Fd
+listenUnix(const std::string &path, std::string *error, int backlog)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, &addr)) {
+        if (error)
+            *error = "socket path \"" + path +
+                     "\" is empty or too long for AF_UNIX";
+        return Fd();
+    }
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        if (error)
+            *error = errnoString("socket");
+        return Fd();
+    }
+    ::unlink(path.c_str());   // stale socket from a previous run
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (error)
+            *error = errnoString(("bind " + path).c_str());
+        return Fd();
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        if (error)
+            *error = errnoString("listen");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, &addr)) {
+        if (error)
+            *error = "socket path \"" + path +
+                     "\" is empty or too long for AF_UNIX";
+        return Fd();
+    }
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        if (error)
+            *error = errnoString("socket");
+        return Fd();
+    }
+    int rc;
+    do {
+        rc = ::connect(fd.get(),
+                       reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        if (error)
+            *error = errnoString(("connect " + path).c_str());
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+acceptConn(const Fd &listener)
+{
+    while (true) {
+        const int fd = ::accept4(listener.get(), nullptr, nullptr,
+                                 SOCK_CLOEXEC);
+        if (fd >= 0)
+            return Fd(fd);
+        if (errno != EINTR)
+            return Fd();
+    }
+}
+
+bool
+writeAll(const Fd &fd, std::string_view data)
+{
+    const char *p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+        // send(MSG_NOSIGNAL) suppresses SIGPIPE on sockets; pipes
+        // (worker stdin/stdout) reject send with ENOTSOCK, so fall
+        // back to write — pipe users must ignore SIGPIPE.
+        ssize_t n = ::send(fd.get(), p, left, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd.get(), p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ReadStatus
+LineReader::readLine(std::string *line, int timeout_ms)
+{
+    while (true) {
+        // Scan only bytes not inspected by a previous call.
+        const std::size_t nl = buf_.find('\n', scanned_);
+        if (nl != std::string::npos) {
+            line->assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            scanned_ = 0;
+            return ReadStatus::Ok;
+        }
+        scanned_ = buf_.size();
+        if (buf_.size() > kMaxLineBytes)
+            return ReadStatus::Error;
+
+        pollfd pfd{fd_->get(), POLLIN, 0};
+        int rc;
+        do {
+            rc = ::poll(&pfd, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0)
+            return ReadStatus::Error;
+        if (rc == 0)
+            return ReadStatus::Timeout;
+
+        char chunk[4096];
+        ssize_t n;
+        do {
+            n = ::recv(fd_->get(), chunk, sizeof(chunk), 0);
+            if (n < 0 && errno == ENOTSOCK)
+                n = ::read(fd_->get(), chunk, sizeof(chunk));
+        } while (n < 0 && errno == EINTR);
+        if (n < 0)
+            return ReadStatus::Error;
+        if (n == 0)
+            return ReadStatus::Eof;
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+long
+raiseFdLimit(long want)
+{
+    rlimit lim{};
+    if (::getrlimit(RLIMIT_NOFILE, &lim) != 0)
+        return -1;
+    const rlim_t target =
+        lim.rlim_max == RLIM_INFINITY
+            ? static_cast<rlim_t>(want)
+            : std::min<rlim_t>(static_cast<rlim_t>(want),
+                               lim.rlim_max);
+    if (lim.rlim_cur < target) {
+        rlimit raised = lim;
+        raised.rlim_cur = target;
+        if (::setrlimit(RLIMIT_NOFILE, &raised) == 0)
+            lim = raised;
+    }
+    return static_cast<long>(lim.rlim_cur);
+}
+
+} // namespace smtsim

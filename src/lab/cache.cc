@@ -1,9 +1,12 @@
 #include "cache.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include <unistd.h>
 
@@ -14,7 +17,50 @@ namespace fs = std::filesystem;
 namespace smtsim::lab
 {
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+namespace
+{
+
+/** Read a whole record file; empty optional-ish on failure. */
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    *out = oss.str();
+    return true;
+}
+
+/** Parse a record and check schema + canonical identity. */
+bool
+recordMatches(const std::string &text, const Job &job, Json *record)
+{
+    try {
+        Json parsed = Json::parse(text);
+        if (parsed.at("schema").asInt() != kCacheSchemaVersion)
+            return false;
+        if (parsed.at("canonical").asString() != job.canonical())
+            return false;   // FNV collision or stale key scheme
+        *record = std::move(parsed);
+        return true;
+    } catch (const JsonParseError &) {
+        return false;       // torn/corrupt record: treat as miss
+    }
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes)
+{
+    if (max_bytes_ > 0) {
+        check_interval_ =
+            std::max<std::uint64_t>(4096, max_bytes_ / 8);
+        enforceLimit();   // trim a pre-existing oversized dir
+    }
+}
 
 std::string
 ResultCache::pathFor(const std::string &key) const
@@ -30,17 +76,14 @@ ResultCache::load(const Job &job, JobResult *out) const
     if (!enabled())
         return false;
     const std::string key = job.cacheKey();
-    std::ifstream in(pathFor(key));
-    if (!in)
+    const std::string path = pathFor(key);
+    std::string text;
+    if (!readFile(path, &text))
         return false;
-    std::ostringstream oss;
-    oss << in.rdbuf();
+    Json record;
+    if (!recordMatches(text, job, &record))
+        return false;
     try {
-        const Json record = Json::parse(oss.str());
-        if (record.at("schema").asInt() != kCacheSchemaVersion)
-            return false;
-        if (record.at("canonical").asString() != job.canonical())
-            return false;   // FNV collision or stale key scheme
         JobResult r = resultFromJson(record.at("result"));
         if (!r.ok)
             return false;
@@ -49,10 +92,28 @@ ResultCache::load(const Job &job, JobResult *out) const
         r.from_cache = true;
         r.wall_seconds = 0.0;
         *out = std::move(r);
-        return true;
     } catch (const JsonParseError &) {
-        return false;       // torn/corrupt record: treat as miss
+        return false;
     }
+    if (max_bytes_ > 0) {
+        // LRU stamp: a hit makes the record recently-used.
+        std::error_code ec;
+        fs::last_write_time(path,
+                            fs::file_time_type::clock::now(), ec);
+    }
+    return true;
+}
+
+bool
+ResultCache::contains(const Job &job) const
+{
+    if (!enabled())
+        return false;
+    std::string text;
+    if (!readFile(pathFor(job.cacheKey()), &text))
+        return false;
+    Json record;
+    return recordMatches(text, job, &record);
 }
 
 void
@@ -77,18 +138,122 @@ ResultCache::store(const Job &job, const JobResult &result) const
         path.parent_path() /
         (key + ".tmp." + std::to_string(counter.fetch_add(1)) +
          "." + std::to_string(::getpid()));
+    const std::string text = record.dump(2) + "\n";
     {
         std::ofstream outf(tmp);
         if (!outf)
             return;
-        record.write(outf, 2);
-        outf << '\n';
+        outf << text;
         if (!outf)
             return;
     }
     fs::rename(tmp, path, ec);
-    if (ec)
+    if (ec) {
         fs::remove(tmp, ec);
+        return;
+    }
+
+    if (max_bytes_ == 0)
+        return;
+    bool check = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_bytes_ += text.size();
+        if (pending_bytes_ >= check_interval_) {
+            pending_bytes_ = 0;
+            check = true;
+        }
+    }
+    if (check)
+        enforceLimit();
+}
+
+std::uint64_t
+ResultCache::diskBytes() const
+{
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &shard : fs::directory_iterator(dir_, ec)) {
+        std::error_code shard_ec;
+        for (const auto &entry :
+             fs::directory_iterator(shard.path(), shard_ec)) {
+            if (entry.path().extension() != ".json")
+                continue;
+            std::error_code size_ec;
+            const auto size = entry.file_size(size_ec);
+            if (!size_ec)
+                total += size;
+        }
+    }
+    return total;
+}
+
+std::size_t
+ResultCache::enforceLimit() const
+{
+    if (!enabled() || max_bytes_ == 0)
+        return 0;
+
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t size;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    const auto now = fs::file_time_type::clock::now();
+
+    std::error_code ec;
+    for (const auto &shard : fs::directory_iterator(dir_, ec)) {
+        std::error_code shard_ec;
+        for (const auto &entry :
+             fs::directory_iterator(shard.path(), shard_ec)) {
+            std::error_code stat_ec;
+            const auto mtime = entry.last_write_time(stat_ec);
+            if (stat_ec)
+                continue;   // lost a race to another evictor
+            if (entry.path().extension() != ".json") {
+                // Orphaned temp file from a crashed writer: sweep
+                // it once it is clearly abandoned.
+                if (entry.path().filename().string().find(".tmp.")
+                        != std::string::npos &&
+                    now - mtime > std::chrono::hours(1)) {
+                    std::error_code rm_ec;
+                    fs::remove(entry.path(), rm_ec);
+                }
+                continue;
+            }
+            std::error_code size_ec;
+            const auto size = entry.file_size(size_ec);
+            if (size_ec)
+                continue;
+            entries.push_back({entry.path(), size, mtime});
+            total += size;
+        }
+    }
+    if (total <= max_bytes_)
+        return 0;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    // Hysteresis: trim to 7/8 of the budget so back-to-back stores
+    // do not re-trigger a full scan immediately.
+    const std::uint64_t target = max_bytes_ - max_bytes_ / 8;
+    std::size_t evicted = 0;
+    for (const Entry &e : entries) {
+        if (total <= target)
+            break;
+        std::error_code rm_ec;
+        fs::remove(e.path, rm_ec);
+        if (!rm_ec) {
+            total -= std::min(total, e.size);
+            ++evicted;
+        }
+    }
+    return evicted;
 }
 
 } // namespace smtsim::lab

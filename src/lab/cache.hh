@@ -14,11 +14,22 @@
  * cache directory — never observe torn records. Unreadable or
  * mismatching records degrade to cache misses; the cache is always
  * safe to delete wholesale.
+ *
+ * Size bounds: an optional byte budget turns the cache into an LRU
+ * (approximated by file mtimes: hits touch their record). Stores
+ * accumulate a written-bytes counter and trigger a scan-and-evict
+ * pass once enough new data has landed, so steady-state overhead is
+ * one directory walk per ~max/8 bytes written, not per store.
+ * Eviction is multi-process safe: losing a race to unlink a record
+ * is harmless, and a record evicted by one process is an ordinary
+ * miss in another.
  */
 
 #ifndef SMTSIM_LAB_CACHE_HH
 #define SMTSIM_LAB_CACHE_HH
 
+#include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "lab/result.hh"
@@ -30,19 +41,34 @@ namespace smtsim::lab
 class ResultCache
 {
   public:
-    /** @param dir cache root; empty disables the cache entirely. */
-    explicit ResultCache(std::string dir);
+    /**
+     * @param dir cache root; empty disables the cache entirely.
+     * @param max_bytes total record-size budget; 0 = unbounded.
+     *        When bounded, construction runs one eviction pass so a
+     *        pre-existing oversized directory is trimmed up front.
+     */
+    explicit ResultCache(std::string dir,
+                         std::uint64_t max_bytes = 0);
 
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }
+    std::uint64_t maxBytes() const { return max_bytes_; }
 
     /**
      * Look up @p job. On a hit, fill @p out (with from_cache set
-     * and the job's current id) and return true. Corrupt records,
-     * schema mismatches and FNV collisions (canonical text differs)
-     * all miss.
+     * and the job's current id), refresh the record's LRU stamp,
+     * and return true. Corrupt records, schema mismatches and FNV
+     * collisions (canonical text differs) all miss.
      */
     bool load(const Job &job, JobResult *out) const;
+
+    /**
+     * Existence probe without deserializing or touching the LRU
+     * stamp — `smtsim-sweep --dry-run` uses this to predict hits.
+     * A readable record with matching schema + canonical text
+     * counts; anything else is a predicted miss.
+     */
+    bool contains(const Job &job) const;
 
     /**
      * Persist a result (creating directories as needed). Only
@@ -53,11 +79,30 @@ class ResultCache
      */
     void store(const Job &job, const JobResult &result) const;
 
+    /**
+     * Scan the cache and evict least-recently-used records until
+     * the total is within the budget (no-op when unbounded). Also
+     * sweeps up orphaned temp files from crashed writers. Safe to
+     * call concurrently from any number of threads or processes.
+     * @return number of records evicted.
+     */
+    std::size_t enforceLimit() const;
+
+    /** Total bytes of records currently on disk (full scan). */
+    std::uint64_t diskBytes() const;
+
     /** Record path for a key (exists or not). */
     std::string pathFor(const std::string &key) const;
 
   private:
     std::string dir_;
+    std::uint64_t max_bytes_ = 0;
+    /** Evict after this many bytes of fresh stores. */
+    std::uint64_t check_interval_ = 0;
+
+    /** Guards pending_bytes_; file IO itself needs no lock. */
+    mutable std::mutex mutex_;
+    mutable std::uint64_t pending_bytes_ = 0;
 };
 
 } // namespace smtsim::lab

@@ -24,9 +24,10 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Simulate one job (no cache involvement). */
+} // namespace
+
 JobResult
-simulate(const Job &job, const LabOptions &opts)
+simulateJob(const Job &job, double timeout_seconds)
 {
     JobResult r;
     r.id = job.id;
@@ -54,17 +55,14 @@ simulate(const Job &job, const LabOptions &opts)
         r.error = e.what();
     }
     r.wall_seconds = secondsSince(t0);
-    if (opts.timeout_seconds > 0 &&
-        r.wall_seconds > opts.timeout_seconds) {
+    if (timeout_seconds > 0 && r.wall_seconds > timeout_seconds) {
         r.ok = false;
         r.error = "timeout: job took " +
                   std::to_string(r.wall_seconds) + "s (budget " +
-                  std::to_string(opts.timeout_seconds) + "s)";
+                  std::to_string(timeout_seconds) + "s)";
     }
     return r;
 }
-
-} // namespace
 
 ResultSet
 runJobs(const std::vector<Job> &jobs, const LabOptions &opts)
@@ -87,7 +85,7 @@ runJobs(const std::vector<Job> &jobs, const LabOptions &opts)
     if (n == 0)
         return rs;
 
-    const ResultCache cache(opts.cache_dir);
+    const ResultCache cache(opts.cache_dir, opts.cache_max_bytes);
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<std::size_t> hits{0};
@@ -104,7 +102,7 @@ runJobs(const std::vector<Job> &jobs, const LabOptions &opts)
             const Job &job = prepared[i];
             JobResult result;
             if (!cache.load(job, &result)) {
-                result = simulate(job, opts);
+                result = simulateJob(job, opts.timeout_seconds);
                 if (result.ok)
                     cache.store(job, result);
             }

@@ -63,6 +63,11 @@ struct LabOptions
     /** Cache directory; empty string disables caching. */
     std::string cache_dir;
     /**
+     * Cache size budget in bytes (0 = unbounded). When set, the
+     * cache evicts least-recently-used records (cache.hh).
+     */
+    std::uint64_t cache_max_bytes = 0;
+    /**
      * Per-job wall-clock budget in host seconds (0 = none). The
      * simulators cannot be preempted, so enforcement is at the
      * cycle-budget granularity: an overrunning job is *marked*
@@ -78,6 +83,16 @@ struct LabOptions
     std::uint64_t max_cycles = 0;
     ProgressFn progress;
 };
+
+/**
+ * Simulate one job in the calling thread, no cache involvement:
+ * instantiate the workload, run the selected engine, verify
+ * outputs. Exceptions become a failed JobResult; when
+ * @p timeout_seconds > 0 an overrunning job is marked failed
+ * ("timeout") on return. Shared by the sweep executor and the
+ * service's worker processes (serve/worker.hh).
+ */
+JobResult simulateJob(const Job &job, double timeout_seconds = 0.0);
 
 /** Run a pre-expanded job list. */
 ResultSet runJobs(const std::vector<Job> &jobs,

@@ -13,5 +13,6 @@
 #include "lab/executor.hh"
 #include "lab/result.hh"
 #include "lab/spec.hh"
+#include "lab/spec_json.hh"
 
 #endif // SMTSIM_LAB_LAB_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * JSON serialization of experiment descriptions: WorkloadSpec, the
+ * engine configurations, Job and ExperimentSpec.
+ *
+ * This is the wire format of the simulation service (smtsim::serve):
+ * clients submit an ExperimentSpec document, the daemon ships
+ * individual Jobs to worker processes. The round-trip contract is
+ * strict — jobFromJson(jobToJson(j)) reproduces j's cacheKey()
+ * exactly, covering every config field — because the daemon's
+ * dedup/cache layers key on that address while the worker re-derives
+ * it independently (tests/test_serve.cc locks this down).
+ *
+ * Unknown members are rejected, not ignored: a client sending a
+ * config field this build does not understand must get an error
+ * rather than a silently different simulation.
+ */
+
+#ifndef SMTSIM_LAB_SPEC_JSON_HH
+#define SMTSIM_LAB_SPEC_JSON_HH
+
+#include "base/json.hh"
+#include "lab/spec.hh"
+
+namespace smtsim::lab
+{
+
+Json workloadSpecToJson(const WorkloadSpec &spec);
+/** @throws JsonParseError on malformed/unknown-member input. */
+WorkloadSpec workloadSpecFromJson(const Json &j);
+
+Json coreConfigToJson(const CoreConfig &cfg);
+CoreConfig coreConfigFromJson(const Json &j);
+
+Json baselineConfigToJson(const BaselineConfig &cfg);
+BaselineConfig baselineConfigFromJson(const Json &j);
+
+Json jobToJson(const Job &job);
+Job jobFromJson(const Json &j);
+
+Json experimentSpecToJson(const ExperimentSpec &spec);
+ExperimentSpec experimentSpecFromJson(const Json &j);
+
+} // namespace smtsim::lab
+
+#endif // SMTSIM_LAB_SPEC_JSON_HH

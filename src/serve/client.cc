@@ -1,0 +1,154 @@
+#include "client.hh"
+
+namespace smtsim::serve
+{
+
+bool
+Client::connect(const std::string &socket_path, std::string *error)
+{
+    fd_ = connectUnix(socket_path, error);
+    if (!fd_.valid())
+        return false;
+    reader_ = std::make_unique<LineReader>(fd_);
+    return true;
+}
+
+void
+Client::close()
+{
+    reader_.reset();
+    fd_.reset();
+}
+
+bool
+Client::sendRaw(const std::string &line)
+{
+    return fd_.valid() && writeAll(fd_, line);
+}
+
+ReadStatus
+Client::readEvent(Event *ev, int timeout_ms)
+{
+    if (!reader_)
+        return ReadStatus::Error;
+    std::string line;
+    const ReadStatus st = reader_->readLine(&line, timeout_ms);
+    if (st != ReadStatus::Ok)
+        return st;
+    try {
+        *ev = parseEvent(line);
+    } catch (const JsonParseError &) {
+        return ReadStatus::Error;
+    }
+    return ReadStatus::Ok;
+}
+
+SubmitOutcome
+Client::submitAndWait(const std::string &id,
+                      const lab::ExperimentSpec &spec,
+                      int timeout_ms)
+{
+    SubmitOutcome out;
+    if (!sendRaw(submitLine(id, spec))) {
+        out.status = "disconnected";
+        out.error = "could not send submission";
+        return out;
+    }
+
+    while (true) {
+        Event ev;
+        if (readEvent(&ev, timeout_ms) != ReadStatus::Ok) {
+            out.status = "disconnected";
+            out.error = "event stream ended mid-submission";
+            return out;
+        }
+        if (ev.id != id && !ev.id.empty())
+            continue;           // stray event for another request
+        if (ev.type == "accepted") {
+            out.jobs = static_cast<std::size_t>(
+                ev.payload.at("jobs").asInt());
+        } else if (ev.type == "result") {
+            out.results.push_back(std::move(ev.result));
+            out.sources.push_back(ev.source);
+        } else if (ev.type == "done") {
+            out.status = "done";
+            out.jobs = static_cast<std::size_t>(
+                ev.payload.at("jobs").asInt());
+            out.failures = static_cast<std::size_t>(
+                ev.payload.at("failures").asInt());
+            out.cache_hits = static_cast<std::size_t>(
+                ev.payload.at("cache_hits").asInt());
+            out.coalesced = static_cast<std::size_t>(
+                ev.payload.at("coalesced").asInt());
+            return out;
+        } else if (ev.type == "rejected" ||
+                   ev.type == "overloaded") {
+            out.status = ev.type;
+            out.error = ev.error;
+            return out;
+        } else if (ev.type == "error") {
+            out.status = "rejected";
+            out.error = ev.error;
+            return out;
+        }
+        // pong/stats/bye for other requests: ignore.
+    }
+}
+
+bool
+Client::ping(std::string *error, int timeout_ms)
+{
+    if (!sendRaw(pingLine())) {
+        *error = "send failed";
+        return false;
+    }
+    Event ev;
+    while (true) {
+        if (readEvent(&ev, timeout_ms) != ReadStatus::Ok) {
+            *error = "no pong";
+            return false;
+        }
+        if (ev.type == "pong")
+            return true;
+    }
+}
+
+bool
+Client::stats(Json *out, std::string *error, int timeout_ms)
+{
+    if (!sendRaw(statsLine())) {
+        *error = "send failed";
+        return false;
+    }
+    Event ev;
+    while (true) {
+        if (readEvent(&ev, timeout_ms) != ReadStatus::Ok) {
+            *error = "no stats reply";
+            return false;
+        }
+        if (ev.type == "stats") {
+            *out = ev.payload.at("stats");
+            return true;
+        }
+    }
+}
+
+bool
+Client::shutdownServer(std::string *error, int timeout_ms)
+{
+    if (!sendRaw(shutdownLine())) {
+        *error = "send failed";
+        return false;
+    }
+    Event ev;
+    while (true) {
+        if (readEvent(&ev, timeout_ms) != ReadStatus::Ok) {
+            *error = "no bye";
+            return false;
+        }
+        if (ev.type == "bye")
+            return true;
+    }
+}
+
+} // namespace smtsim::serve

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Client for the simulation service: connect, submit, stream.
+ *
+ * A Client owns one connection and is strictly sequential — one
+ * request in flight at a time, owned by one thread. The server may
+ * interleave a submission's "accepted" event with early results
+ * (different server threads write them), so submitAndWait() accepts
+ * events in any order until the terminal one.
+ */
+
+#ifndef SMTSIM_SERVE_CLIENT_HH
+#define SMTSIM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "base/sockio.hh"
+#include "lab/result.hh"
+#include "lab/spec.hh"
+#include "serve/protocol.hh"
+
+namespace smtsim::serve
+{
+
+/** Everything one submission produced. */
+struct SubmitOutcome
+{
+    /**
+     * Terminal status: "done" (all results in), "rejected",
+     * "overloaded", or "disconnected" (server went away / event
+     * stream broke before completion).
+     */
+    std::string status;
+    std::string error;          ///< for rejected/overloaded
+    std::size_t jobs = 0;       ///< grid points accepted
+    std::size_t failures = 0;
+    std::size_t cache_hits = 0;
+    std::size_t coalesced = 0;
+    std::vector<lab::JobResult> results;
+    /** Parallel to results: "sim", "cache" or "dedup". */
+    std::vector<std::string> sources;
+
+    bool done() const { return status == "done"; }
+    bool overloaded() const { return status == "overloaded"; }
+};
+
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Connect to the daemon's unix socket. */
+    bool connect(const std::string &socket_path,
+                 std::string *error);
+    bool connected() const { return fd_.valid(); }
+    void close();
+
+    /**
+     * Submit @p spec under client-chosen id @p id and block until
+     * the submission resolves. @p timeout_ms bounds each event
+     * gap, not the whole run (-1 = no bound).
+     */
+    SubmitOutcome submitAndWait(const std::string &id,
+                                const lab::ExperimentSpec &spec,
+                                int timeout_ms = -1);
+
+    /** Round-trip a ping. */
+    bool ping(std::string *error, int timeout_ms = 5000);
+
+    /** Fetch the daemon's stats object. */
+    bool stats(Json *out, std::string *error,
+               int timeout_ms = 5000);
+
+    /** Ask the daemon to shut down; waits for the "bye" ack. */
+    bool shutdownServer(std::string *error, int timeout_ms = 5000);
+
+    /** Send a raw request line (tests exercise bad input). */
+    bool sendRaw(const std::string &line);
+
+    /**
+     * Read + parse the next event. Malformed lines surface as
+     * status Error.
+     */
+    ReadStatus readEvent(Event *ev, int timeout_ms = -1);
+
+  private:
+    Fd fd_;
+    std::unique_ptr<LineReader> reader_;
+};
+
+} // namespace smtsim::serve
+
+#endif // SMTSIM_SERVE_CLIENT_HH

@@ -1,0 +1,179 @@
+#include "protocol.hh"
+
+#include "lab/spec_json.hh"
+
+namespace smtsim::serve
+{
+
+namespace
+{
+
+Json
+base(const char *discriminator, const char *value)
+{
+    Json j = Json::object();
+    j.set("v", Json(kProtocolVersion));
+    j.set(discriminator, Json(value));
+    return j;
+}
+
+/** NDJSON framing: compact dump + newline. */
+std::string
+line(const Json &j)
+{
+    return j.dump() + "\n";
+}
+
+} // namespace
+
+std::string
+submitLine(const std::string &id, const lab::ExperimentSpec &spec)
+{
+    Json j = base("op", "submit");
+    j.set("id", Json(id));
+    j.set("spec", lab::experimentSpecToJson(spec));
+    return line(j);
+}
+
+std::string
+pingLine()
+{
+    return line(base("op", "ping"));
+}
+
+std::string
+statsLine()
+{
+    return line(base("op", "stats"));
+}
+
+std::string
+shutdownLine()
+{
+    return line(base("op", "shutdown"));
+}
+
+std::string
+eventAccepted(const std::string &id, std::size_t jobs)
+{
+    Json j = base("event", "accepted");
+    j.set("id", Json(id));
+    j.set("jobs", Json(jobs));
+    return line(j);
+}
+
+std::string
+eventRejected(const std::string &id, const std::string &error)
+{
+    Json j = base("event", "rejected");
+    j.set("id", Json(id));
+    j.set("error", Json(error));
+    return line(j);
+}
+
+std::string
+eventOverloaded(const std::string &id, const std::string &error,
+                std::size_t queue_depth, std::size_t queue_max)
+{
+    Json j = base("event", "overloaded");
+    j.set("id", Json(id));
+    j.set("error", Json(error));
+    j.set("queue_depth", Json(queue_depth));
+    j.set("queue_max", Json(queue_max));
+    return line(j);
+}
+
+std::string
+eventResult(const std::string &id, const lab::JobResult &result,
+            const std::string &source)
+{
+    Json j = base("event", "result");
+    j.set("id", Json(id));
+    j.set("source", Json(source));
+    j.set("result", lab::resultToJson(result));
+    return line(j);
+}
+
+std::string
+eventDone(const std::string &id, std::size_t jobs,
+          std::size_t failures, std::size_t cache_hits,
+          std::size_t coalesced)
+{
+    Json j = base("event", "done");
+    j.set("id", Json(id));
+    j.set("jobs", Json(jobs));
+    j.set("failures", Json(failures));
+    j.set("cache_hits", Json(cache_hits));
+    j.set("coalesced", Json(coalesced));
+    return line(j);
+}
+
+std::string
+eventPong()
+{
+    return line(base("event", "pong"));
+}
+
+std::string
+eventStats(Json stats)
+{
+    Json j = base("event", "stats");
+    j.set("stats", std::move(stats));
+    return line(j);
+}
+
+std::string
+eventBye()
+{
+    return line(base("event", "bye"));
+}
+
+std::string
+eventError(const std::string &error)
+{
+    Json j = base("event", "error");
+    j.set("error", Json(error));
+    return line(j);
+}
+
+std::string
+workerJobLine(const lab::Job &job)
+{
+    Json j = Json::object();
+    j.set("v", Json(kProtocolVersion));
+    j.set("job", lab::jobToJson(job));
+    return line(j);
+}
+
+std::string
+workerResultLine(const std::string &key,
+                 const lab::JobResult &result)
+{
+    Json j = Json::object();
+    j.set("v", Json(kProtocolVersion));
+    j.set("key", Json(key));
+    j.set("result", lab::resultToJson(result));
+    return line(j);
+}
+
+Event
+parseEvent(const std::string &text)
+{
+    const Json j = Json::parse(text);
+    if (j.at("v").asInt() != kProtocolVersion)
+        throw JsonParseError("unsupported protocol version");
+    Event ev;
+    ev.type = j.at("event").asString();
+    if (const Json *id = j.find("id"))
+        ev.id = id->asString();
+    if (const Json *error = j.find("error"))
+        ev.error = error->asString();
+    if (ev.type == "result") {
+        ev.source = j.at("source").asString();
+        ev.result = lab::resultFromJson(j.at("result"));
+    }
+    ev.payload = j;
+    return ev;
+}
+
+} // namespace smtsim::serve

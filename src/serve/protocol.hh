@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Wire protocol of the simulation service: newline-delimited JSON
+ * (NDJSON) over a unix stream socket. Every message is one JSON
+ * object on one line; the first member is the discriminator ("op"
+ * for client->server requests, "event" for server->client
+ * messages) and every message carries `"v": 1`.
+ *
+ * Requests:
+ *   {"v":1,"op":"submit","id":ID,"spec":<ExperimentSpec JSON>}
+ *   {"v":1,"op":"ping"}
+ *   {"v":1,"op":"stats"}
+ *   {"v":1,"op":"shutdown"}
+ *
+ * Events (ID = the submission id chosen by the client):
+ *   {"v":1,"event":"accepted","id":ID,"jobs":N}
+ *   {"v":1,"event":"rejected","id":ID,"error":TEXT}
+ *   {"v":1,"event":"overloaded","id":ID,"error":TEXT,
+ *    "queue_depth":N,"queue_max":N}
+ *   {"v":1,"event":"result","id":ID,"source":SRC,
+ *    "result":<JobResult JSON>}      SRC in {sim, cache, dedup}
+ *   {"v":1,"event":"done","id":ID,"jobs":N,"failures":N,
+ *    "cache_hits":N,"coalesced":N}
+ *   {"v":1,"event":"pong"}
+ *   {"v":1,"event":"stats","stats":{...}}
+ *   {"v":1,"event":"bye"}           acknowledges shutdown
+ *   {"v":1,"event":"error","error":TEXT}   unparseable request
+ *
+ * Between the daemon and its worker processes the same framing is
+ * used on the worker's stdin/stdout:
+ *   daemon -> worker: {"v":1,"job":<Job JSON>}
+ *   worker -> daemon: {"v":1,"key":KEY,"result":<JobResult JSON>}
+ * The worker echoes the job's independently recomputed cache key so
+ * a serialization drift between daemon and worker is caught as a
+ * protocol error instead of poisoning the shared cache.
+ *
+ * See docs/SERVE.md for the full contract (ordering, failure and
+ * backpressure semantics).
+ */
+
+#ifndef SMTSIM_SERVE_PROTOCOL_HH
+#define SMTSIM_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <string>
+
+#include "base/json.hh"
+#include "lab/result.hh"
+#include "lab/spec.hh"
+
+namespace smtsim::serve
+{
+
+constexpr int kProtocolVersion = 1;
+
+// -- request lines (client side) ---------------------------------
+
+std::string submitLine(const std::string &id,
+                       const lab::ExperimentSpec &spec);
+std::string pingLine();
+std::string statsLine();
+std::string shutdownLine();
+
+// -- event lines (server side) -----------------------------------
+
+std::string eventAccepted(const std::string &id, std::size_t jobs);
+std::string eventRejected(const std::string &id,
+                          const std::string &error);
+std::string eventOverloaded(const std::string &id,
+                            const std::string &error,
+                            std::size_t queue_depth,
+                            std::size_t queue_max);
+/** @p source is "sim", "cache" or "dedup". */
+std::string eventResult(const std::string &id,
+                        const lab::JobResult &result,
+                        const std::string &source);
+std::string eventDone(const std::string &id, std::size_t jobs,
+                      std::size_t failures, std::size_t cache_hits,
+                      std::size_t coalesced);
+std::string eventPong();
+std::string eventStats(Json stats);
+std::string eventBye();
+std::string eventError(const std::string &error);
+
+// -- worker protocol ---------------------------------------------
+
+std::string workerJobLine(const lab::Job &job);
+std::string workerResultLine(const std::string &key,
+                             const lab::JobResult &result);
+
+// -- parsing ------------------------------------------------------
+
+/** One parsed server->client message. */
+struct Event
+{
+    std::string type;       ///< "accepted", "result", "pong", ...
+    std::string id;         ///< submission id ("" when n/a)
+    std::string error;      ///< for rejected/overloaded/error
+    std::string source;     ///< for result events
+    lab::JobResult result;  ///< for result events
+    Json payload;           ///< the whole message (stats, counters)
+};
+
+/**
+ * Parse an event line. @throws JsonParseError on anything that is
+ * not a well-formed versioned event.
+ */
+Event parseEvent(const std::string &line);
+
+} // namespace smtsim::serve
+
+#endif // SMTSIM_SERVE_PROTOCOL_HH

@@ -1,0 +1,68 @@
+#include "queue.hh"
+
+#include <algorithm>
+
+namespace smtsim::serve
+{
+
+bool
+FairQueue::pushBatch(std::uint64_t client,
+                     std::vector<QueuedJob> batch)
+{
+    if (!canAccept(batch.size()))
+        return false;
+    if (batch.empty())
+        return true;
+    auto it = std::find_if(buckets_.begin(), buckets_.end(),
+                           [&](const Bucket &b) {
+                               return b.client == client;
+                           });
+    if (it == buckets_.end()) {
+        // New clients join the rotation just *before* the cursor:
+        // they wait at most one full round before their first pop,
+        // and an established heavy client cannot push them back.
+        it = buckets_.insert(
+            buckets_.begin() +
+                static_cast<std::ptrdiff_t>(cursor_),
+            Bucket{client, {}});
+        ++cursor_;
+        if (cursor_ >= buckets_.size())
+            cursor_ = 0;
+    }
+    for (QueuedJob &qj : batch) {
+        it->jobs.push_back(std::move(qj));
+        ++depth_;
+    }
+    return true;
+}
+
+bool
+FairQueue::pop(QueuedJob *out)
+{
+    if (depth_ == 0)
+        return false;
+    // Advance the cursor to the next non-empty bucket, serving one
+    // job from it; empty buckets encountered on the way are retired
+    // so the rotation only ever walks live clients.
+    while (true) {
+        if (cursor_ >= buckets_.size())
+            cursor_ = 0;
+        Bucket &b = buckets_[cursor_];
+        if (b.jobs.empty()) {
+            buckets_.erase(buckets_.begin() +
+                           static_cast<std::ptrdiff_t>(cursor_));
+            continue;
+        }
+        *out = std::move(b.jobs.front());
+        b.jobs.pop_front();
+        --depth_;
+        if (b.jobs.empty())
+            buckets_.erase(buckets_.begin() +
+                           static_cast<std::ptrdiff_t>(cursor_));
+        else
+            ++cursor_;
+        return true;
+    }
+}
+
+} // namespace smtsim::serve

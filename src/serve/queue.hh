@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bounded admission queue with round-robin fair scheduling across
+ * clients.
+ *
+ * One greedy connection submitting a 10,000-point sweep must not
+ * starve a one-job client that arrives a moment later, so the queue
+ * keeps one FIFO bucket per client and pops by rotating a cursor
+ * over the non-empty buckets: each client gets one job dispatched
+ * per round. Within a client, jobs stay in submission order.
+ *
+ * The total depth is bounded; admission is all-or-nothing per batch
+ * so a submission is either fully queued or explicitly shed
+ * (protocol "overloaded"), never half-accepted.
+ *
+ * NOT thread-safe by design: the server serializes access under its
+ * scheduling mutex, which also covers the single-flight table — the
+ * two structures must be updated atomically with respect to each
+ * other (singleflight.hh).
+ */
+
+#ifndef SMTSIM_SERVE_QUEUE_HH
+#define SMTSIM_SERVE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "lab/spec.hh"
+
+namespace smtsim::serve
+{
+
+/** One unit of queued work (cache key precomputed at admission). */
+struct QueuedJob
+{
+    lab::Job job;
+    std::string key;            ///< job.cacheKey()
+};
+
+class FairQueue
+{
+  public:
+    explicit FairQueue(std::size_t max_depth)
+        : max_depth_(max_depth)
+    {}
+
+    std::size_t maxDepth() const { return max_depth_; }
+    std::size_t depth() const { return depth_; }
+
+    /** Would a batch of @p n jobs fit right now? */
+    bool canAccept(std::size_t n) const
+    {
+        return depth_ + n <= max_depth_;
+    }
+
+    /**
+     * Enqueue a whole batch for @p client. All-or-nothing: when the
+     * batch does not fit, nothing is queued and false is returned
+     * (the caller sheds the submission).
+     */
+    bool pushBatch(std::uint64_t client,
+                   std::vector<QueuedJob> batch);
+
+    /**
+     * Pop the next job in round-robin client order.
+     * @return false when the queue is empty.
+     */
+    bool pop(QueuedJob *out);
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t client;
+        std::deque<QueuedJob> jobs;
+    };
+
+    std::size_t max_depth_;
+    std::size_t depth_ = 0;
+    /** Non-empty buckets in rotation order; cursor_ points at the
+     *  bucket that pops next. */
+    std::vector<Bucket> buckets_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace smtsim::serve
+
+#endif // SMTSIM_SERVE_QUEUE_HH

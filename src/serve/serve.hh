@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header for smtsim::serve — the long-running simulation
+ * service: NDJSON-over-unix-socket protocol, bounded fair admission
+ * queue, single-flight dedup, crash-isolated worker pool, daemon
+ * core and client. See docs/SERVE.md for the operational guide.
+ */
+
+#ifndef SMTSIM_SERVE_SERVE_HH
+#define SMTSIM_SERVE_SERVE_HH
+
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+#include "serve/server.hh"
+#include "serve/singleflight.hh"
+#include "serve/worker.hh"
+
+#endif // SMTSIM_SERVE_SERVE_HH

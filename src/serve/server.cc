@@ -1,0 +1,489 @@
+#include "server.hh"
+
+#include <chrono>
+
+#include <sys/socket.h>
+
+#include <poll.h>
+
+#include "lab/executor.hh"
+#include "lab/spec_json.hh"
+#include "serve/protocol.hh"
+
+namespace smtsim::serve
+{
+
+Server::Server(ServeOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cache_dir, opts_.cache_max_bytes),
+      queue_(opts_.queue_max)
+{
+    if (opts_.num_workers <= 0) {
+        opts_.num_workers = static_cast<int>(
+            std::thread::hardware_concurrency());
+        if (opts_.num_workers <= 0)
+            opts_.num_workers = 1;
+    }
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *error)
+{
+    listener_ = listenUnix(opts_.socket_path, error);
+    if (!listener_.valid())
+        return false;
+
+    WorkerOptions wopts;
+    wopts.argv = opts_.worker_argv;
+    wopts.job_timeout_seconds = opts_.job_timeout_seconds;
+    wopts.max_retries = opts_.max_retries;
+    wopts.backoff_seconds = opts_.backoff_seconds;
+    pool_ = std::make_unique<WorkerPool>(opts_.num_workers,
+                                         std::move(wopts));
+
+    dispatchers_.reserve(opts_.num_workers);
+    for (int i = 0; i < opts_.num_workers; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::wait()
+{
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [&] { return stop_requested_; });
+}
+
+bool
+Server::waitFor(int timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    return stop_cv_.wait_for(lock,
+                             std::chrono::milliseconds(timeout_ms),
+                             [&] { return stop_requested_; });
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        stop_requested_ = true;
+        stop_cv_.notify_all();
+    }
+    stopping_.store(true, std::memory_order_release);
+
+    // Unblock everything: dispatchers waiting for work, workers
+    // mid-checkout, readers blocked in poll, the accept loop (it
+    // polls the listener with a timeout and re-checks stopping_).
+    work_cv_.notify_all();
+    if (pool_)
+        pool_->shutdown();
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (auto &[id, conn] : conns_)
+            ::shutdown(conn->fd.get(), SHUT_RDWR);
+    }
+
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    for (std::thread &t : dispatchers_)
+        t.join();
+    dispatchers_.clear();
+
+    {
+        std::unique_lock<std::mutex> lock(conns_mutex_);
+        readers_done_.wait(lock,
+                           [&] { return active_readers_ == 0; });
+        conns_.clear();
+    }
+    listener_.reset();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        struct pollfd pfd = {listener_.get(), POLLIN, 0};
+        const int rv = ::poll(&pfd, 1, 250);
+        if (rv <= 0)
+            continue;       // timeout or EINTR: re-check stopping_
+        Fd fd = acceptConn(listener_);
+        if (!fd.valid())
+            continue;
+
+        auto conn = std::make_shared<Connection>();
+        conn->fd = std::move(fd);
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            if (stopping_.load(std::memory_order_acquire)) {
+                // Lost the race with stop(): don't strand a reader
+                // on a socket nobody will shut down.
+                break;
+            }
+            conn->id = next_conn_id_++;
+            conns_[conn->id] = conn;
+            ++active_readers_;
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.connections;
+        }
+        std::thread([this, conn] { readerLoop(conn); }).detach();
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> conn)
+{
+    LineReader reader(conn->fd);
+    std::string line;
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const ReadStatus st = reader.readLine(&line);
+        if (st != ReadStatus::Ok)
+            break;
+        handleLine(conn, line);
+    }
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns_.erase(conn->id);
+        --active_readers_;
+        readers_done_.notify_all();
+    }
+}
+
+void
+Server::handleLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line)
+{
+    std::string op;
+    Json request;
+    try {
+        request = Json::parse(line);
+        if (request.at("v").asInt() != kProtocolVersion) {
+            sendTo(conn->id,
+                   eventError("unsupported protocol version"));
+            return;
+        }
+        op = request.at("op").asString();
+    } catch (const JsonParseError &e) {
+        sendTo(conn->id,
+               eventError(std::string("bad request: ") + e.what()));
+        return;
+    }
+
+    if (op == "ping") {
+        sendTo(conn->id, eventPong());
+    } else if (op == "stats") {
+        sendTo(conn->id, eventStats(statsJson()));
+    } else if (op == "shutdown") {
+        sendTo(conn->id, eventBye());
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        stop_requested_ = true;
+        stop_cv_.notify_all();
+    } else if (op == "submit") {
+        handleSubmit(conn, request);
+    } else {
+        sendTo(conn->id, eventError("unknown op: " + op));
+    }
+}
+
+void
+Server::handleSubmit(const std::shared_ptr<Connection> &conn,
+                     const Json &request)
+{
+    std::string id;
+    std::vector<lab::Job> jobs;
+    try {
+        id = request.at("id").asString();
+        const lab::ExperimentSpec spec =
+            lab::experimentSpecFromJson(request.at("spec"));
+        jobs = spec.expand();
+    } catch (const JsonParseError &e) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.rejected;
+        }
+        sendTo(conn->id, eventRejected(id, e.what()));
+        return;
+    }
+    if (jobs.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.rejected;
+        }
+        sendTo(conn->id,
+               eventRejected(id, "spec expands to zero jobs"));
+        return;
+    }
+    if (jobs.size() > opts_.queue_max) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.rejected;
+        }
+        sendTo(conn->id,
+               eventRejected(id, "spec expands to " +
+                                     std::to_string(jobs.size()) +
+                                     " jobs, queue holds " +
+                                     std::to_string(opts_.queue_max)));
+        return;
+    }
+
+    // Probe the cache before taking the scheduling lock: hits
+    // stream back without consuming queue capacity, and disk reads
+    // must not serialize admission.
+    std::vector<lab::JobResult> hits;
+    std::vector<QueuedJob> misses;
+    for (const lab::Job &job : jobs) {
+        lab::JobResult r;
+        if (cache_.load(job, &r)) {
+            hits.push_back(std::move(r));
+        } else {
+            misses.push_back({job, job.cacheKey()});
+        }
+    }
+
+    std::uint64_t token = 0;
+    std::size_t shed_depth = 0;
+    bool shed = false;
+    {
+        std::lock_guard<std::mutex> lock(sched_mutex_);
+        // Conservative bound: misses whose key is already in
+        // flight will not consume a slot, but counting them keeps
+        // the check simple and errs toward shedding early. Check
+        // and admission share this lock scope so the decision is
+        // atomic; the socket write happens after release.
+        if (!queue_.canAccept(misses.size())) {
+            shed = true;
+            shed_depth = queue_.depth();
+        } else {
+            token = next_submission_++;
+            Submission &sub = submissions_[token];
+            sub.conn = conn->id;
+            sub.id = id;
+            sub.total = jobs.size();
+            sub.pending = jobs.size();
+
+            std::vector<QueuedJob> batch;
+            for (QueuedJob &qj : misses) {
+                const bool leader =
+                    flights_.join(qj.key, {token, qj.job.id});
+                if (leader)
+                    batch.push_back(std::move(qj));
+            }
+            if (!batch.empty()) {
+                queue_.pushBatch(conn->id, std::move(batch));
+                work_cv_.notify_all();
+            }
+        }
+    }
+    if (shed) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.overloaded;
+        }
+        sendTo(conn->id,
+               eventOverloaded(id,
+                               "queue full, resubmit with backoff",
+                               shed_depth, opts_.queue_max));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.submissions;
+        stats_.jobs_submitted += jobs.size();
+        stats_.cache_hits += hits.size();
+    }
+
+    sendTo(conn->id, eventAccepted(id, jobs.size()));
+
+    // Stream admission-time cache hits; the last one may complete
+    // the submission.
+    for (lab::JobResult &r : hits) {
+        sendTo(conn->id, eventResult(id, r, "cache"));
+        std::string done_line;
+        {
+            std::lock_guard<std::mutex> lock(sched_mutex_);
+            auto it = submissions_.find(token);
+            if (it == submissions_.end())
+                break;
+            Submission &sub = it->second;
+            ++sub.cache_hits;
+            if (!r.ok)
+                ++sub.failures;
+            if (--sub.pending == 0) {
+                done_line =
+                    eventDone(sub.id, sub.total, sub.failures,
+                              sub.cache_hits, sub.coalesced);
+                submissions_.erase(it);
+            }
+        }
+        if (!done_line.empty())
+            sendTo(conn->id, done_line);
+    }
+}
+
+void
+Server::dispatchLoop()
+{
+    while (true) {
+        QueuedJob qj;
+        {
+            std::unique_lock<std::mutex> lock(sched_mutex_);
+            work_cv_.wait(lock, [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                       queue_.depth() > 0;
+            });
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            if (!queue_.pop(&qj))
+                continue;
+        }
+
+        // Another client may have completed this key between our
+        // admission probe and now — the flight table only dedups
+        // concurrent work, the cache dedups across time.
+        lab::JobResult result;
+        std::string source;
+        if (cache_.load(qj.job, &result)) {
+            source = "cache";
+        } else {
+            result = pool_->execute(qj.job);
+            source = "sim";
+            // Store before publishing so a probe that misses the
+            // flight table (we're about to clear it) hits the
+            // cache instead.
+            if (result.ok)
+                cache_.store(qj.job, result);
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.executed;
+        }
+        publish(qj.key, result, source);
+    }
+}
+
+void
+Server::publish(const std::string &key,
+                const lab::JobResult &result,
+                const std::string &source)
+{
+    struct Delivery
+    {
+        std::uint64_t conn;
+        std::string line;
+    };
+    std::vector<Delivery> deliveries;
+    std::size_t coalesced = 0;
+
+    {
+        std::lock_guard<std::mutex> lock(sched_mutex_);
+        const std::vector<Waiter> waiters = flights_.take(key);
+        for (std::size_t i = 0; i < waiters.size(); ++i) {
+            const Waiter &w = waiters[i];
+            auto it = submissions_.find(w.submission);
+            if (it == submissions_.end())
+                continue;
+            Submission &sub = it->second;
+
+            lab::JobResult r = result;
+            r.id = w.job_id;    // same content, caller's label
+            const std::string src = i == 0 ? source : "dedup";
+            if (i > 0) {
+                ++sub.coalesced;
+                ++coalesced;
+            } else if (source == "cache") {
+                ++sub.cache_hits;
+            }
+            if (!r.ok)
+                ++sub.failures;
+            deliveries.push_back(
+                {sub.conn, eventResult(sub.id, r, src)});
+            if (--sub.pending == 0) {
+                deliveries.push_back(
+                    {sub.conn,
+                     eventDone(sub.id, sub.total, sub.failures,
+                               sub.cache_hits, sub.coalesced)});
+                submissions_.erase(it);
+            }
+        }
+    }
+    if (coalesced > 0 || source == "cache") {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.coalesced += coalesced;
+        if (source == "cache")
+            ++stats_.cache_hits;
+    }
+    for (const Delivery &d : deliveries)
+        sendTo(d.conn, d.line);
+}
+
+void
+Server::sendTo(std::uint64_t conn_id, const std::string &line)
+{
+    std::shared_ptr<Connection> conn;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        auto it = conns_.find(conn_id);
+        if (it == conns_.end())
+            return;             // client left; drop the event
+        conn = it->second;
+    }
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    writeAll(conn->fd, line);
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats s;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        s = stats_;
+    }
+    if (pool_) {
+        const WorkerPoolStats ps = pool_->stats();
+        s.retries = ps.retries;
+        s.worker_restarts = ps.restarts;
+    }
+    return s;
+}
+
+Json
+Server::statsJson() const
+{
+    const ServerStats s = stats();
+    Json j = Json::object();
+    j.set("connections", Json(s.connections));
+    j.set("submissions", Json(s.submissions));
+    j.set("jobs_submitted", Json(s.jobs_submitted));
+    j.set("executed", Json(s.executed));
+    j.set("cache_hits", Json(s.cache_hits));
+    j.set("coalesced", Json(s.coalesced));
+    j.set("overloaded", Json(s.overloaded));
+    j.set("rejected", Json(s.rejected));
+    j.set("retries", Json(s.retries));
+    j.set("worker_restarts", Json(s.worker_restarts));
+    {
+        std::lock_guard<std::mutex> lock(sched_mutex_);
+        j.set("queue_depth", Json(queue_.depth()));
+        j.set("queue_max", Json(queue_.maxDepth()));
+        j.set("in_flight", Json(flights_.size()));
+    }
+    Json pids = Json::array();
+    if (pool_)
+        for (const int pid : pool_->pids())
+            pids.push(Json(pid));
+    j.set("worker_pids", std::move(pids));
+    return j;
+}
+
+} // namespace smtsim::serve

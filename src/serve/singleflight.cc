@@ -1,0 +1,25 @@
+#include "singleflight.hh"
+
+namespace smtsim::serve
+{
+
+bool
+SingleFlight::join(const std::string &key, Waiter waiter)
+{
+    auto [it, inserted] = flights_.try_emplace(key);
+    it->second.push_back(std::move(waiter));
+    return inserted;
+}
+
+std::vector<Waiter>
+SingleFlight::take(const std::string &key)
+{
+    auto it = flights_.find(key);
+    if (it == flights_.end())
+        return {};
+    std::vector<Waiter> waiters = std::move(it->second);
+    flights_.erase(it);
+    return waiters;
+}
+
+} // namespace smtsim::serve

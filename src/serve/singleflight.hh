@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Single-flight deduplication table: concurrent identical jobs
+ * coalesce onto one execution.
+ *
+ * A job is identified by its content address (lab cache key). The
+ * first submission of a key becomes the *leader* — it is the one
+ * that enters the dispatch queue and executes — and every identical
+ * submission that arrives while the key is in flight registers as a
+ * *waiter* instead of queueing again. When the leader's execution
+ * publishes, all waiters (the leader included) receive the result.
+ * A thundering herd of N identical sweep requests therefore costs
+ * one simulation, not N — the central economics of the service.
+ *
+ * NOT thread-safe by design: the server updates this table and the
+ * fair queue under one scheduling mutex (queue.hh explains why the
+ * two must move together).
+ */
+
+#ifndef SMTSIM_SERVE_SINGLEFLIGHT_HH
+#define SMTSIM_SERVE_SINGLEFLIGHT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smtsim::serve
+{
+
+/** One party waiting on an in-flight key. */
+struct Waiter
+{
+    std::uint64_t submission;   ///< server submission token
+    std::string job_id;         ///< the waiter's own label
+};
+
+class SingleFlight
+{
+  public:
+    /**
+     * Register interest in @p key. @return true when the caller is
+     * the leader (it must arrange execution and eventually call
+     * take()); false when the key was already in flight.
+     */
+    bool join(const std::string &key, Waiter waiter);
+
+    /**
+     * Complete @p key: remove the entry and return every registered
+     * waiter (leader first). Publishing to them is the caller's
+     * job. Returns an empty list for unknown keys.
+     */
+    std::vector<Waiter> take(const std::string &key);
+
+    bool inFlight(const std::string &key) const
+    {
+        return flights_.count(key) != 0;
+    }
+
+    /** Number of keys currently in flight. */
+    std::size_t size() const { return flights_.size(); }
+
+  private:
+    std::map<std::string, std::vector<Waiter>> flights_;
+};
+
+} // namespace smtsim::serve
+
+#endif // SMTSIM_SERVE_SINGLEFLIGHT_HH

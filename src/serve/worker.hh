@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Process pool executing simulation jobs in isolation.
+ *
+ * Each worker is a forked+exec'd child (the daemon re-executes its
+ * own binary with `--worker`) speaking the NDJSON worker protocol
+ * on its stdin/stdout. Process isolation is the point: a config
+ * that crashes, corrupts memory or livelocks the simulator takes
+ * down one child, not the daemon — the pool kills it, restarts a
+ * fresh one, and retries the job with exponential backoff up to a
+ * bounded attempt count. Deterministic simulation failures (budget
+ * exhaustion, verification mismatch) are results, not crashes, and
+ * are never retried.
+ */
+
+#ifndef SMTSIM_SERVE_WORKER_HH
+#define SMTSIM_SERVE_WORKER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/sockio.hh"
+#include "lab/result.hh"
+#include "lab/spec.hh"
+
+namespace smtsim::serve
+{
+
+/** Pool configuration. */
+struct WorkerOptions
+{
+    /**
+     * Worker command line, e.g. {"/proc/self/exe", "--worker"}.
+     * Empty argv means "this executable with --worker appended".
+     */
+    std::vector<std::string> argv;
+    /** Per-attempt wall-clock budget; <= 0 disables the watchdog. */
+    double job_timeout_seconds = 300.0;
+    /** Retries after a crash/hang (attempts = 1 + max_retries). */
+    int max_retries = 2;
+    /** First retry delay; doubles per subsequent retry. */
+    double backoff_seconds = 0.05;
+};
+
+/** How one dispatch attempt on a worker ended. */
+enum class RunOutcome
+{
+    Ok,         ///< clean result round trip (result may be ok=false)
+    Crashed,    ///< worker died / broke protocol — retry elsewhere
+    Timeout     ///< worker exceeded the job budget — do not retry
+};
+
+/**
+ * One worker child process. Not thread-safe; the pool hands a
+ * worker to exactly one dispatcher at a time.
+ */
+class WorkerProcess
+{
+  public:
+    explicit WorkerProcess(const std::vector<std::string> &argv);
+    ~WorkerProcess();
+
+    WorkerProcess(const WorkerProcess &) = delete;
+    WorkerProcess &operator=(const WorkerProcess &) = delete;
+
+    bool alive() const { return pid_ > 0; }
+    int pid() const { return pid_; }
+
+    /**
+     * Ship @p job, await its result line. On Ok *out is filled
+     * (possibly an ok=false simulation failure). On Crashed or
+     * Timeout *why describes what happened and the child must be
+     * killed and replaced by the caller.
+     */
+    RunOutcome run(const lab::Job &job, double timeout_seconds,
+                   lab::JobResult *out, std::string *why);
+
+    /** SIGKILL + reap (idempotent). */
+    void kill();
+
+  private:
+    bool spawn(const std::vector<std::string> &argv);
+
+    int pid_ = -1;
+    Fd to_child_;       ///< write end of the child's stdin
+    Fd from_child_;     ///< read end of the child's stdout
+    std::unique_ptr<LineReader> reader_;
+};
+
+/** Aggregate pool counters (monotonic). */
+struct WorkerPoolStats
+{
+    std::uint64_t executed = 0;     ///< jobs run to a clean result
+    std::uint64_t retries = 0;      ///< re-dispatches after crashes
+    std::uint64_t restarts = 0;     ///< worker processes replaced
+};
+
+class WorkerPool
+{
+  public:
+    WorkerPool(int num_workers, WorkerOptions opts);
+    ~WorkerPool();
+
+    /**
+     * Execute @p job on some worker, blocking until a worker is
+     * free and the job resolves. Crash/hang attempts are retried
+     * per WorkerOptions; when attempts are exhausted the returned
+     * result is ok=false describing the failure. Thread-safe.
+     */
+    lab::JobResult execute(const lab::Job &job);
+
+    /** Live worker pids (for crash-injection tests and ops). */
+    std::vector<int> pids() const;
+
+    WorkerPoolStats stats() const;
+
+    /** Kill every worker; subsequent execute() calls fail fast. */
+    void shutdown();
+
+  private:
+    std::unique_ptr<WorkerProcess> checkout();
+    void checkin(std::unique_ptr<WorkerProcess> worker);
+
+    WorkerOptions opts_;
+    int num_workers_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    std::vector<std::unique_ptr<WorkerProcess>> idle_;
+    /** Pids of checked-out workers (kept for pids()). */
+    std::vector<int> busy_pids_;
+    bool shutdown_ = false;
+
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> restarts_{0};
+};
+
+/**
+ * Worker-mode main loop: read job lines on stdin, write result
+ * lines on stdout until EOF. @return process exit code.
+ */
+int workerMain();
+
+/** Absolute path of the running executable (/proc/self/exe). */
+std::string selfExecutablePath();
+
+} // namespace smtsim::serve
+
+#endif // SMTSIM_SERVE_WORKER_HH

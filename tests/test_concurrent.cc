@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <thread>
+#include <vector>
+
 #include "asmr/assembler.hh"
 #include "interp/interpreter.hh"
+#include "lab/lab.hh"
 #include "trace/synth.hh"
 #include "core/processor.hh"
 #include "mem/memory.hh"
@@ -276,4 +281,125 @@ TEST(Concurrent, TrapsInterleaveWithNormalThreads)
     ASSERT_TRUE(stats.finished);
     EXPECT_EQ(s.mem.read32(s.outs), s.expected(0, 16));
     EXPECT_EQ(stats.context_switches, 16u);
+}
+
+// -- shared result cache ------------------------------------------
+//
+// The on-disk cache is shared state between executors: multiple
+// sweeps (threads here; smtsim-serve dispatchers and plain
+// smtsim-sweep processes in production) read, write and evict one
+// directory concurrently. These run under TSan in CI.
+
+namespace
+{
+
+struct CacheDir
+{
+    std::filesystem::path path;
+
+    explicit CacheDir(const char *tag)
+        : path(std::filesystem::temp_directory_path() /
+               (std::string("smtsim-conc-") + tag))
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~CacheDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+std::vector<lab::Job>
+sharedJobs()
+{
+    lab::ExperimentSpec spec;
+    spec.name = "conc";
+    spec.workloads = {lab::WorkloadSpec::matmul(6)};
+    spec.slots = {1, 2};
+    spec.standby = {false, true};
+    return spec.expand();
+}
+
+} // namespace
+
+TEST(Concurrent, SweepsSharingOneCacheDirAgree)
+{
+    const CacheDir dir("sweeps");
+    const std::vector<lab::Job> jobs = sharedJobs();
+
+    lab::LabOptions opts;
+    opts.num_threads = 2;
+    opts.cache_dir = dir.path.string();
+
+    // Two executors race over the same jobs and the same cache
+    // directory: whoever loses a store race must still read back a
+    // whole record (atomic rename) or an ordinary miss, never a
+    // torn one.
+    lab::ResultSet a, b;
+    std::thread ta([&] { a = lab::runJobs(jobs, opts); });
+    std::thread tb([&] { b = lab::runJobs(jobs, opts); });
+    ta.join();
+    tb.join();
+
+    ASSERT_EQ(a.results.size(), jobs.size());
+    ASSERT_EQ(b.results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(a.results[i].ok) << a.results[i].error;
+        ASSERT_TRUE(b.results[i].ok) << b.results[i].error;
+        // Simulation is deterministic, so sim and cached results
+        // are indistinguishable apart from the from_cache flag.
+        EXPECT_EQ(a.results[i].stats.cycles,
+                  b.results[i].stats.cycles);
+        EXPECT_EQ(a.results[i].key, b.results[i].key);
+    }
+
+    // Everything is cached now: a third sweep simulates nothing.
+    const lab::ResultSet c = lab::runJobs(jobs, opts);
+    EXPECT_EQ(c.cacheHits(), jobs.size());
+}
+
+TEST(Concurrent, CacheLoadStoreEvictRacesStayWhole)
+{
+    const CacheDir dir("hammer");
+    const std::vector<lab::Job> jobs = sharedJobs();
+
+    // Golden records, simulated once up front.
+    std::vector<lab::JobResult> golden;
+    for (const lab::Job &job : jobs)
+        golden.push_back(lab::simulateJob(job));
+
+    // A deliberately tiny budget so enforceLimit() actually evicts
+    // while other threads are mid-load on the same records.
+    const lab::ResultCache cache(dir.path.string(), 4096);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < 25; ++round) {
+                const std::size_t i =
+                    static_cast<std::size_t>(t + round) %
+                    jobs.size();
+                cache.store(jobs[i], golden[i]);
+                lab::JobResult out;
+                if (cache.load(jobs[i], &out)) {
+                    // A hit is the full record or nothing.
+                    EXPECT_EQ(out.key, golden[i].key);
+                    EXPECT_EQ(out.stats.cycles,
+                              golden[i].stats.cycles);
+                    EXPECT_TRUE(out.from_cache);
+                }
+                if (round % 8 == 0)
+                    cache.enforceLimit();
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    // The budget held (allow one record of slack for a store that
+    // raced the final eviction pass).
+    cache.enforceLimit();
+    EXPECT_LE(cache.diskBytes(), 4096u + 2048u);
 }

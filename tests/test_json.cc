@@ -102,3 +102,116 @@ TEST(Json, WhitespaceTolerance)
     EXPECT_EQ(j.at("a").size(), 2u);
     EXPECT_TRUE(j.at("b").isNull());
 }
+
+// ----------------------------------------------------------------
+// Hardened error paths: every rejection carries a byte offset and
+// nothing — truncation, mutation, random bytes, absurd nesting —
+// may crash the parser.
+// ----------------------------------------------------------------
+
+#include <string>
+
+#include "base/random.hh"
+
+namespace
+{
+
+/**
+ * parse() must either return a value or throw JsonParseError whose
+ * offset lies inside [0, size] and whose what() names it.
+ */
+void
+expectParseIsTotal(const std::string &text)
+{
+    try {
+        (void)Json::parse(text);
+    } catch (const JsonParseError &e) {
+        EXPECT_NE(e.offset(), JsonParseError::npos) << e.what();
+        EXPECT_LE(e.offset(), text.size()) << e.what();
+        EXPECT_NE(std::string(e.what()).find("offset"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+
+TEST(JsonHardening, ParseErrorsCarryByteOffsets)
+{
+    try {
+        Json::parse("{\"a\": tru}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.offset(), 6u);
+    }
+    try {
+        Json::parse("[1, 2");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.offset(), 5u);   // end of truncated input
+    }
+    // Accessor misuse is distinguishable from parse failures.
+    try {
+        Json(1).asString();
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.offset(), JsonParseError::npos);
+    }
+}
+
+TEST(JsonHardening, DeepNestingIsRejectedNotFatal)
+{
+    const std::string deep(100000, '[');
+    try {
+        Json::parse(deep);
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_LE(e.offset(),
+                  static_cast<std::size_t>(Json::kMaxParseDepth));
+        EXPECT_NE(std::string(e.what()).find("nesting"),
+                  std::string::npos);
+    }
+    // Matched-but-deep documents fail the same way.
+    std::string balanced(300, '[');
+    balanced += std::string(300, ']');
+    EXPECT_THROW(Json::parse(balanced), JsonParseError);
+    // Depth at the limit still parses.
+    std::string ok(Json::kMaxParseDepth, '[');
+    ok += std::string(Json::kMaxParseDepth, ']');
+    EXPECT_NO_THROW(Json::parse(ok));
+}
+
+TEST(JsonHardening, TruncationFuzz)
+{
+    // Every prefix of a representative document must be handled.
+    const std::string doc =
+        "{\"schema\":1,\"key\":\"ab\\u0041c\",\"vals\":[1,-2.5,"
+        "1e3,true,false,null],\"nest\":{\"s\":\"\\n\\t\\\\\"}}";
+    ASSERT_NO_THROW(Json::parse(doc));
+    for (std::size_t n = 0; n < doc.size(); ++n)
+        expectParseIsTotal(doc.substr(0, n));
+}
+
+TEST(JsonHardening, MutationAndGarbageFuzz)
+{
+    const std::string doc =
+        "{\"a\":[{\"b\":-12.75e2},\"x\",null,true],"
+        "\"c\":\"q\\\"uo\\u00e9te\"}";
+    Rng rng(0xfadedcafeull);
+    // Single- and multi-byte mutations of a valid document.
+    for (int iter = 0; iter < 4000; ++iter) {
+        std::string mutated = doc;
+        const int flips = 1 + static_cast<int>(rng.nextBelow(3));
+        for (int f = 0; f < flips; ++f) {
+            const std::size_t at = rng.nextBelow(mutated.size());
+            mutated[at] = static_cast<char>(rng.nextBelow(256));
+        }
+        expectParseIsTotal(mutated);
+    }
+    // Pure random byte strings.
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string garbage(rng.nextBelow(64), '\0');
+        for (char &c : garbage)
+            c = static_cast<char>(rng.nextBelow(256));
+        expectParseIsTotal(garbage);
+    }
+}

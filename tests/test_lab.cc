@@ -14,9 +14,11 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -397,4 +399,169 @@ TEST(LabResult, JsonRoundTrip)
     const std::string table = rs.toTable("t").str();
     for (const JobResult &r : rs.results)
         EXPECT_NE(table.find(r.id), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// LRU size bounds (--cache-max-mb)
+// ----------------------------------------------------------------
+
+namespace
+{
+
+/** Distinct cheap jobs (num_slots moves the cache key). */
+std::vector<Job>
+distinctJobs(int n)
+{
+    std::vector<Job> jobs;
+    for (int i = 0; i < n; ++i) {
+        CoreConfig cfg;
+        cfg.num_slots = i + 1;
+        jobs.push_back(coreJob("j" + std::to_string(i),
+                               WorkloadSpec::matmul(6), cfg));
+    }
+    return jobs;
+}
+
+/** mtime ticks can be coarse; space out LRU-ordering stores. */
+void
+lruTick()
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+} // namespace
+
+TEST_F(LabCacheTest, BoundedCacheEvictsOldestFirst)
+{
+    const std::vector<Job> jobs = distinctJobs(6);
+    std::vector<JobResult> golden;
+    for (const Job &job : jobs)
+        golden.push_back(simulateJob(job));
+
+    // Size one record to express the budget in record counts.
+    std::uint64_t per;
+    {
+        const ResultCache sizer(cacheDir());
+        sizer.store(jobs[0], golden[0]);
+        per = sizer.diskBytes();
+        ASSERT_GT(per, 0u);
+        fs::remove_all(cacheDir());
+    }
+
+    const ResultCache cache(cacheDir(), 3 * per + per / 2);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        cache.store(jobs[i], golden[i]);
+        lruTick();
+    }
+    cache.enforceLimit();
+
+    EXPECT_LE(cache.diskBytes(), cache.maxBytes());
+    // The newest records survived; the oldest are gone.
+    EXPECT_TRUE(cache.contains(jobs[5]));
+    EXPECT_TRUE(cache.contains(jobs[4]));
+    EXPECT_FALSE(cache.contains(jobs[0]));
+    EXPECT_FALSE(cache.contains(jobs[1]));
+
+    // Evicted records are ordinary misses, not errors.
+    JobResult out;
+    EXPECT_FALSE(cache.load(jobs[0], &out));
+    EXPECT_TRUE(cache.load(jobs[5], &out));
+    EXPECT_TRUE(out.from_cache);
+}
+
+TEST_F(LabCacheTest, LoadRefreshesLruStampButContainsDoesNot)
+{
+    const Job job = distinctJobs(1)[0];
+    const JobResult golden = simulateJob(job);
+    // LRU stamping only happens on bounded caches; a budget far
+    // above one record keeps this free of actual eviction.
+    const ResultCache cache(cacheDir(), 64u << 20);
+    cache.store(job, golden);
+
+    const fs::path record = cache.pathFor(job.cacheKey());
+    const auto stored = fs::last_write_time(record);
+
+    // contains() is a pure probe (smtsim-sweep --dry-run must not
+    // perturb the LRU order it is predicting against)...
+    lruTick();
+    ASSERT_TRUE(cache.contains(job));
+    EXPECT_EQ(fs::last_write_time(record), stored);
+
+    // ...while a real hit marks the record recently used.
+    lruTick();
+    JobResult out;
+    ASSERT_TRUE(cache.load(job, &out));
+    EXPECT_GT(fs::last_write_time(record), stored);
+}
+
+TEST_F(LabCacheTest, TouchedRecordSurvivesEviction)
+{
+    const std::vector<Job> jobs = distinctJobs(4);
+    std::vector<JobResult> golden;
+    for (const Job &job : jobs)
+        golden.push_back(simulateJob(job));
+
+    std::uint64_t per;
+    {
+        const ResultCache sizer(cacheDir());
+        sizer.store(jobs[0], golden[0]);
+        per = sizer.diskBytes();
+        fs::remove_all(cacheDir());
+    }
+
+    const ResultCache cache(cacheDir(), 2 * per + per / 2);
+    cache.store(jobs[0], golden[0]);
+    lruTick();
+    cache.store(jobs[1], golden[1]);
+    lruTick();
+
+    // Touch the oldest record, then add a third: the *untouched*
+    // one must be the eviction victim.
+    JobResult out;
+    ASSERT_TRUE(cache.load(jobs[0], &out));
+    lruTick();
+    cache.store(jobs[2], golden[2]);
+    cache.enforceLimit();
+
+    EXPECT_TRUE(cache.contains(jobs[0]));
+    EXPECT_FALSE(cache.contains(jobs[1]));
+    EXPECT_TRUE(cache.contains(jobs[2]));
+}
+
+TEST_F(LabCacheTest, ConstructionTrimsAPreexistingOversizedDir)
+{
+    const std::vector<Job> jobs = distinctJobs(5);
+    std::uint64_t per = 0;
+    {
+        const ResultCache unbounded(cacheDir());
+        for (const Job &job : jobs) {
+            unbounded.store(job, simulateJob(job));
+            lruTick();
+        }
+        per = unbounded.diskBytes() / jobs.size();
+    }
+
+    // A daemon restarting with --cache-max-mb over yesterday's
+    // oversized directory trims it up front.
+    const ResultCache bounded(cacheDir(), 2 * per + per / 2);
+    EXPECT_LE(bounded.diskBytes(), bounded.maxBytes());
+    EXPECT_TRUE(bounded.contains(jobs[4]));
+    EXPECT_FALSE(bounded.contains(jobs[0]));
+}
+
+TEST_F(LabCacheTest, SweepUnderTinyBudgetStillCompletes)
+{
+    const std::vector<Job> jobs = smallGrid();
+    LabOptions opts;
+    opts.num_threads = 2;
+    opts.cache_dir = cacheDir();
+    opts.cache_max_bytes = 1;   // nothing fits; everything evicts
+
+    const ResultSet rs = runJobs(jobs, opts);
+    EXPECT_EQ(rs.failures(), 0u);
+    EXPECT_EQ(rs.cacheHits(), 0u);
+
+    // The cache is useless at this budget but never harmful.
+    const ResultSet again = runJobs(jobs, opts);
+    EXPECT_EQ(again.failures(), 0u);
 }

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * smtsim-client: submit experiment sweeps to a running smtsim-serve
+ * daemon and stream the results back.
+ *
+ *     smtsim-client --socket PATH [options]
+ *
+ * Operations (default: submit a sweep):
+ *     --ping             health check; exit 0 on pong
+ *     --stats            print the daemon's stats JSON
+ *     --shutdown         ask the daemon to shut down cleanly
+ *
+ * Sweep description (same grammar as smtsim-sweep):
+ *     --workload SPEC    workload, repeatable (default
+ *                        raytrace:width=24,height=24)
+ *     --engine core|both "both" adds a baseline point per workload
+ *     --slots LIST       thread-slot counts (default 4)
+ *     --frames LIST      context-frame counts; -1 = slots
+ *     --lsu LIST         load/store unit counts
+ *     --width LIST       per-slot issue widths
+ *     --standby on|off|both
+ *     --interval LIST    rotation intervals
+ *
+ * Submission:
+ *     --id NAME          submission id echoed in events (default
+ *                        "cli")
+ *     --wait-ms N        per-event timeout; 0 = wait forever
+ *                        (default 0)
+ *
+ * Output:
+ *     --json PATH        write results as JSON ('-' = stdout)
+ *     --csv PATH         write results as CSV ('-' = stdout)
+ *     --table            print the summary table
+ *
+ * Exit status: 0 all results ok, 1 failures or overload, 2 usage /
+ * connection errors.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/strutil.hh"
+#include "lab/lab.hh"
+#include "serve/serve.hh"
+
+using namespace smtsim;
+using namespace smtsim::lab;
+using namespace smtsim::serve;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [options]   (see file "
+                 "header or docs/SERVE.md)\n",
+                 argv0);
+    std::exit(2);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "smtsim-client: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+std::vector<int>
+parseIntList(const std::string &opt, const std::string &text,
+             int min_value)
+{
+    std::vector<int> out;
+    for (const std::string &item : split(text, ',')) {
+        long long v = 0;
+        if (!parseInt(item, &v))
+            die(opt + ": \"" + trim(item) +
+                "\" is not an integer");
+        if (v < min_value)
+            die(opt + ": value " + std::to_string(v) +
+                " is below the minimum " +
+                std::to_string(min_value));
+        out.push_back(static_cast<int>(v));
+    }
+    if (out.empty())
+        die(opt + ": empty list");
+    return out;
+}
+
+void
+writeTextOutput(const std::string &path, const std::string &text,
+                const char *what)
+{
+    if (path == "-") {
+        std::cout << text;
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        die(std::string("cannot open ") + path + " for writing");
+    out << text;
+    std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string op = "submit";
+    std::string id = "cli";
+    int wait_ms = -1;
+    ExperimentSpec spec;
+    spec.name = "smtsim-client";
+    std::string engine = "core";
+    std::string json_path, csv_path;
+    bool want_table = false;
+
+    auto need_value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            socket_path = need_value(i);
+        } else if (arg == "--ping" || arg == "--stats" ||
+                   arg == "--shutdown") {
+            op = arg.substr(2);
+        } else if (arg == "--id") {
+            id = need_value(i);
+        } else if (arg == "--wait-ms") {
+            long long v = 0;
+            if (!parseInt(need_value(i), &v) || v < 0)
+                die("--wait-ms needs a non-negative integer");
+            wait_ms = v == 0 ? -1 : static_cast<int>(v);
+        } else if (arg == "--workload") {
+            try {
+                spec.workloads.push_back(
+                    WorkloadSpec::fromString(need_value(i)));
+            } catch (const std::exception &e) {
+                die(e.what());
+            }
+        } else if (arg == "--engine") {
+            engine = need_value(i);
+            if (engine != "core" && engine != "both")
+                die("--engine must be core or both");
+        } else if (arg == "--slots") {
+            spec.slots = parseIntList(arg, need_value(i), 1);
+        } else if (arg == "--frames") {
+            spec.frames = parseIntList(arg, need_value(i), -1);
+        } else if (arg == "--lsu") {
+            spec.lsu = parseIntList(arg, need_value(i), 1);
+        } else if (arg == "--width") {
+            spec.widths = parseIntList(arg, need_value(i), 1);
+        } else if (arg == "--interval") {
+            spec.rotation_intervals =
+                parseIntList(arg, need_value(i), 1);
+        } else if (arg == "--standby") {
+            const std::string v = need_value(i);
+            if (v == "on")
+                spec.standby = {true};
+            else if (v == "off")
+                spec.standby = {false};
+            else if (v == "both")
+                spec.standby = {false, true};
+            else
+                die("--standby must be on, off or both");
+        } else if (arg == "--json") {
+            json_path = need_value(i);
+        } else if (arg == "--csv") {
+            csv_path = need_value(i);
+        } else if (arg == "--table") {
+            want_table = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (socket_path.empty())
+        die("--socket is required");
+
+    Client client;
+    std::string error;
+    if (!client.connect(socket_path, &error))
+        die("cannot connect: " + error);
+
+    if (op == "ping") {
+        if (!client.ping(&error))
+            die("ping failed: " + error);
+        std::printf("pong\n");
+        return 0;
+    }
+    if (op == "stats") {
+        Json stats;
+        if (!client.stats(&stats, &error))
+            die("stats failed: " + error);
+        std::cout << stats.dump(2) << "\n";
+        return 0;
+    }
+    if (op == "shutdown") {
+        if (!client.shutdownServer(&error))
+            die("shutdown failed: " + error);
+        std::fprintf(stderr, "smtsim-client: daemon says bye\n");
+        return 0;
+    }
+
+    if (spec.workloads.empty())
+        spec.workloads.push_back(WorkloadSpec::rayTrace(24, 24));
+    spec.include_baseline = engine == "both";
+
+    const SubmitOutcome out = client.submitAndWait(id, spec,
+                                                   wait_ms);
+    if (!out.done()) {
+        std::fprintf(stderr, "smtsim-client: %s%s%s\n",
+                     out.status.c_str(),
+                     out.error.empty() ? "" : ": ",
+                     out.error.c_str());
+        return out.overloaded() ? 1 : 2;
+    }
+
+    ResultSet rs;
+    rs.results = out.results;
+    if (!json_path.empty())
+        writeTextOutput(json_path, rs.toJson().dump(2) + "\n",
+                        "JSON");
+    if (!csv_path.empty())
+        writeTextOutput(csv_path, rs.toCsv(), "CSV");
+    if (want_table || (json_path.empty() && csv_path.empty()))
+        rs.toTable("sweep results (" + id + ")").print(std::cout);
+
+    std::fprintf(stderr,
+                 "%zu job(s): %zu failed, %zu cache hit(s), %zu "
+                 "coalesced\n",
+                 out.jobs, out.failures, out.cache_hits,
+                 out.coalesced);
+    return out.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * smtsim-serve: long-running simulation service daemon.
+ *
+ *     smtsim-serve --socket PATH [options]
+ *     smtsim-serve --worker              (internal: worker mode)
+ *
+ * Options:
+ *     --socket PATH      unix socket to listen on (required)
+ *     --workers N        worker processes / dispatcher threads
+ *                        (default: host cores)
+ *     --queue-max N      admission queue depth; submissions past it
+ *                        get "overloaded" responses (default 4096)
+ *     --cache-dir PATH   shared result cache (default
+ *                        .smtsim-cache)
+ *     --no-cache         disable the result cache
+ *     --cache-max-mb N   cache LRU size budget in MiB
+ *     --job-timeout SEC  per-job wall budget; a worker exceeding it
+ *                        is killed (default 300)
+ *     --retries N        crash retries per job (default 2)
+ *
+ * The daemon serves until a client sends the "shutdown" op or it
+ * receives SIGINT/SIGTERM. Protocol and operational notes live in
+ * docs/SERVE.md.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/sockio.hh"
+#include "base/strutil.hh"
+#include "serve/serve.hh"
+
+using namespace smtsim;
+using namespace smtsim::serve;
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [options]   (see file "
+                 "header or docs/SERVE.md)\n",
+                 argv0);
+    std::exit(2);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "smtsim-serve: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Worker mode: the daemon re-executes this binary with
+    // --worker as the whole command line; don't let stray extra
+    // flags change its meaning.
+    if (argc == 2 && std::string(argv[1]) == "--worker")
+        return workerMain();
+
+    ServeOptions opts;
+    opts.cache_dir = ".smtsim-cache";
+
+    auto need_value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            opts.socket_path = need_value(i);
+        } else if (arg == "--workers") {
+            long long v = 0;
+            if (!parseInt(need_value(i), &v) || v <= 0)
+                die("--workers needs a positive integer");
+            opts.num_workers = static_cast<int>(v);
+        } else if (arg == "--queue-max") {
+            long long v = 0;
+            if (!parseInt(need_value(i), &v) || v <= 0)
+                die("--queue-max needs a positive integer");
+            opts.queue_max = static_cast<std::size_t>(v);
+        } else if (arg == "--cache-dir") {
+            opts.cache_dir = need_value(i);
+        } else if (arg == "--no-cache") {
+            opts.cache_dir.clear();
+        } else if (arg == "--cache-max-mb") {
+            unsigned long long v = 0;
+            if (!parseUint(need_value(i), &v) || v == 0)
+                die("--cache-max-mb needs a positive integer");
+            opts.cache_max_bytes = v * 1024ull * 1024ull;
+        } else if (arg == "--job-timeout") {
+            long long v = 0;
+            if (!parseInt(need_value(i), &v) || v <= 0)
+                die("--job-timeout needs a positive integer "
+                    "(seconds)");
+            opts.job_timeout_seconds = static_cast<double>(v);
+        } else if (arg == "--retries") {
+            long long v = 0;
+            if (!parseInt(need_value(i), &v) || v < 0)
+                die("--retries needs a non-negative integer");
+            opts.max_retries = static_cast<int>(v);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opts.socket_path.empty())
+        die("--socket is required");
+
+    raiseFdLimit();
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    Server server(std::move(opts));
+    std::string error;
+    if (!server.start(&error))
+        die("cannot start: " + error);
+    std::fprintf(stderr, "smtsim-serve: listening\n");
+    std::fflush(stderr);
+
+    while (g_signal == 0) {
+        if (server.waitFor(250))
+            break;
+    }
+    server.stop();
+
+    const ServerStats s = server.stats();
+    std::fprintf(stderr,
+                 "smtsim-serve: served %llu submission(s), %llu "
+                 "job(s) (%llu executed, %llu cache hit(s), %llu "
+                 "coalesced), %llu shed, %llu worker restart(s)\n",
+                 static_cast<unsigned long long>(s.submissions),
+                 static_cast<unsigned long long>(s.jobs_submitted),
+                 static_cast<unsigned long long>(s.executed),
+                 static_cast<unsigned long long>(s.cache_hits),
+                 static_cast<unsigned long long>(s.coalesced),
+                 static_cast<unsigned long long>(s.overloaded),
+                 static_cast<unsigned long long>(s.worker_restarts));
+    return 0;
+}

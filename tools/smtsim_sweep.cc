@@ -28,7 +28,13 @@
  * Execution:
  *     --jobs N           worker threads (default: host cores)
  *     --cache-dir PATH   result cache (default .smtsim-cache)
+ *     --cache-max-mb N   cache size budget in MiB; least-recently-
+ *                        used records are evicted past it (default
+ *                        unbounded)
  *     --no-cache         disable the result cache
+ *     --dry-run          print the expanded job grid with a cache
+ *                        hit/miss prediction per point, then exit
+ *                        without simulating
  *     --quiet            no progress line on stderr
  *
  * Output:
@@ -41,6 +47,7 @@
  * Exit status: 0 when every point succeeded, 1 otherwise.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -126,6 +133,7 @@ main(int argc, char **argv)
     std::string json_path, csv_path;
     bool want_table = false;
     bool quiet = false;
+    bool dry_run = false;
 
     auto need_value = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -185,8 +193,15 @@ main(int argc, char **argv)
             opts.num_threads = static_cast<int>(v);
         } else if (arg == "--cache-dir") {
             opts.cache_dir = need_value(i);
+        } else if (arg == "--cache-max-mb") {
+            unsigned long long v = 0;
+            if (!parseUint(need_value(i), &v) || v == 0)
+                die("--cache-max-mb needs a positive integer");
+            opts.cache_max_bytes = v * 1024ull * 1024ull;
         } else if (arg == "--no-cache") {
             opts.cache_dir.clear();
+        } else if (arg == "--dry-run") {
+            dry_run = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--json") {
@@ -216,6 +231,35 @@ main(int argc, char **argv)
         }
     } catch (const std::exception &e) {
         die(e.what());
+    }
+
+    if (dry_run) {
+        // Predict, don't simulate: probe the cache without touching
+        // LRU stamps so a dry run never perturbs eviction order.
+        // Keys must match what runJobs() would use, so apply the
+        // same sweep-wide cycle clamp before hashing.
+        if (opts.max_cycles > 0) {
+            for (Job &job : jobs) {
+                job.core.max_cycles =
+                    std::min(job.core.max_cycles, opts.max_cycles);
+                job.baseline.max_cycles = std::min(
+                    job.baseline.max_cycles, opts.max_cycles);
+            }
+        }
+        const ResultCache cache(opts.cache_dir);
+        std::size_t hits = 0;
+        std::printf("%-40s %-16s %s\n", "job", "key", "cache");
+        for (const Job &job : jobs) {
+            const bool hit = cache.contains(job);
+            hits += hit ? 1 : 0;
+            std::printf("%-40s %-16s %s\n", job.id.c_str(),
+                        job.cacheKey().c_str(),
+                        hit ? "hit" : "miss");
+        }
+        std::printf("%zu job(s): %zu predicted cache hit(s), %zu "
+                    "to simulate\n",
+                    jobs.size(), hits, jobs.size() - hits);
+        return 0;
     }
 
     if (!quiet) {
