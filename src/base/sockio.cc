@@ -62,7 +62,35 @@ listenUnix(const std::string &path, std::string *error, int backlog)
             *error = errnoString("socket");
         return Fd();
     }
-    ::unlink(path.c_str());   // stale socket from a previous run
+    // A previous daemon may have left its socket file behind, but
+    // an unconditional unlink would silently hijack a *live*
+    // daemon's socket (stranding its clients on the orphaned
+    // inode). Probe with a connect: success means the path has a
+    // living owner — refuse; ECONNREFUSED means nobody is
+    // listening and the stale file is safe to remove.
+    {
+        Fd probe(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+        if (probe.valid()) {
+            int rc;
+            do {
+                rc = ::connect(probe.get(),
+                               reinterpret_cast<sockaddr *>(&addr),
+                               sizeof(addr));
+            } while (rc != 0 && errno == EINTR);
+            if (rc == 0) {
+                if (error)
+                    *error = "socket " + path +
+                             " is in use by a running process "
+                             "(refusing to hijack it)";
+                return Fd();
+            }
+            if (errno == ECONNREFUSED)
+                ::unlink(path.c_str());
+            // ENOENT: nothing to clean up. Anything else (a
+            // non-socket file, a permission problem): leave the
+            // path alone and let bind report the conflict.
+        }
+    }
     if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0) {
         if (error)

@@ -56,9 +56,10 @@ class Fd
 };
 
 /**
- * Bind + listen on a unix stream socket at @p path (an existing
- * socket file is unlinked first — daemons own their socket path).
- * @return listening fd, or invalid with *error set.
+ * Bind + listen on a unix stream socket at @p path. A stale socket
+ * file (no live listener — probed with a connect) is unlinked
+ * first; a path owned by a *running* process is refused rather
+ * than hijacked. @return listening fd, or invalid with *error set.
  */
 Fd listenUnix(const std::string &path, std::string *error,
               int backlog = 128);

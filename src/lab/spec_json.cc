@@ -1,6 +1,7 @@
 #include "spec_json.hh"
 
 #include <initializer_list>
+#include <set>
 #include <string>
 
 namespace smtsim::lab
@@ -53,6 +54,26 @@ intListFromJson(const Json &j, const char *what)
     for (std::size_t i = 0; i < j.size(); ++i)
         out.push_back(static_cast<int>(j.at(i).asInt()));
     return out;
+}
+
+/**
+ * Validate a grid axis at parse time: expand() would throw
+ * std::invalid_argument for an empty axis or duplicate grid points,
+ * but admission (the serve daemon) wants a JsonParseError with a
+ * diagnostic naming the offending axis and value.
+ */
+void
+checkAxis(const std::vector<int> &axis, const char *what)
+{
+    if (axis.empty())
+        throw JsonParseError(std::string(what) +
+                             ": grid axis must not be empty");
+    std::set<int> seen;
+    for (int v : axis)
+        if (!seen.insert(v).second)
+            throw JsonParseError(std::string(what) +
+                                 ": duplicate grid value " +
+                                 std::to_string(v));
 }
 
 } // namespace
@@ -357,6 +378,8 @@ experimentSpecFromJson(const Json &j)
     for (std::size_t i = 0; i < workloads.size(); ++i)
         spec.workloads.push_back(
             workloadSpecFromJson(workloads.at(i)));
+    if (spec.workloads.empty())
+        throw JsonParseError("workloads: must not be empty");
 
     // Axes are optional: absent ones keep the ExperimentSpec
     // defaults, matching the CLI's behavior for omitted options.
@@ -377,7 +400,20 @@ experimentSpecFromJson(const Json &j)
         spec.standby.clear();
         for (std::size_t i = 0; i < v->size(); ++i)
             spec.standby.push_back(v->at(i).asBool());
+        if (spec.standby.empty())
+            throw JsonParseError(
+                "standby: grid axis must not be empty");
+        if (spec.standby.size() > 2 ||
+            (spec.standby.size() == 2 &&
+             spec.standby[0] == spec.standby[1]))
+            throw JsonParseError(
+                "standby: duplicate grid value");
     }
+    checkAxis(spec.slots, "slots");
+    checkAxis(spec.frames, "frames");
+    checkAxis(spec.lsu, "lsu");
+    checkAxis(spec.widths, "widths");
+    checkAxis(spec.rotation_intervals, "rotation_intervals");
     if (const Json *v = j.find("core_template"))
         spec.core_template = coreConfigFromJson(*v);
     if (const Json *v = j.find("include_baseline"))

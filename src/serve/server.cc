@@ -1,6 +1,7 @@
 #include "server.hh"
 
 #include <chrono>
+#include <set>
 
 #include <sys/socket.h>
 
@@ -208,7 +209,11 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
         const lab::ExperimentSpec spec =
             lab::experimentSpecFromJson(request.at("spec"));
         jobs = spec.expand();
-    } catch (const JsonParseError &e) {
+    } catch (const std::exception &e) {
+        // Not just JsonParseError: expand() throws
+        // std::invalid_argument (empty axis, duplicate grid point),
+        // and any escape from this detached thread would
+        // std::terminate() the daemon.
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.rejected;
@@ -223,18 +228,6 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
         }
         sendTo(conn->id,
                eventRejected(id, "spec expands to zero jobs"));
-        return;
-    }
-    if (jobs.size() > opts_.queue_max) {
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.rejected;
-        }
-        sendTo(conn->id,
-               eventRejected(id, "spec expands to " +
-                                     std::to_string(jobs.size()) +
-                                     " jobs, queue holds " +
-                                     std::to_string(opts_.queue_max)));
         return;
     }
 
@@ -255,14 +248,27 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
     std::uint64_t token = 0;
     std::size_t shed_depth = 0;
     bool shed = false;
+    std::string reject_why;
     {
         std::lock_guard<std::mutex> lock(sched_mutex_);
-        // Conservative bound: misses whose key is already in
-        // flight will not consume a slot, but counting them keeps
-        // the check simple and errs toward shedding early. Check
-        // and admission share this lock scope so the decision is
-        // atomic; the socket write happens after release.
-        if (!queue_.canAccept(misses.size())) {
+        // Only misses that are not already in flight consume a
+        // queue slot, so bound exactly those — a warm-cache or
+        // heavily-coalesced sweep of any size must stay admissible.
+        // Check and admission share this lock scope so the decision
+        // is atomic; the socket write happens after release.
+        std::set<std::string> new_keys;
+        for (const QueuedJob &qj : misses)
+            if (!flights_.inFlight(qj.key))
+                new_keys.insert(qj.key);
+        const std::size_t slots_needed = new_keys.size();
+        if (slots_needed > queue_.maxDepth()) {
+            // Even an empty queue could not hold this: permanent,
+            // so reject rather than shed as transient load.
+            reject_why = "spec has " +
+                         std::to_string(slots_needed) +
+                         " uncached jobs, queue holds " +
+                         std::to_string(queue_.maxDepth());
+        } else if (!queue_.canAccept(slots_needed)) {
             shed = true;
             shed_depth = queue_.depth();
         } else {
@@ -285,6 +291,14 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
                 work_cv_.notify_all();
             }
         }
+    }
+    if (!reject_why.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.rejected;
+        }
+        sendTo(conn->id, eventRejected(id, reject_why));
+        return;
     }
     if (shed) {
         {

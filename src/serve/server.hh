@@ -16,7 +16,10 @@
  *      remaining misses either all fit in the queue or the whole
  *      submission is shed with an "overloaded" event. Misses whose
  *      key is already in flight register as single-flight waiters
- *      and consume no queue slot.
+ *      and consume no queue slot — only genuinely new keys count
+ *      against the bound, so a warm-cache sweep of any size is
+ *      admissible. A spec whose new keys exceed the whole queue
+ *      can never run and is rejected outright.
  *   2. dispatch — N dispatcher threads pop jobs in fair order,
  *      re-probe the cache (another client may have completed the
  *      key between admission and dispatch), otherwise execute on

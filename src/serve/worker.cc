@@ -245,15 +245,17 @@ WorkerPool::execute(const lab::Job &job)
 
         // The worker is dead or in an unknown state: kill it and
         // return a fresh one to the pool so capacity is restored
-        // no matter how this job ends.
-        const int dead_pid = w->pid();
-        w->kill();
+        // no matter how this job ends. The pid leaves busy_pids_
+        // BEFORE kill() reaps it — once reaped the pid can be
+        // recycled, and a concurrent shutdown() iterating
+        // busy_pids_ must never SIGKILL an unrelated process.
         bool replace;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            std::erase(busy_pids_, dead_pid);
+            std::erase(busy_pids_, w->pid());
             replace = !shutdown_;
         }
+        w->kill();
         if (replace) {
             restarts_.fetch_add(1, std::memory_order_relaxed);
             checkin(std::make_unique<WorkerProcess>(opts_.argv));

@@ -185,6 +185,27 @@ TEST(ServeProtocol, UnknownSpecMemberIsRejected)
     EXPECT_THROW(experimentSpecFromJson(j), JsonParseError);
 }
 
+TEST(ServeProtocol, ImpossibleGridsAreParseErrors)
+{
+    // expand() would throw std::invalid_argument on these; the
+    // parser must catch them earlier with a JsonParseError so
+    // admission rejects with a diagnostic instead of crashing.
+    Json j = experimentSpecToJson(smallSpec());
+    j.set("slots", Json::array());
+    EXPECT_THROW(experimentSpecFromJson(j), JsonParseError);
+
+    j = experimentSpecToJson(smallSpec());
+    Json dup = Json::array();
+    dup.push(Json(4));
+    dup.push(Json(4));
+    j.set("slots", std::move(dup));
+    EXPECT_THROW(experimentSpecFromJson(j), JsonParseError);
+
+    j = experimentSpecToJson(smallSpec());
+    j.set("workloads", Json::array());
+    EXPECT_THROW(experimentSpecFromJson(j), JsonParseError);
+}
+
 TEST(ServeProtocol, ExperimentSpecRoundTripExpandsIdentically)
 {
     ExperimentSpec spec = smallSpec(6, {1, 2, 4});
@@ -592,8 +613,10 @@ TEST(ServeServer, MalformedAndInvalidSubmissionsAreRejected)
 
     server.stop();
 
-    // A spec that expands past the queue bound can never run, so
-    // it is rejected outright rather than shed as transient load.
+    // A spec whose *uncached* jobs outnumber the whole queue can
+    // never run, so it is rejected outright rather than shed as
+    // transient load. (Were the cache warm, it would be admitted —
+    // see WarmCacheSweepLargerThanQueueIsServed.)
     ExperimentSpec huge = smallSpec();
     huge.slots = {1, 2, 3, 4, 5, 6, 7, 8};
     ASSERT_GT(huge.expand().size(), 4u);
@@ -611,6 +634,108 @@ TEST(ServeServer, MalformedAndInvalidSubmissionsAreRejected)
     EXPECT_NE(rejected.error.find("queue"), std::string::npos)
         << rejected.error;
     server2.stop();
+}
+
+TEST(ServeServer, InvalidSpecValuesAreRejectedNotFatal)
+{
+    TempDir tmp("badspec");
+    Server server(serverOptions(tmp, 1));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect(tmp.str("serve.sock"), &error))
+        << error;
+
+    // Structurally valid JSON carrying semantically impossible
+    // grids. Each must come back "rejected" with a diagnostic
+    // naming the problem — these used to throw past the reader
+    // thread's catch and std::terminate() the daemon.
+    const struct
+    {
+        const char *tag;
+        const char *member;
+        const char *value;
+        const char *needle;
+    } cases[] = {
+        {"empty-axis", "slots", "[]", "slots"},
+        {"dup-axis", "slots", "[4,4]", "duplicate"},
+        {"no-workloads", "workloads", "[]", "workloads"},
+    };
+    for (const auto &c : cases) {
+        Json submit = Json::parse(submitLine(c.tag, smallSpec()));
+        Json spec_json = submit.at("spec");
+        spec_json.set(c.member, Json::parse(c.value));
+        submit.set("spec", spec_json);
+        ASSERT_TRUE(client.sendRaw(submit.dump() + "\n")) << c.tag;
+        Event ev;
+        ASSERT_EQ(client.readEvent(&ev, 10000), ReadStatus::Ok)
+            << c.tag;
+        EXPECT_EQ(ev.type, "rejected") << c.tag;
+        EXPECT_NE(ev.error.find(c.needle), std::string::npos)
+            << ev.error;
+    }
+
+    // The daemon survived all of it.
+    EXPECT_TRUE(client.ping(&error)) << error;
+    EXPECT_EQ(server.stats().rejected, 3u);
+    server.stop();
+}
+
+TEST(ServeServer, WarmCacheSweepLargerThanQueueIsServed)
+{
+    TempDir tmp("warm");
+    ServeOptions opts = serverOptions(tmp, 1);
+    opts.queue_max = 1;
+    Server server(std::move(opts));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect(tmp.str("serve.sock"), &error))
+        << error;
+
+    // Warm the cache one job at a time; each fits the 1-slot queue.
+    for (int s : {1, 2}) {
+        const SubmitOutcome warm = client.submitAndWait(
+            "warm-" + std::to_string(s), smallSpec(8, {s}), 30000);
+        ASSERT_EQ(warm.status, "done") << warm.error;
+    }
+
+    // The combined sweep expands past the whole queue, but every
+    // job is a cache hit and needs no slot — it must be served,
+    // not rejected as oversized and not shed as overload.
+    const SubmitOutcome out = client.submitAndWait(
+        "combined", smallSpec(8, {1, 2}), 30000);
+    ASSERT_EQ(out.status, "done") << out.error;
+    EXPECT_EQ(out.cache_hits, 2u);
+    for (const std::string &src : out.sources)
+        EXPECT_EQ(src, "cache");
+    EXPECT_EQ(server.stats().rejected, 0u);
+    EXPECT_EQ(server.stats().overloaded, 0u);
+    server.stop();
+}
+
+TEST(ServeServer, ListenRefusesLiveSocketButReclaimsStale)
+{
+    TempDir tmp("sockown");
+    const std::string path = tmp.str("s.sock");
+    std::string error;
+
+    Fd first = listenUnix(path, &error);
+    ASSERT_TRUE(first.valid()) << error;
+
+    // A second daemon on the same path must fail loudly, not
+    // silently steal the live listener's socket file.
+    Fd thief = listenUnix(path, &error);
+    EXPECT_FALSE(thief.valid());
+    EXPECT_NE(error.find("in use"), std::string::npos) << error;
+
+    // Once the owner is gone the file is stale (a probe connect is
+    // refused) and the path can be reclaimed.
+    first.reset();
+    Fd second = listenUnix(path, &error);
+    EXPECT_TRUE(second.valid()) << error;
 }
 
 TEST(ServeServer, PingStatsAndClientShutdown)
