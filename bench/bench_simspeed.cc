@@ -27,6 +27,7 @@
 #include "baseline/baseline.hh"
 #include "core/processor.hh"
 #include "interp/interpreter.hh"
+#include "obs/event.hh"
 #include "trace/synth.hh"
 #include "workloads/workloads.hh"
 
@@ -136,6 +137,69 @@ BM_Core(benchmark::State &state)
     reportRates(state, cycles, insns);
 }
 BENCHMARK(BM_Core)->Arg(1)->Arg(4)->Arg(8);
+
+namespace
+{
+
+/** Cheapest possible sink: measures the event layer itself, not a
+ *  backend format. */
+class CountingSink : public obs::EventSink
+{
+  public:
+    void event(const obs::Event &ev) override
+    {
+        count_ += ev.cycle | 1;    // defeat dead-code elimination
+    }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Shared body of the tracing-overhead pair: the BM_Core/4 shape,
+ *  with or without an event sink attached. scripts/
+ *  bench_simspeed.sh asserts TraceOff stays within 2% of BM_Core/4
+ *  (the disabled event layer must cost one dead branch per
+ *  would-be event, nothing more). */
+void
+runCoreTraceBench(benchmark::State &state, bool traced)
+{
+    const Program prog = benchKernel(true);
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    cfg.fus.load_store = 2;
+    std::uint64_t cycles = 0, insns = 0;
+    for (auto _ : state) {
+        MainMemory mem;
+        prog.loadInto(mem);
+        MultithreadedProcessor cpu(prog, mem, cfg);
+        CountingSink sink;
+        if (traced)
+            cpu.setEventSink(&sink);
+        const RunStats s = cpu.run();
+        cycles += s.cycles;
+        insns += s.instructions;
+        benchmark::DoNotOptimize(s.cycles);
+        benchmark::DoNotOptimize(sink.count());
+    }
+    reportRates(state, cycles, insns);
+}
+
+} // namespace
+
+static void
+BM_CoreTraceOff(benchmark::State &state)
+{
+    runCoreTraceBench(state, false);
+}
+BENCHMARK(BM_CoreTraceOff);
+
+static void
+BM_CoreTraceOn(benchmark::State &state)
+{
+    runCoreTraceBench(state, true);
+}
+BENCHMARK(BM_CoreTraceOn);
 
 static void
 BM_CoreRemote(benchmark::State &state)

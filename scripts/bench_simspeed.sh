@@ -3,14 +3,24 @@
 # BENCH_simspeed.json (google-benchmark JSON, incl. cycles/s and
 # MIPS counters per engine config).
 #
+# Also guards the observability layer's no-cost-when-disabled
+# promise: BM_CoreTraceOff (event sink detached) must stay within
+# SMTSIM_BENCH_TRACE_PCT percent (default 2) of the plain BM_Core/4
+# row from the same run. docs/OBSERVABILITY.md documents the
+# contract.
+#
 # Usage: scripts/bench_simspeed.sh [build-dir] [out.json]
-#   SMTSIM_BENCH_MIN_TIME  benchmark_min_time seconds (default 0.5;
-#                          use e.g. 0.1 for a CI smoke run)
+#   SMTSIM_BENCH_MIN_TIME   benchmark_min_time seconds (default 0.5;
+#                           use e.g. 0.1 for a CI smoke run)
+#   SMTSIM_BENCH_TRACE_PCT  allowed tracing-disabled overhead in
+#                           percent (default 2); set to "skip" to
+#                           disable the guard
 set -eu
 
 build=${1:-build}
 out=${2:-BENCH_simspeed.json}
 min_time=${SMTSIM_BENCH_MIN_TIME:-0.5}
+trace_pct=${SMTSIM_BENCH_TRACE_PCT:-2}
 
 if [ ! -x "$build/bench/bench_simspeed" ]; then
     echo "bench_simspeed not built in $build (cmake --build $build)" >&2
@@ -23,3 +33,42 @@ fi
     --benchmark_out_format=json
 
 echo "wrote $out" >&2
+
+if [ "$trace_pct" = "skip" ]; then
+    echo "tracing-overhead guard skipped" >&2
+    exit 0
+fi
+
+# Dedicated guard run: the two rows are randomly interleaved and
+# repeated so the median comparison is robust against scheduler
+# noise on shared runners.
+guard_json=$(mktemp)
+trap 'rm -f "$guard_json"' EXIT
+"$build/bench/bench_simspeed" \
+    --benchmark_filter='BM_Core/4$|BM_CoreTraceOff' \
+    --benchmark_min_time=0.3 \
+    --benchmark_repetitions=7 \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out="$guard_json" \
+    --benchmark_out_format=json >/dev/null
+
+python3 - "$guard_json" "$trace_pct" <<'EOF'
+import json
+import sys
+
+out, pct = sys.argv[1], float(sys.argv[2])
+rows = {b["name"]: b for b in json.load(open(out))["benchmarks"]}
+try:
+    base = rows["BM_Core/4_median"]["cpu_time"]
+    off = rows["BM_CoreTraceOff_median"]["cpu_time"]
+except KeyError as missing:
+    sys.exit(f"bench guard: row {missing} missing from {out}")
+over = 100.0 * (off / base - 1.0)
+print(f"tracing disabled: {over:+.2f}% vs BM_Core/4 (median of 7, "
+      f"interleaved)", file=sys.stderr)
+if over > pct:
+    sys.exit(f"bench guard: tracing-disabled overhead {over:.2f}% "
+             f"exceeds {pct:.1f}% (event emission must hide behind "
+             f"a null-sink check)")
+EOF

@@ -8,6 +8,8 @@
 #ifndef SMTSIM_BASE_STATS_HH
 #define SMTSIM_BASE_STATS_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -79,6 +81,89 @@ class Group
     /** std::less<> enables find() on string_view without a
      *  temporary std::string. */
     std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/**
+ * Power-of-two-bucket histogram of non-negative integer samples
+ * (wall times, cycle counts, queue depths — quantities spanning
+ * orders of magnitude). Bucket 0 holds the value 0; bucket i >= 1
+ * holds [2^(i-1), 2^i). add() is O(1) and allocation-free, so
+ * recording under a mutex on a service hot path is fine.
+ */
+class Histogram
+{
+  public:
+    /** Bucket count: value 0 plus one bucket per u64 bit. */
+    static constexpr int kBuckets = 65;
+
+    void
+    add(std::uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** Bucket index a value lands in (0..64). */
+    static int
+    bucketOf(std::uint64_t v)
+    {
+        return std::bit_width(v);
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t
+    bucketLo(int i)
+    {
+        return i == 0 ? 0 : 1ull << (i - 1);
+    }
+
+    /** Inclusive upper bound of bucket @p i (capped at u64 max). */
+    static std::uint64_t
+    bucketHi(int i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~0ull;
+        return (1ull << i) - 1;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    const std::array<std::uint64_t, kBuckets> &
+    buckets() const
+    {
+        return buckets_;
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = sum_ = min_ = max_ = 0;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
 };
 
 /**

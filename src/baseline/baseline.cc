@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "isa/dataop.hh"
 #include "isa/semantics.hh"
+#include "obs/sinks.hh"
 
 namespace smtsim
 {
@@ -41,6 +42,62 @@ BaselineProcessor::BaselineProcessor(const Program &prog,
         stats_.unit_busy[cls].assign(cfg_.fus.count(fc), 0);
     }
     fetch_pc_ = prog_.entry;
+}
+
+void
+BaselineProcessor::setEventSink(obs::EventSink *sink)
+{
+    sink_ = sink;
+    owned_sink_.reset();
+}
+
+void
+BaselineProcessor::setPipeTrace(std::ostream *os)
+{
+    if (os == nullptr) {
+        setEventSink(nullptr);
+        return;
+    }
+    owned_sink_ = std::make_unique<obs::TextSink>(*os);
+    sink_ = owned_sink_.get();
+}
+
+void
+BaselineProcessor::emitStreamPrologue()
+{
+    obs::Event ev;
+    ev.cycle = 0;
+    ev.kind = obs::EventKind::Snapshot;
+    ev.a = stats_.instructions;
+    sink_->event(ev);
+
+    ev = obs::Event{};
+    ev.kind = obs::EventKind::RingState;
+    ev.unit = 1;            // one thread slot
+    const int order[1] = {0};
+    ev.a = obs::packRing(order, 1);
+    sink_->event(ev);
+
+    ev = obs::Event{};
+    ev.kind = obs::EventKind::SlotBind;
+    ev.slot = 0;
+    ev.unit = 0;            // context frame 0
+    ev.pc = prog_.entry;
+    sink_->event(ev);
+}
+
+void
+BaselineProcessor::emitSimple(obs::EventKind kind, Cycle c, Addr pc,
+                              const Insn &insn, std::uint64_t a)
+{
+    obs::Event ev;
+    ev.cycle = c;
+    ev.kind = kind;
+    ev.slot = 0;
+    ev.pc = pc;
+    ev.insn = encode(insn);
+    ev.a = a;
+    sink_->event(ev);
 }
 
 Cycle &
@@ -243,10 +300,20 @@ BaselineProcessor::refillWindow()
 RunStats
 BaselineProcessor::run()
 {
+    if (sink_)
+        emitStreamPrologue();
     for (Cycle c = 1; running_; ++c) {
         if (c > cfg_.max_cycles) {
             stats_.cycles = cfg_.max_cycles;
             stats_.finished = false;
+            if (sink_) {
+                obs::Event ev;
+                ev.cycle = stats_.cycles;
+                ev.kind = obs::EventKind::RunEnd;
+                ev.a = stats_.instructions;
+                sink_->event(ev);
+                sink_->flush();
+            }
             return stats_;
         }
         if (c < stall_until_) {
@@ -285,12 +352,20 @@ BaselineProcessor::run()
                         resolveBranch(insn, window_[i].pc, c);
                     ++stats_.instructions;
                     ++issues;
+                    if (sink_) {
+                        emitSimple(obs::EventKind::Issue, c,
+                                   window_[i].pc, insn);
+                    }
                     // Predict-not-taken: the sequential stream
                     // continues for free; a taken branch flushes
                     // and pays the 4-cycle gap.
                     if (target == window_[i].pc + kInsnBytes) {
                         done[i] = 1;
                         continue;
+                    }
+                    if (sink_) {
+                        emitSimple(obs::EventKind::Branch, c,
+                                   window_[i].pc, insn, target);
                     }
                     window_.clear();
                     fetch_pc_ = target;
@@ -305,6 +380,12 @@ BaselineProcessor::run()
                     running_ = false;
                     stats_.cycles = std::max(c, last_activity_);
                     stats_.finished = true;
+                    if (sink_) {
+                        emitSimple(obs::EventKind::Issue, c,
+                                   window_[i].pc, insn);
+                        emitSimple(obs::EventKind::Halt, c,
+                                   window_[i].pc, insn);
+                    }
                     break;
                 }
                 if (insn.op == Op::TID || insn.op == Op::NSLOT) {
@@ -321,6 +402,10 @@ BaselineProcessor::run()
                 // no-ops on the sequential machine.
                 ++stats_.instructions;
                 ++issues;
+                if (sink_) {
+                    emitSimple(obs::EventKind::Issue, c,
+                               window_[i].pc, insn);
+                }
                 done[i] = 1;
                 continue;
             }
@@ -355,6 +440,18 @@ BaselineProcessor::run()
                     issueDataOp(insn, c, unit);
                 ++stats_.instructions;
                 ++issues;
+                if (sink_) {
+                    obs::Event ev;
+                    ev.cycle = c;
+                    ev.kind = obs::EventKind::Grant;
+                    ev.slot = 0;
+                    ev.fu = static_cast<std::int8_t>(
+                        opMeta(insn.op).fu);
+                    ev.unit = static_cast<std::int16_t>(unit);
+                    ev.pc = window_[i].pc;
+                    ev.insn = encode(insn);
+                    sink_->event(ev);
+                }
                 done[i] = 1;
             } else {
                 // Entry stays; record its hazards for later entries.
@@ -400,6 +497,14 @@ BaselineProcessor::run()
         }
     }
 
+    if (sink_) {
+        obs::Event ev;
+        ev.cycle = stats_.cycles;
+        ev.kind = obs::EventKind::RunEnd;
+        ev.a = stats_.instructions;
+        sink_->event(ev);
+        sink_->flush();
+    }
     return stats_;
 }
 

@@ -21,6 +21,8 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <ostream>
 #include <vector>
 
 #include "asmr/program.hh"
@@ -29,6 +31,7 @@
 #include "machine/fu_pool.hh"
 #include "machine/run_stats.hh"
 #include "mem/memory.hh"
+#include "obs/event.hh"
 
 namespace smtsim
 {
@@ -71,6 +74,19 @@ class BaselineProcessor
     /** Architectural register state (post-run, for checking). */
     std::uint32_t intReg(RegIndex idx) const { return iregs_[idx]; }
     double fpReg(RegIndex idx) const { return fregs_[idx]; }
+
+    /**
+     * Attach a structured event sink (same schema as the
+     * multithreaded core, on one thread slot: data/memory ops
+     * appear as Grant events, control ops as Issue events with
+     * fu == -1, so smtsim-scope counts retirements identically for
+     * both models). Pass nullptr to disable (the default); the sink
+     * is not owned.
+     */
+    void setEventSink(obs::EventSink *sink);
+
+    /** Owned-TextSink shim mirroring the core's setPipeTrace(). */
+    void setPipeTrace(std::ostream *os);
 
   private:
     struct WindowEntry
@@ -130,6 +146,15 @@ class BaselineProcessor
     bool running_ = true;
 
     RunStats stats_;
+
+    obs::EventSink *sink_ = nullptr;
+    /** Backing storage for the setPipeTrace() TextSink shim. */
+    std::unique_ptr<obs::EventSink> owned_sink_;
+
+    /** Emit the synthetic stream prologue (snapshot, ring, bind). */
+    void emitStreamPrologue();
+    void emitSimple(obs::EventKind kind, Cycle c, Addr pc,
+                    const Insn &insn, std::uint64_t a = 0);
 };
 
 } // namespace smtsim

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "isa/semantics.hh"
+#include "obs/sinks.hh"
 
 namespace smtsim
 {
@@ -234,16 +235,26 @@ OperandValues
 MultithreadedProcessor::readOperands(int slot_id, const Insn &insn)
 {
     Context &ctx = ctxOf(slot_id);
-    auto rd_int = [&](RegIndex r) -> std::uint32_t {
-        if (ctx.q_read_int && *ctx.q_read_int == r && r != 0) {
-            return static_cast<std::uint32_t>(
-                ring_regs_.pop(slot_id));
+    auto q_pop = [&]() -> std::uint64_t {
+        const std::uint64_t v = ring_regs_.pop(slot_id);
+        if (sink_) {
+            obs::Event ev;
+            ev.cycle = now_;
+            ev.kind = obs::EventKind::QueuePop;
+            ev.slot = static_cast<std::int8_t>(slot_id);
+            ev.a = v;
+            sink_->event(ev);
         }
+        return v;
+    };
+    auto rd_int = [&](RegIndex r) -> std::uint32_t {
+        if (ctx.q_read_int && *ctx.q_read_int == r && r != 0)
+            return static_cast<std::uint32_t>(q_pop());
         return r == 0 ? 0 : ctx.iregs[r];
     };
     auto rd_fp = [&](RegIndex r) -> double {
         if (ctx.q_read_fp && *ctx.q_read_fp == r)
-            return std::bit_cast<double>(ring_regs_.pop(slot_id));
+            return std::bit_cast<double>(q_pop());
         return ctx.fregs[r];
     };
 
@@ -405,6 +416,15 @@ MultithreadedProcessor::fetchPhase(Cycle c)
                     if (a < end)
                         slot.iqueue.push_back(a);
                 }
+                if (sink_ && n > 0) {
+                    obs::Event ev;
+                    ev.cycle = c;
+                    ev.kind = obs::EventKind::Fetch;
+                    ev.slot = static_cast<std::int8_t>(it->slot);
+                    ev.pc = it->addr;
+                    ev.a = static_cast<std::uint64_t>(n);
+                    sink_->event(ev);
+                }
                 // Words that did not fit are refetched: the stream
                 // position rewinds to the first undelivered word.
                 if (n < it->words && !it->redirect) {
@@ -498,8 +518,15 @@ MultithreadedProcessor::bindContext(int frame, int slot_id, Cycle c)
         slot.window.push_back(WindowEntry{e.insn, e.pc, true});
     ctx.replay.clear();
 
-    trace("bind   slot", slot_id, " <- ctx", frame, " resume @",
-          ctx.resume_pc);
+    if (sink_) {
+        obs::Event ev;
+        ev.cycle = c;
+        ev.kind = obs::EventKind::SlotBind;
+        ev.slot = static_cast<std::int8_t>(slot_id);
+        ev.unit = static_cast<std::int16_t>(frame);
+        ev.pc = ctx.resume_pc;
+        sink_->event(ev);
+    }
     slot.fetch_addr = ctx.resume_pc;
     const Cycle s = scheduleRedirect(slot_id, ctx.resume_pc, c + 1);
     slot.d2_allowed =
@@ -512,6 +539,14 @@ void
 MultithreadedProcessor::unbindSlot(int slot_id)
 {
     Slot &slot = slots_[slot_id];
+    if (sink_) {
+        obs::Event ev;
+        ev.cycle = now_;
+        ev.kind = obs::EventKind::SlotUnbind;
+        ev.slot = static_cast<std::int8_t>(slot_id);
+        ev.unit = static_cast<std::int16_t>(slot.frame);
+        sink_->event(ev);
+    }
     flushFrontEnd(slot_id);
     slot.frame = -1;
     slot.trap_pending = false;
@@ -569,6 +604,16 @@ MultithreadedProcessor::killOtherThreads(int killer_slot, Cycle c)
     pending_pushes_.clear();
     slots_[killer_slot].queue_push_pending = 0;
     ready_fifo_.clear();
+    if (sink_) {
+        for (int l = 0; l < ring_regs_.numLinks(); ++l) {
+            obs::Event ev;
+            ev.cycle = now_;
+            ev.kind = obs::EventKind::QueueState;
+            ev.slot = static_cast<std::int8_t>(l);
+            ev.a = 0;
+            sink_->event(ev);
+        }
+    }
 }
 
 // ---------------------------------------------------------------
@@ -630,8 +675,16 @@ MultithreadedProcessor::takeRemoteTrap(const IssuedOp &op, Cycle c)
     ++stats_.context_switches;
     const Addr addr =
         op.ops.rs_i + static_cast<std::uint32_t>(op.insn.imm);
-    trace("trap   slot", op.slot, " remote access @", addr,
-          " latency ", cfg_.remote.latency);
+    if (sink_) {
+        obs::Event ev;
+        ev.cycle = c;
+        ev.kind = obs::EventKind::Trap;
+        ev.slot = static_cast<std::int8_t>(op.slot);
+        ev.pc = addr;
+        ev.insn = encode(op.insn);
+        ev.a = cfg_.remote.latency;
+        sink_->event(ev);
+    }
     ctx.state = CtxState::WaitRemote;
     ctx.ready_at = c + cfg_.remote.latency;
     ctx.satisfied_addr = addr;
@@ -659,12 +712,16 @@ MultithreadedProcessor::performGrant(const Grant &grant, Cycle c)
     stats_.fu_busy[cls] += meta.issue_latency;
     stats_.unit_busy[cls][grant.unit] += meta.issue_latency;
 
-    // Guarded: disassemble() builds a string, far too costly to
-    // evaluate per grant only to be dropped by a disabled trace.
-    if (pipe_trace_) {
-        trace("grant  slot", op.slot, " ", fuClassName(meta.fu),
-              "[", grant.unit, "] '", disassemble(op.insn), "' @",
-              op.pc);
+    if (sink_) {
+        obs::Event ev;
+        ev.cycle = c;
+        ev.kind = obs::EventKind::Grant;
+        ev.slot = static_cast<std::int8_t>(op.slot);
+        ev.fu = static_cast<std::int8_t>(cls);
+        ev.unit = static_cast<std::int16_t>(grant.unit);
+        ev.pc = op.pc;
+        ev.insn = encode(op.insn);
+        sink_->event(ev);
     }
 
     Context &ctx = ctxOf(op.slot);
@@ -748,6 +805,14 @@ MultithreadedProcessor::schedulePhase(Cycle c)
         if (it->at <= c) {
             ring_regs_.push(it->slot, it->value);
             --slots_[it->slot].queue_push_pending;
+            if (sink_) {
+                obs::Event ev;
+                ev.cycle = c;
+                ev.kind = obs::EventKind::QueuePush;
+                ev.slot = static_cast<std::int8_t>(it->slot);
+                ev.a = it->value;
+                sink_->event(ev);
+            }
             it = pending_pushes_.erase(it);
         } else {
             ++it;
@@ -865,6 +930,15 @@ MultithreadedProcessor::handleControl(int slot_id,
         ++stats_.branches;
         ++stats_.instructions;
         ++ctx.insns;
+        if (sink_) {
+            obs::Event ev;
+            ev.cycle = c;
+            ev.kind = obs::EventKind::Issue;
+            ev.slot = static_cast<std::int8_t>(slot_id);
+            ev.pc = entry.pc;
+            ev.insn = encode(insn);
+            sink_->event(ev);
+        }
 
         // Untaken conditional branches keep the sequential stream:
         // the fetch request sent at the end of D1 was already
@@ -874,9 +948,15 @@ MultithreadedProcessor::handleControl(int slot_id,
         if (next == entry.pc + kInsnBytes)
             return ControlOutcome::Issued;
 
-        if (pipe_trace_) {
-            trace("branch slot", slot_id, " '", disassemble(insn),
-                  "' @", entry.pc, " -> ", next);
+        if (sink_) {
+            obs::Event ev;
+            ev.cycle = c;
+            ev.kind = obs::EventKind::Branch;
+            ev.slot = static_cast<std::int8_t>(slot_id);
+            ev.pc = entry.pc;
+            ev.insn = encode(insn);
+            ev.a = next;
+            sink_->event(ev);
         }
         flushFrontEnd(slot_id);
         slot.fetch_addr = next;
@@ -893,6 +973,17 @@ MultithreadedProcessor::handleControl(int slot_id,
       case Op::HALT:
         ++stats_.instructions;
         ++ctx.insns;
+        if (sink_) {
+            obs::Event ev;
+            ev.cycle = c;
+            ev.kind = obs::EventKind::Issue;
+            ev.slot = static_cast<std::int8_t>(slot_id);
+            ev.pc = entry.pc;
+            ev.insn = encode(insn);
+            sink_->event(ev);
+            ev.kind = obs::EventKind::Halt;
+            sink_->event(ev);
+        }
         ctx.state = CtxState::Finished;
         flushFrontEnd(slot_id);
         slot.trap_pending = true;   // drain, then unbind
@@ -982,6 +1073,15 @@ MultithreadedProcessor::handleControl(int slot_id,
     }
     ++stats_.instructions;
     ++ctx.insns;
+    if (sink_) {
+        obs::Event ev;
+        ev.cycle = c;
+        ev.kind = obs::EventKind::Issue;
+        ev.slot = static_cast<std::int8_t>(slot_id);
+        ev.pc = entry.pc;
+        ev.insn = encode(insn);
+        sink_->event(ev);
+    }
     return ControlOutcome::Issued;
 }
 
@@ -1131,9 +1231,15 @@ MultithreadedProcessor::decodeSlot(int slot_id, Cycle c)
                 } else if (dst.valid()) {
                     sbOf(slot, dst) = kNeverCycle;
                 }
-                if (pipe_trace_) {
-                    trace("issue  slot", slot_id, " '",
-                          disassemble(insn), "' @", entry.pc);
+                if (sink_) {
+                    obs::Event ev;
+                    ev.cycle = c;
+                    ev.kind = obs::EventKind::Issue;
+                    ev.slot = static_cast<std::int8_t>(slot_id);
+                    ev.fu = static_cast<std::int8_t>(cls);
+                    ev.pc = entry.pc;
+                    ev.insn = encode(insn);
+                    sink_->event(ev);
                 }
                 sched_units_[static_cast<int>(cls)].submit(
                     std::move(op));
@@ -1205,16 +1311,20 @@ MultithreadedProcessor::decodePhase(Cycle c)
 void
 MultithreadedProcessor::rotationPhase(Cycle c)
 {
+    bool rotated = false;
     if (rotation_mode_ == RotationMode::Implicit &&
         rotation_interval_ > 0 &&
         c % static_cast<Cycle>(rotation_interval_) == 0) {
         rotateRing();
+        rotated = true;
     }
     if (rotate_requested_) {
         rotateRing();
         rotate_requested_ = false;
-        trace("rotate top is now slot", ring_.front());
+        rotated = true;
     }
+    if (rotated && sink_)
+        emitRing(c);
 }
 
 bool
@@ -1334,7 +1444,7 @@ MultithreadedProcessor::nextEventCycle(Cycle c) const
 }
 
 void
-MultithreadedProcessor::fastForward()
+MultithreadedProcessor::fastForward(Cycle stop)
 {
     // Cheap gate: when any slot can attempt a decode or refill its
     // window next cycle, nothing is skippable — bail before the
@@ -1354,9 +1464,13 @@ MultithreadedProcessor::fastForward()
     if (next <= now_ + 1)
         return;
     // Skip cycles now_+1 .. target-1; the loop increment then lands
-    // on the event cycle (or past max_cycles when nothing is
-    // pending, matching the naive loop's budget exhaustion).
-    const Cycle target = std::min(next, cfg_.max_cycles + 1);
+    // on the event cycle (or past the stop cycle when nothing is
+    // pending, matching the naive loop's budget exhaustion). The
+    // clamp to `stop` keeps runUntil() bit-identical to run():
+    // skipped cycles are no-ops and the batched rotation below is
+    // linear in the cycle count, so splitting the jump at a
+    // checkpoint boundary changes nothing.
+    const Cycle target = std::min(next, stop + 1);
     if (rotation_mode_ == RotationMode::Implicit &&
         rotation_interval_ > 0 && ring_.size() > 1) {
         // Batch-apply the implicit rotations the skipped cycles
@@ -1369,6 +1483,8 @@ MultithreadedProcessor::fastForward()
             std::rotate(ring_.begin(),
                         ring_.begin() + static_cast<long>(r),
                         ring_.end());
+            if (sink_)
+                emitRing(target - 1);
         }
     }
     now_ = target - 1;
@@ -1377,7 +1493,20 @@ MultithreadedProcessor::fastForward()
 RunStats
 MultithreadedProcessor::run()
 {
-    for (now_ = 1; now_ <= cfg_.max_cycles; ++now_) {
+    return runUntil(cfg_.max_cycles);
+}
+
+RunStats
+MultithreadedProcessor::runUntil(Cycle stop)
+{
+    stop = std::min(stop, cfg_.max_cycles);
+    if (finished_)
+        return stats_;
+    if (snapshot_pending_)
+        emitStateSnapshot();
+
+    while (now_ < stop) {
+        ++now_;
         fetchPhase(now_);
         schedulePhase(now_);
         contextPhase(now_);
@@ -1386,14 +1515,111 @@ MultithreadedProcessor::run()
         if (allDone()) {
             stats_.cycles = std::max(now_, last_activity_);
             stats_.finished = true;
+            finished_ = true;
+            if (sink_) {
+                obs::Event ev;
+                ev.cycle = stats_.cycles;
+                ev.kind = obs::EventKind::RunEnd;
+                ev.a = stats_.instructions;
+                sink_->event(ev);
+                sink_->flush();
+            }
             return stats_;
         }
         if (cfg_.fast_forward)
-            fastForward();
+            fastForward(stop);
     }
-    stats_.cycles = cfg_.max_cycles;
-    stats_.finished = false;
+    if (now_ >= cfg_.max_cycles) {
+        stats_.cycles = cfg_.max_cycles;
+        stats_.finished = false;
+        if (sink_) {
+            obs::Event ev;
+            ev.cycle = stats_.cycles;
+            ev.kind = obs::EventKind::RunEnd;
+            ev.a = stats_.instructions;
+            sink_->event(ev);
+            sink_->flush();
+        }
+    }
     return stats_;
+}
+
+void
+MultithreadedProcessor::setEventSink(obs::EventSink *sink)
+{
+    sink_ = sink;
+    owned_sink_.reset();
+    for (ScheduleUnit &su : sched_units_)
+        su.setSink(sink_);
+    snapshot_pending_ = sink_ != nullptr;
+}
+
+void
+MultithreadedProcessor::setPipeTrace(std::ostream *os)
+{
+    if (!os) {
+        setEventSink(nullptr);
+        return;
+    }
+    setEventSink(nullptr);
+    owned_sink_ = std::make_unique<obs::TextSink>(*os);
+    sink_ = owned_sink_.get();
+    for (ScheduleUnit &su : sched_units_)
+        su.setSink(sink_);
+    snapshot_pending_ = true;
+}
+
+void
+MultithreadedProcessor::emitRing(Cycle c)
+{
+    obs::Event ev;
+    ev.cycle = c;
+    ev.kind = obs::EventKind::RingState;
+    ev.unit = static_cast<std::int16_t>(ring_.size());
+    ev.a = obs::packRing(ring_.data(),
+                         static_cast<int>(ring_.size()));
+    sink_->event(ev);
+}
+
+void
+MultithreadedProcessor::emitStateSnapshot()
+{
+    snapshot_pending_ = false;
+    if (!sink_)
+        return;
+
+    obs::Event ev;
+    ev.cycle = now_;
+    ev.kind = obs::EventKind::Snapshot;
+    ev.a = stats_.instructions;
+    sink_->event(ev);
+
+    emitRing(now_);
+
+    for (int s = 0; s < cfg_.num_slots; ++s) {
+        const Slot &slot = slots_[s];
+        if (slot.frame < 0)
+            continue;
+        obs::Event bind;
+        bind.cycle = now_;
+        bind.kind = obs::EventKind::SlotBind;
+        bind.slot = static_cast<std::int8_t>(s);
+        bind.unit = static_cast<std::int16_t>(slot.frame);
+        bind.pc = contexts_[slot.frame].resume_pc;
+        sink_->event(bind);
+    }
+
+    for (int l = 0; l < ring_regs_.numLinks(); ++l) {
+        obs::Event qs;
+        qs.cycle = now_;
+        qs.kind = obs::EventKind::QueueState;
+        qs.slot = static_cast<std::int8_t>(l);
+        qs.a = static_cast<std::uint64_t>(ring_regs_.sizeOf(l));
+        sink_->event(qs);
+    }
+
+    for (const ScheduleUnit &su : sched_units_)
+        su.snapshotTo(*sink_, now_);
 }
 
 } // namespace smtsim

@@ -27,6 +27,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <istream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <vector>
@@ -40,6 +42,7 @@
 #include "isa/insn.hh"
 #include "machine/run_stats.hh"
 #include "mem/memory.hh"
+#include "obs/event.hh"
 
 namespace smtsim
 {
@@ -71,6 +74,23 @@ class MultithreadedProcessor
     /** Simulate until every context finishes (or budget expires). */
     RunStats run();
 
+    /**
+     * Simulate until the last completed cycle reaches
+     * min(@p stop, max_cycles) or the program finishes, whichever
+     * comes first. Calling runUntil(k1), runUntil(k2), ... run() is
+     * bit-identical to one run() — the checkpoint machinery and
+     * tests rely on it. Returns the statistics so far; cycles /
+     * finished are only final once finished() is true or the
+     * budget is exhausted.
+     */
+    RunStats runUntil(Cycle stop);
+
+    /** Last completed cycle (0 before the first). */
+    Cycle now() const { return now_; }
+
+    /** True once run()/runUntil() retired the last instruction. */
+    bool finished() const { return finished_; }
+
     /** Post-run architectural state of a context frame. */
     std::uint32_t intReg(int frame, RegIndex idx) const;
     double fpReg(int frame, RegIndex idx) const;
@@ -82,11 +102,43 @@ class MultithreadedProcessor
     void dumpState(std::ostream &os) const;
 
     /**
-     * Stream a line per pipeline event (issue, grant, branch,
-     * trap, bind) to @p os — the cycle-by-cycle view of Figure 4.
-     * Pass nullptr to disable (the default).
+     * Attach a structured event sink (issue, grant, park, branch,
+     * queue push/pop, rotation, trap, bind — the cycle-by-cycle
+     * view of Figure 4). Pass nullptr to disable (the default);
+     * disabled emission costs one branch per would-be event. The
+     * sink is not owned. On the next run()/runUntil() the
+     * processor emits a state snapshot so streams attached mid-run
+     * (or after a checkpoint restore) are self-contained.
      */
-    void setPipeTrace(std::ostream *os) { pipe_trace_ = os; }
+    void setEventSink(obs::EventSink *sink);
+
+    /**
+     * Convenience shim for the classic pipe trace: attaches an
+     * owned TextSink writing one human-readable line per event to
+     * @p os (nullptr detaches).
+     */
+    void setPipeTrace(std::ostream *os);
+
+    /**
+     * Serialize the complete machine state — contexts, thread
+     * slots, fetch ports, schedule units + standby stations, queue
+     * ring, caches, statistics and the backing memory — so a later
+     * restoreCheckpoint() resumes bit-identically
+     * (docs/OBSERVABILITY.md documents the format).
+     */
+    void saveCheckpoint(std::ostream &os) const;
+
+    /**
+     * Restore state saved by saveCheckpoint() into this processor,
+     * which must have been constructed with the same program and
+     * configuration (validated via a fingerprint; throws
+     * std::runtime_error on mismatch or corruption). The backing
+     * memory is replaced by the checkpointed image.
+     */
+    void restoreCheckpoint(std::istream &is);
+
+    /** Fingerprint binding checkpoints to (program, config). */
+    std::uint64_t checkpointFingerprint() const;
 
   private:
     // ----- contexts (section 2.1.3) ------------------------------
@@ -218,9 +270,10 @@ class MultithreadedProcessor
      * may do work and kNeverCycle when the machine is drained.
      */
     Cycle nextEventCycle(Cycle c) const;
-    /** Jump now_ to just before the next event, batch-applying the
-     *  implicit priority rotations of the skipped cycles. */
-    void fastForward();
+    /** Jump now_ to just before the next event (clamped to
+     *  @p stop), batch-applying the implicit priority rotations of
+     *  the skipped cycles. */
+    void fastForward(Cycle stop);
 
     // decode helpers
     enum class ControlOutcome { Blocked, Issued, Flushed };
@@ -289,12 +342,19 @@ class MultithreadedProcessor
     int rotation_interval_;
 
     Cycle last_activity_ = 0;
+    /** Last completed cycle; run loops execute cycle now_ + 1. */
     Cycle now_ = 0;
+    bool finished_ = false;
     std::vector<int> ready_fifo_;   ///< Ready contexts, FIFO order
 
     RunStats stats_;
     stats::Group detail_{"core"};
-    std::ostream *pipe_trace_ = nullptr;
+
+    obs::EventSink *sink_ = nullptr;
+    /** Backing storage for the setPipeTrace() TextSink shim. */
+    std::unique_ptr<obs::EventSink> owned_sink_;
+    /** Emit a state snapshot at the next run()/runUntil() entry. */
+    bool snapshot_pending_ = false;
 
     /** Reused per-cycle buffers (no per-cycle heap traffic). */
     std::vector<Grant> grants_scratch_;
@@ -314,17 +374,12 @@ class MultithreadedProcessor
     std::uint64_t *stall_operands_ = nullptr;
     std::uint64_t *stall_queue_full_ = nullptr;
 
-    /** Emit one pipeline-trace line (no-op unless enabled). */
-    template <typename... Args>
-    void
-    trace(Args &&...args)
-    {
-        if (!pipe_trace_)
-            return;
-        *pipe_trace_ << "[" << now_ << "] ";
-        ((*pipe_trace_ << args), ...);
-        *pipe_trace_ << '\n';
-    }
+    /** Emit the synthetic machine-state events a fresh stream
+     *  needs to be self-contained (snapshot, ring, binds, queue
+     *  depths, parked ops). */
+    void emitStateSnapshot();
+    /** Emit the current priority-ring order at cycle @p c. */
+    void emitRing(Cycle c);
 };
 
 } // namespace smtsim

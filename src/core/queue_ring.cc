@@ -87,4 +87,31 @@ QueueRing::clear()
     }
 }
 
+void
+QueueRing::serialize(obs::ByteWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(links_.size()));
+    for (const Link &link : links_) {
+        w.u32(static_cast<std::uint32_t>(link.fifo.size()));
+        for (std::uint64_t v : link.fifo)
+            w.u64(v);
+        w.i32(link.reserved);
+    }
+}
+
+void
+QueueRing::deserialize(obs::ByteReader &r)
+{
+    const std::uint32_t n = r.u32();
+    SMTSIM_ASSERT(n == links_.size(),
+                  "checkpoint queue-ring shape mismatch");
+    for (Link &link : links_) {
+        link.fifo.clear();
+        const std::uint32_t m = r.u32();
+        for (std::uint32_t i = 0; i < m; ++i)
+            link.fifo.push_back(r.u64());
+        link.reserved = r.i32();
+    }
+}
+
 } // namespace smtsim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/serial.hh"
 
 namespace smtsim
 {
@@ -50,6 +51,20 @@ class QueueRing
     void clear();
 
     int depth() const { return depth_; }
+
+    /** Number of links (== number of slots). */
+    int numLinks() const { return static_cast<int>(links_.size()); }
+
+    /** Values resident on link @p link (slot link -> link+1). */
+    int
+    sizeOf(int link) const
+    {
+        return static_cast<int>(links_[link].fifo.size());
+    }
+
+    /** Checkpoint support (docs/OBSERVABILITY.md). */
+    void serialize(obs::ByteWriter &w) const;
+    void deserialize(obs::ByteReader &r);
 
   private:
     struct Link

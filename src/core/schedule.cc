@@ -52,6 +52,16 @@ ScheduleUnit::select(Cycle c, const std::vector<int> &priority_order,
         if (it->arrive <= c) {
             SMTSIM_ASSERT(!standby_[it->slot].has_value(),
                           "standby station collision");
+            if (sink_) {
+                obs::Event ev;
+                ev.cycle = c;
+                ev.kind = obs::EventKind::Park;
+                ev.slot = static_cast<std::int8_t>(it->slot);
+                ev.fu = static_cast<std::int8_t>(cls_);
+                ev.pc = it->pc;
+                ev.insn = encode(it->insn);
+                sink_->event(ev);
+            }
             standby_[it->slot] = std::move(*it);
             ++standby_occupied_;
             it = incoming_.erase(it);
@@ -98,6 +108,110 @@ ScheduleUnit::nextEventCycle() const
     for (const IssuedOp &op : incoming_)
         ev = std::min(ev, op.arrive);
     return ev;
+}
+
+void
+ScheduleUnit::snapshotTo(obs::EventSink &sink, Cycle c) const
+{
+    for (std::size_t s = 0; s < standby_.size(); ++s) {
+        if (!standby_[s].has_value())
+            continue;
+        obs::Event ev;
+        ev.cycle = c;
+        ev.kind = obs::EventKind::Park;
+        ev.slot = static_cast<std::int8_t>(s);
+        ev.fu = static_cast<std::int8_t>(cls_);
+        ev.pc = standby_[s]->pc;
+        ev.insn = encode(standby_[s]->insn);
+        sink.event(ev);
+    }
+}
+
+namespace
+{
+
+void
+writeIssuedOp(obs::ByteWriter &w, const IssuedOp &op)
+{
+    // Insn fields are written directly (not via encode()) so the
+    // checkpoint never depends on an encode/decode round trip.
+    w.u16(static_cast<std::uint16_t>(op.insn.op));
+    w.u8(op.insn.rd);
+    w.u8(op.insn.rs);
+    w.u8(op.insn.rt);
+    w.i32(op.insn.imm);
+    w.u32(op.pc);
+    w.i32(op.slot);
+    w.u32(op.ops.rs_i);
+    w.u32(op.ops.rt_i);
+    w.f64(op.ops.rs_f);
+    w.f64(op.ops.rt_f);
+    w.u64(op.arrive);
+    w.b(op.queue_write);
+}
+
+IssuedOp
+readIssuedOp(obs::ByteReader &r)
+{
+    IssuedOp op;
+    op.insn.op = static_cast<Op>(r.u16());
+    op.insn.rd = r.u8();
+    op.insn.rs = r.u8();
+    op.insn.rt = r.u8();
+    op.insn.imm = r.i32();
+    op.pc = r.u32();
+    op.slot = r.i32();
+    op.ops.rs_i = r.u32();
+    op.ops.rt_i = r.u32();
+    op.ops.rs_f = r.f64();
+    op.ops.rt_f = r.f64();
+    op.arrive = r.u64();
+    op.queue_write = r.b();
+    return op;
+}
+
+} // namespace
+
+void
+ScheduleUnit::serialize(obs::ByteWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(units_.size()));
+    for (Cycle u : units_)
+        w.u64(u);
+    w.u32(static_cast<std::uint32_t>(standby_.size()));
+    for (const auto &station : standby_) {
+        w.b(station.has_value());
+        if (station.has_value())
+            writeIssuedOp(w, *station);
+    }
+    w.u32(static_cast<std::uint32_t>(incoming_.size()));
+    for (const IssuedOp &op : incoming_)
+        writeIssuedOp(w, op);
+}
+
+void
+ScheduleUnit::deserialize(obs::ByteReader &r)
+{
+    const std::uint32_t nu = r.u32();
+    SMTSIM_ASSERT(nu == units_.size(),
+                  "checkpoint schedule-unit shape mismatch");
+    for (Cycle &u : units_)
+        u = r.u64();
+    const std::uint32_t ns = r.u32();
+    SMTSIM_ASSERT(ns == standby_.size(),
+                  "checkpoint standby shape mismatch");
+    standby_occupied_ = 0;
+    for (auto &station : standby_) {
+        station.reset();
+        if (r.b()) {
+            station = readIssuedOp(r);
+            ++standby_occupied_;
+        }
+    }
+    incoming_.clear();
+    const std::uint32_t ni = r.u32();
+    for (std::uint32_t i = 0; i < ni; ++i)
+        incoming_.push_back(readIssuedOp(r));
 }
 
 void

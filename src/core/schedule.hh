@@ -21,6 +21,8 @@
 #include "base/types.hh"
 #include "isa/dataop.hh"
 #include "isa/insn.hh"
+#include "obs/event.hh"
+#include "obs/serial.hh"
 
 namespace smtsim
 {
@@ -97,8 +99,20 @@ class ScheduleUnit
     int numUnits() const { return static_cast<int>(units_.size()); }
     FuClass fuClass() const { return cls_; }
 
+    /** Attach/detach the event sink (Park events from select()). */
+    void setSink(obs::EventSink *sink) { sink_ = sink; }
+
+    /** Emit Park events for every occupied standby station, part
+     *  of the processor's state snapshot at trace start. */
+    void snapshotTo(obs::EventSink &sink, Cycle c) const;
+
+    /** Checkpoint support (docs/OBSERVABILITY.md). */
+    void serialize(obs::ByteWriter &w) const;
+    void deserialize(obs::ByteReader &r);
+
   private:
     FuClass cls_;
+    obs::EventSink *sink_ = nullptr;
     /** Earliest cycle each unit accepts a new instruction. */
     std::vector<Cycle> units_;
     /** Standby stations, one per thread slot, depth 1. */

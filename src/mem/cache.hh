@@ -14,6 +14,7 @@
 #define SMTSIM_MEM_CACHE_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -68,13 +69,26 @@ class DirectMappedCache
 
     void reset();
 
-  private:
     struct Way
     {
         std::uint64_t tag;
         std::uint64_t last_used;
     };
 
+    /** Checkpoint support: raw tag-store state. */
+    const std::vector<Way> &rawWays() const { return ways_; }
+    std::uint64_t tick() const { return tick_; }
+    void
+    restoreRaw(std::vector<Way> ways, std::uint64_t tick,
+               std::uint64_t hits, std::uint64_t misses)
+    {
+        ways_ = std::move(ways);
+        tick_ = tick;
+        hits_ = hits;
+        misses_ = misses;
+    }
+
+  private:
     CacheConfig cfg_;
     int line_shift_ = 0;
     int num_sets_ = 0;

@@ -64,9 +64,22 @@ class MainMemory
     /** Number of resident pages (for tests). */
     size_t residentPages() const { return pages_.size(); }
 
-  private:
     using Page = std::vector<std::uint8_t>;
 
+    /**
+     * Checkpoint support: the raw page table. Iteration order is
+     * unspecified — serializers must sort by base address to keep
+     * checkpoints byte-stable.
+     */
+    const std::unordered_map<Addr, Page> &pages() const
+    {
+        return pages_;
+    }
+
+    /** Drop every resident page (restore starts from empty). */
+    void reset() { pages_.clear(); }
+
+  private:
     const Page *findPage(Addr addr) const;
     Page &touchPage(Addr addr);
 

@@ -1,0 +1,144 @@
+#include "event.hh"
+
+#include <sstream>
+
+#include "isa/insn.hh"
+#include "machine/fu_pool.hh"
+
+namespace smtsim::obs
+{
+
+EventSink::~EventSink() = default;
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Snapshot: return "snapshot";
+      case EventKind::RingState: return "ring";
+      case EventKind::SlotBind: return "bind";
+      case EventKind::SlotUnbind: return "unbind";
+      case EventKind::Fetch: return "fetch";
+      case EventKind::Issue: return "issue";
+      case EventKind::Park: return "park";
+      case EventKind::Grant: return "grant";
+      case EventKind::Branch: return "branch";
+      case EventKind::QueuePush: return "qpush";
+      case EventKind::QueuePop: return "qpop";
+      case EventKind::QueueState: return "qstate";
+      case EventKind::Trap: return "trap";
+      case EventKind::Halt: return "halt";
+      case EventKind::RunEnd: return "end";
+    }
+    return "?";
+}
+
+std::uint64_t
+packRing(const int *ring, int n)
+{
+    if (n > 16)
+        return ~0ull;
+    std::uint64_t packed = 0;
+    for (int i = 0; i < n; ++i) {
+        packed |= static_cast<std::uint64_t>(ring[i] & 0xf)
+                  << (4 * i);
+    }
+    return packed;
+}
+
+void
+unpackRing(std::uint64_t packed, int *out, int n)
+{
+    for (int i = 0; i < n; ++i)
+        out[i] = static_cast<int>((packed >> (4 * i)) & 0xf);
+}
+
+namespace
+{
+
+std::string
+disasmOf(const Event &ev)
+{
+    if (ev.insn == 0)
+        return {};
+    return disassemble(decode(ev.insn));
+}
+
+} // namespace
+
+std::string
+formatEvent(const Event &ev)
+{
+    std::ostringstream os;
+    os << "[" << ev.cycle << "] ";
+    switch (ev.kind) {
+      case EventKind::Snapshot:
+        os << "snapshot insns=" << ev.a;
+        break;
+      case EventKind::RingState: {
+        os << "ring  ";
+        if (ev.a == ~0ull) {
+            os << " (unpacked: >16 slots)";
+        } else {
+            // unit carries the slot count for ring events.
+            int order[16];
+            const int n = ev.unit > 0 && ev.unit <= 16 ? ev.unit : 1;
+            unpackRing(ev.a, order, n);
+            for (int i = 0; i < n; ++i)
+                os << ' ' << order[i];
+        }
+        break;
+      }
+      case EventKind::SlotBind:
+        os << "bind   slot" << int{ev.slot} << " <- ctx" << ev.unit
+           << " resume @" << ev.pc;
+        break;
+      case EventKind::SlotUnbind:
+        os << "unbind slot" << int{ev.slot} << " ctx" << ev.unit;
+        break;
+      case EventKind::Fetch:
+        os << "fetch  slot" << int{ev.slot} << " @" << ev.pc << " +"
+           << ev.a << "w";
+        break;
+      case EventKind::Issue:
+        os << "issue  slot" << int{ev.slot} << " '" << disasmOf(ev)
+           << "' @" << ev.pc;
+        break;
+      case EventKind::Park:
+        os << "park   slot" << int{ev.slot} << " "
+           << fuClassName(static_cast<FuClass>(ev.fu)) << " '"
+           << disasmOf(ev) << "' @" << ev.pc;
+        break;
+      case EventKind::Grant:
+        os << "grant  slot" << int{ev.slot} << " "
+           << fuClassName(static_cast<FuClass>(ev.fu)) << "["
+           << ev.unit << "] '" << disasmOf(ev) << "' @" << ev.pc;
+        break;
+      case EventKind::Branch:
+        os << "branch slot" << int{ev.slot} << " '" << disasmOf(ev)
+           << "' @" << ev.pc << " -> " << ev.a;
+        break;
+      case EventKind::QueuePush:
+        os << "qpush  link" << int{ev.slot} << " <- " << ev.a;
+        break;
+      case EventKind::QueuePop:
+        os << "qpop   slot" << int{ev.slot} << " -> " << ev.a;
+        break;
+      case EventKind::QueueState:
+        os << "qstate link" << int{ev.slot} << " depth " << ev.a;
+        break;
+      case EventKind::Trap:
+        os << "trap   slot" << int{ev.slot} << " remote access @"
+           << ev.pc << " latency " << ev.a;
+        break;
+      case EventKind::Halt:
+        os << "halt   slot" << int{ev.slot} << " @" << ev.pc;
+        break;
+      case EventKind::RunEnd:
+        os << "end    cycles=" << ev.cycle << " insns=" << ev.a;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace smtsim::obs

@@ -1,0 +1,232 @@
+#include "scope.hh"
+
+#include <algorithm>
+
+#include "isa/insn.hh"
+#include "machine/fu_pool.hh"
+
+namespace smtsim::obs
+{
+
+namespace
+{
+
+/** First event index whose cycle is greater than @p c. */
+std::size_t
+upperBound(const std::vector<Event> &events, Cycle c)
+{
+    auto it = std::upper_bound(
+        events.begin(), events.end(), c,
+        [](Cycle lhs, const Event &ev) { return lhs < ev.cycle; });
+    return static_cast<std::size_t>(it - events.begin());
+}
+
+} // namespace
+
+ScopeModel::ScopeModel(EventStream stream)
+    : stream_(std::move(stream)), num_slots_(stream_.meta.num_slots)
+{
+    if (num_slots_ <= 0)
+        num_slots_ = 1;
+
+    State st;
+    st.slot_frame.assign(num_slots_, -1);
+    st.standby.assign(
+        kNumFuClasses,
+        std::vector<ScopeView::ParkedOp>(num_slots_));
+    st.queue_depth.assign(num_slots_, 0);
+    for (int s = 0; s < num_slots_; ++s)
+        st.ring.push_back(s);
+
+    keyframes_.emplace_back(0, st);
+    for (std::size_t i = 0; i < stream_.events.size(); ++i) {
+        apply(st, stream_.events[i]);
+        if ((i + 1) % kKeyframeStride == 0)
+            keyframes_.emplace_back(i + 1, st);
+    }
+}
+
+Cycle
+ScopeModel::firstCycle() const
+{
+    return stream_.events.empty() ? 0
+                                  : stream_.events.front().cycle;
+}
+
+Cycle
+ScopeModel::lastCycle() const
+{
+    return stream_.events.empty() ? 0 : stream_.events.back().cycle;
+}
+
+void
+ScopeModel::apply(State &st, const Event &ev) const
+{
+    const bool slot_ok = ev.slot >= 0 && ev.slot < num_slots_;
+    switch (ev.kind) {
+      case EventKind::Snapshot:
+        st.instructions = ev.a;
+        break;
+      case EventKind::RingState:
+        if (ev.a != ~0ull && ev.unit > 0 && ev.unit <= 16) {
+            int order[16];
+            unpackRing(ev.a, order, ev.unit);
+            st.ring.assign(order, order + ev.unit);
+        }
+        break;
+      case EventKind::SlotBind:
+        if (slot_ok)
+            st.slot_frame[ev.slot] = ev.unit;
+        break;
+      case EventKind::SlotUnbind:
+        if (slot_ok) {
+            st.slot_frame[ev.slot] = -1;
+            // Unbinding flushes the slot's standby stations without
+            // per-op events (killOtherThreads, trap switch-out).
+            for (auto &per_class : st.standby) {
+                if (ev.slot < static_cast<int>(per_class.size()))
+                    per_class[ev.slot] = ScopeView::ParkedOp{};
+            }
+        }
+        break;
+      case EventKind::Park:
+        if (slot_ok && ev.fu >= 0 && ev.fu < kNumFuClasses) {
+            st.standby[ev.fu][ev.slot] =
+                ScopeView::ParkedOp{ev.insn, ev.pc};
+        }
+        break;
+      case EventKind::Grant:
+        if (slot_ok && ev.fu >= 0 && ev.fu < kNumFuClasses)
+            st.standby[ev.fu][ev.slot] = {};
+        ++st.instructions;
+        break;
+      case EventKind::Issue:
+        // Control ops (fu == -1) retire in decode; data ops retire
+        // at their later Grant event.
+        if (ev.fu < 0)
+            ++st.instructions;
+        break;
+      case EventKind::QueuePush:
+        if (slot_ok)
+            ++st.queue_depth[ev.slot];
+        break;
+      case EventKind::QueuePop:
+        if (slot_ok) {
+            // The link feeding slot s is its ring predecessor's.
+            const int link =
+                (ev.slot + num_slots_ - 1) % num_slots_;
+            if (st.queue_depth[link] > 0)
+                --st.queue_depth[link];
+        }
+        break;
+      case EventKind::QueueState:
+        if (slot_ok)
+            st.queue_depth[ev.slot] = ev.a;
+        break;
+      case EventKind::Trap:
+      case EventKind::Halt:
+        // Slot release arrives as its own SlotUnbind event.
+        break;
+      case EventKind::Fetch:
+      case EventKind::Branch:
+      case EventKind::RunEnd:
+        break;
+    }
+}
+
+ScopeView
+ScopeModel::viewAt(Cycle c) const
+{
+    const std::size_t end = upperBound(stream_.events, c);
+
+    // Replay from the latest keyframe at or before `end`.
+    auto kf = std::upper_bound(
+        keyframes_.begin(), keyframes_.end(), end,
+        [](std::size_t idx, const auto &frame) {
+            return idx < frame.first;
+        });
+    --kf; // safe: keyframes_[0].first == 0 <= end always
+    State st = kf->second;
+    for (std::size_t i = kf->first; i < end; ++i)
+        apply(st, stream_.events[i]);
+
+    ScopeView view;
+    view.cycle = c;
+    view.ring = std::move(st.ring);
+    view.slot_frame = std::move(st.slot_frame);
+    view.standby = std::move(st.standby);
+    view.queue_depth = std::move(st.queue_depth);
+    view.instructions = st.instructions;
+    for (std::size_t i = end;
+         i > 0 && stream_.events[i - 1].cycle == c; --i) {
+        view.events.push_back(stream_.events[i - 1]);
+    }
+    std::reverse(view.events.begin(), view.events.end());
+    return view;
+}
+
+Cycle
+ScopeModel::nextEventCycle(Cycle c) const
+{
+    const std::size_t idx = upperBound(stream_.events, c);
+    return idx < stream_.events.size() ? stream_.events[idx].cycle
+                                       : kNeverCycle;
+}
+
+Cycle
+ScopeModel::prevEventCycle(Cycle c) const
+{
+    if (c == 0)
+        return kNeverCycle;
+    const std::size_t idx = upperBound(stream_.events, c - 1);
+    return idx > 0 ? stream_.events[idx - 1].cycle : kNeverCycle;
+}
+
+void
+ScopeModel::dump(const ScopeView &view, std::ostream &os)
+{
+    os << "cycle " << view.cycle << "\n";
+    os << "insns " << view.instructions << "\n";
+
+    os << "ring ";
+    for (int s : view.ring)
+        os << ' ' << s;
+    os << "\n";
+
+    for (std::size_t s = 0; s < view.slot_frame.size(); ++s) {
+        os << "slot " << s << ": ";
+        if (view.slot_frame[s] < 0)
+            os << "free";
+        else
+            os << "ctx" << view.slot_frame[s];
+        os << "\n";
+    }
+
+    bool any_standby = false;
+    for (int fu = 0;
+         fu < static_cast<int>(view.standby.size()); ++fu) {
+        for (std::size_t s = 0; s < view.standby[fu].size(); ++s) {
+            const ScopeView::ParkedOp &op = view.standby[fu][s];
+            if (op.insn == 0)
+                continue;
+            any_standby = true;
+            os << "standby " << fuClassName(static_cast<FuClass>(fu))
+               << " slot" << s << ": '"
+               << disassemble(decode(op.insn)) << "' @" << op.pc
+               << "\n";
+        }
+    }
+    if (!any_standby)
+        os << "standby (all empty)\n";
+
+    os << "queues ";
+    for (std::size_t l = 0; l < view.queue_depth.size(); ++l)
+        os << " link" << l << "=" << view.queue_depth[l];
+    os << "\n";
+
+    os << "events " << view.events.size() << "\n";
+    for (const Event &ev : view.events)
+        os << "  " << formatEvent(ev) << "\n";
+}
+
+} // namespace smtsim::obs

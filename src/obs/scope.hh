@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Event-stream replay model behind smtsim-scope.
+ *
+ * A ScopeModel ingests one binary event stream (obs/sinks.hh) and
+ * reconstructs, for any cycle, the visible pipeline state: thread
+ * slot -> context bindings, priority ring order, standby-station
+ * occupancy per (FU class x slot), queue-register link depths and
+ * the retired-instruction count — plus the raw events of that
+ * cycle. Reconstruction is pure replay (no re-simulation), so it
+ * steps backward as easily as forward; keyframes snapshotted every
+ * few thousand events keep random access cheap on long streams.
+ *
+ * Streams recorded after a checkpoint restore start with synthetic
+ * Snapshot/RingState/SlotBind/QueueState/Park events describing
+ * the live machine, so a suffix stream reconstructs the same views
+ * as the full-run stream over their common cycles (the CI scope
+ * smoke job diffs exactly that).
+ */
+
+#ifndef SMTSIM_OBS_SCOPE_HH
+#define SMTSIM_OBS_SCOPE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/sinks.hh"
+
+namespace smtsim::obs
+{
+
+/** Reconstructed machine view at the end of one cycle. */
+struct ScopeView
+{
+    Cycle cycle = 0;
+
+    /** An instruction resident in a standby station. */
+    struct ParkedOp
+    {
+        std::uint32_t insn = 0; ///< encoded word, 0 = station empty
+        std::uint32_t pc = 0;
+    };
+
+    std::vector<int> ring;           ///< priority order, top first
+    std::vector<int> slot_frame;     ///< bound context, -1 = free
+    /** standby[fu][slot]; empty stations have insn == 0. */
+    std::vector<std::vector<ParkedOp>> standby;
+    std::vector<std::uint64_t> queue_depth; ///< per producer link
+    std::uint64_t instructions = 0;  ///< retired through this cycle
+    std::vector<Event> events;       ///< events of exactly this cycle
+};
+
+class ScopeModel
+{
+  public:
+    explicit ScopeModel(EventStream stream);
+
+    bool empty() const { return stream_.events.empty(); }
+    int numSlots() const { return num_slots_; }
+
+    /** Cycle of the first / last event in the stream. */
+    Cycle firstCycle() const;
+    Cycle lastCycle() const;
+
+    /** Reconstruct the view at the end of cycle @p c. */
+    ScopeView viewAt(Cycle c) const;
+
+    /** Next cycle after @p c carrying events (kNeverCycle: none). */
+    Cycle nextEventCycle(Cycle c) const;
+    /** Latest cycle before @p c carrying events (kNeverCycle). */
+    Cycle prevEventCycle(Cycle c) const;
+
+    /** Render @p view as the stable text block CI diffs. */
+    static void dump(const ScopeView &view, std::ostream &os);
+
+  private:
+    struct State
+    {
+        std::vector<int> ring;
+        std::vector<int> slot_frame;
+        std::vector<std::vector<ScopeView::ParkedOp>> standby;
+        std::vector<std::uint64_t> queue_depth;
+        std::uint64_t instructions = 0;
+    };
+
+    void apply(State &st, const Event &ev) const;
+
+    EventStream stream_;
+    int num_slots_ = 0;
+    /** State *before* event index .first, every kKeyframeStride. */
+    std::vector<std::pair<std::size_t, State>> keyframes_;
+
+    static constexpr std::size_t kKeyframeStride = 4096;
+};
+
+} // namespace smtsim::obs
+
+#endif // SMTSIM_OBS_SCOPE_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Byte-level serialization helpers backing the observability
+ * formats: machine checkpoints (core/checkpoint.cc) and the binary
+ * event stream (obs/sinks.cc). Everything is little-endian and
+ * fixed-width, so a stream written on one host restores on any
+ * other. Readers throw std::runtime_error on truncation or a
+ * magic/version mismatch rather than silently misparsing.
+ */
+
+#ifndef SMTSIM_OBS_SERIAL_HH
+#define SMTSIM_OBS_SERIAL_HH
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smtsim::obs
+{
+
+/** Little-endian fixed-width writer over a std::ostream. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::ostream &os) : os_(os) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        os_.put(static_cast<char>(v));
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        os_.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(len));
+    }
+
+    bool ok() const { return os_.good(); }
+
+  private:
+    std::ostream &os_;
+};
+
+/** Little-endian fixed-width reader; throws on truncated input. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::istream &is) : is_(is) {}
+
+    std::uint8_t
+    u8()
+    {
+        const int c = is_.get();
+        if (c == std::istream::traits_type::eof())
+            throw std::runtime_error("obs: truncated stream");
+        return static_cast<std::uint8_t>(c);
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    bool b() { return u8() != 0; }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (n > (1u << 28))
+            throw std::runtime_error("obs: implausible string size");
+        std::string s(n, '\0');
+        is_.read(s.data(), static_cast<std::streamsize>(n));
+        if (is_.gcount() != static_cast<std::streamsize>(n))
+            throw std::runtime_error("obs: truncated stream");
+        return s;
+    }
+
+    void
+    bytes(void *data, std::size_t len)
+    {
+        is_.read(static_cast<char *>(data),
+                 static_cast<std::streamsize>(len));
+        if (is_.gcount() != static_cast<std::streamsize>(len))
+            throw std::runtime_error("obs: truncated stream");
+    }
+
+    /** True once the underlying stream is exhausted. */
+    bool
+    atEof()
+    {
+        return is_.peek() == std::istream::traits_type::eof();
+    }
+
+  private:
+    std::istream &is_;
+};
+
+/** Read a value and require it to equal @p want. */
+inline void
+expectU32(ByteReader &r, std::uint32_t want, const char *what)
+{
+    const std::uint32_t got = r.u32();
+    if (got != want) {
+        throw std::runtime_error(std::string("obs: bad ") + what +
+                                 " (got " + std::to_string(got) +
+                                 ", want " + std::to_string(want) +
+                                 ")");
+    }
+}
+
+inline void
+expectU64(ByteReader &r, std::uint64_t want, const char *what)
+{
+    const std::uint64_t got = r.u64();
+    if (got != want) {
+        throw std::runtime_error(std::string("obs: bad ") + what +
+                                 " (got " + std::to_string(got) +
+                                 ", want " + std::to_string(want) +
+                                 ")");
+    }
+}
+
+} // namespace smtsim::obs
+
+#endif // SMTSIM_OBS_SERIAL_HH

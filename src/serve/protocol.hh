@@ -22,7 +22,11 @@
  *   {"v":1,"event":"done","id":ID,"jobs":N,"failures":N,
  *    "cache_hits":N,"coalesced":N}
  *   {"v":1,"event":"pong"}
- *   {"v":1,"event":"stats","stats":{...}}
+ *   {"v":1,"event":"stats","stats":{...}}   monotonic counters
+ *     (incl. cache_hits/cache_misses), queue gauges, worker pids,
+ *     and a "histograms" object with per-job "wall_ms",
+ *     "sim_cycles" and "queue_depth" log2-bucket distributions
+ *     ({count,sum,min,max,buckets:[{lo,hi,n},...]})
  *   {"v":1,"event":"bye"}           acknowledges shutdown
  *   {"v":1,"event":"error","error":TEXT}   unparseable request
  *

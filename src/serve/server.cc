@@ -351,6 +351,7 @@ Server::dispatchLoop()
 {
     while (true) {
         QueuedJob qj;
+        std::size_t depth_at_pop = 0;
         {
             std::unique_lock<std::mutex> lock(sched_mutex_);
             work_cv_.wait(lock, [&] {
@@ -359,8 +360,13 @@ Server::dispatchLoop()
             });
             if (stopping_.load(std::memory_order_acquire))
                 return;
+            depth_at_pop = queue_.depth();
             if (!queue_.pop(&qj))
                 continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            hists_.queue_depth.add(depth_at_pop);
         }
 
         // Another client may have completed this key between our
@@ -380,6 +386,10 @@ Server::dispatchLoop()
                 cache_.store(qj.job, result);
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.executed;
+            ++stats_.cache_misses;
+            hists_.wall_ms.add(static_cast<std::uint64_t>(
+                result.wall_seconds * 1000.0));
+            hists_.sim_cycles.add(result.stats.cycles);
         }
         publish(qj.key, result, source);
     }
@@ -471,6 +481,42 @@ Server::stats() const
     return s;
 }
 
+ServerHistograms
+Server::histograms() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return hists_;
+}
+
+namespace
+{
+
+/** Render one histogram as the JSON shape of the stats payload:
+ *  scalars plus the non-empty log2 buckets. */
+Json
+histogramJson(const stats::Histogram &h)
+{
+    Json j = Json::object();
+    j.set("count", Json(h.count()));
+    j.set("sum", Json(h.sum()));
+    j.set("min", Json(h.min()));
+    j.set("max", Json(h.max()));
+    Json buckets = Json::array();
+    for (int i = 0; i < stats::Histogram::kBuckets; ++i) {
+        if (h.buckets()[i] == 0)
+            continue;
+        Json b = Json::object();
+        b.set("lo", Json(stats::Histogram::bucketLo(i)));
+        b.set("hi", Json(stats::Histogram::bucketHi(i)));
+        b.set("n", Json(h.buckets()[i]));
+        buckets.push(std::move(b));
+    }
+    j.set("buckets", std::move(buckets));
+    return j;
+}
+
+} // namespace
+
 Json
 Server::statsJson() const
 {
@@ -481,6 +527,7 @@ Server::statsJson() const
     j.set("jobs_submitted", Json(s.jobs_submitted));
     j.set("executed", Json(s.executed));
     j.set("cache_hits", Json(s.cache_hits));
+    j.set("cache_misses", Json(s.cache_misses));
     j.set("coalesced", Json(s.coalesced));
     j.set("overloaded", Json(s.overloaded));
     j.set("rejected", Json(s.rejected));
@@ -497,6 +544,14 @@ Server::statsJson() const
         for (const int pid : pool_->pids())
             pids.push(Json(pid));
     j.set("worker_pids", std::move(pids));
+    {
+        const ServerHistograms h = histograms();
+        Json hj = Json::object();
+        hj.set("wall_ms", histogramJson(h.wall_ms));
+        hj.set("sim_cycles", histogramJson(h.sim_cycles));
+        hj.set("queue_depth", histogramJson(h.queue_depth));
+        j.set("histograms", std::move(hj));
+    }
     return j;
 }
 

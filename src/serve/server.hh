@@ -51,6 +51,7 @@
 
 #include "base/json.hh"
 #include "base/sockio.hh"
+#include "base/stats.hh"
 #include "lab/cache.hh"
 #include "serve/queue.hh"
 #include "serve/singleflight.hh"
@@ -89,11 +90,25 @@ struct ServerStats
     std::uint64_t jobs_submitted = 0;   ///< expanded grid points
     std::uint64_t executed = 0;         ///< simulations actually run
     std::uint64_t cache_hits = 0;
+    /** Jobs that missed both cache probes and hit the simulator. */
+    std::uint64_t cache_misses = 0;
     std::uint64_t coalesced = 0;        ///< dedup'd onto a leader
     std::uint64_t overloaded = 0;       ///< submissions shed
     std::uint64_t rejected = 0;         ///< malformed submissions
     std::uint64_t retries = 0;
     std::uint64_t worker_restarts = 0;
+};
+
+/** Distribution metrics exposed via the "stats" op (log2-bucket
+ *  histograms, see stats::Histogram). */
+struct ServerHistograms
+{
+    /** Per executed job: host milliseconds spent simulating. */
+    stats::Histogram wall_ms;
+    /** Per executed job: simulated cycles of the run. */
+    stats::Histogram sim_cycles;
+    /** FairQueue depth observed at each dispatch pop. */
+    stats::Histogram queue_depth;
 };
 
 class Server
@@ -126,6 +141,7 @@ class Server
     void stop();
 
     ServerStats stats() const;
+    ServerHistograms histograms() const;
     std::vector<int> workerPids() const { return pool_->pids(); }
 
   private:
@@ -205,6 +221,7 @@ class Server
 
     mutable std::mutex stats_mutex_;
     ServerStats stats_;
+    ServerHistograms hists_;
 };
 
 } // namespace smtsim::serve

@@ -1,0 +1,25 @@
+# Scope/checkpoint smoke program (CI "scope-smoke" job and local
+# runs): every thread slot repeatedly smooths its own slice of a
+# shared grid — long enough (a few thousand cycles at 4 slots) to
+# checkpoint mid-run, restore, and compare pipeline views.
+        .text
+main:   fastfork
+        tid  r1
+        li   r2, 200        # outer iterations
+outer:  la   r3, grid
+        sll  r4, r1, 4      # slice offset = tid * 16 bytes
+        add  r3, r3, r4
+        li   r5, 3          # words per slice
+inner:  lw   r6, 0(r3)
+        lw   r7, 4(r3)
+        add  r6, r6, r7
+        sra  r6, r6, 1
+        sw   r6, 0(r3)
+        addi r3, r3, 4
+        addi r5, r5, -1
+        bgtz r5, inner
+        addi r2, r2, -1
+        bgtz r2, outer
+        halt
+        .data
+grid:   .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Machine-checkpoint determinism: a run that is snapshotted at
+ * cycle k, restored into a freshly constructed processor and run to
+ * completion must be indistinguishable — RunStats, the detailed
+ * stall counters, architectural registers, data memory — from the
+ * same run left alone. Exercised over the real workloads and over
+ * hundreds of fuzzer-generated programs at pseudo-random snapshot
+ * cycles and machine shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asmr/assembler.hh"
+#include "core/processor.hh"
+#include "fuzz/generate.hh"
+#include "test_common.hh"
+#include "workloads/workloads.hh"
+
+using namespace smtsim;
+using namespace smtsim::test;
+
+namespace
+{
+
+void
+expectSameStats(const RunStats &a, const RunStats &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.finished, b.finished) << what;
+    EXPECT_EQ(a.fu_grants, b.fu_grants) << what;
+    EXPECT_EQ(a.fu_busy, b.fu_busy) << what;
+    EXPECT_EQ(a.unit_busy, b.unit_busy) << what;
+    EXPECT_EQ(a.branches, b.branches) << what;
+    EXPECT_EQ(a.loads, b.loads) << what;
+    EXPECT_EQ(a.stores, b.stores) << what;
+    EXPECT_EQ(a.standby_stalls, b.standby_stalls) << what;
+    EXPECT_EQ(a.context_switches, b.context_switches) << what;
+    EXPECT_EQ(a.writeback_conflicts, b.writeback_conflicts)
+        << what;
+    EXPECT_EQ(a.dcache_hits, b.dcache_hits) << what;
+    EXPECT_EQ(a.dcache_misses, b.dcache_misses) << what;
+    EXPECT_EQ(a.icache_hits, b.icache_hits) << what;
+    EXPECT_EQ(a.icache_misses, b.icache_misses) << what;
+}
+
+struct FinalState
+{
+    RunStats stats;
+    std::map<std::string, std::uint64_t, std::less<>> detail;
+    std::vector<std::uint32_t> iregs;
+    std::vector<double> fregs;
+    std::vector<std::uint32_t> data;
+};
+
+FinalState
+capture(const MultithreadedProcessor &cpu, const RunStats &stats,
+        const CoreConfig &cfg, const Program &prog,
+        const MainMemory &mem)
+{
+    FinalState st;
+    st.stats = stats;
+    st.detail = cpu.detail().all();
+    for (int f = 0; f < cfg.frames(); ++f) {
+        for (RegIndex r = 0; r < kNumRegs; ++r) {
+            st.iregs.push_back(cpu.intReg(f, r));
+            st.fregs.push_back(cpu.fpReg(f, r));
+        }
+    }
+    const Addr base = prog.data_base;
+    const Addr end = base + static_cast<Addr>(prog.data.size());
+    for (Addr a = base; a < end; a += 4)
+        st.data.push_back(mem.read32(a));
+    return st;
+}
+
+void
+expectSameState(const FinalState &ref, const FinalState &got,
+                const std::string &what)
+{
+    expectSameStats(ref.stats, got.stats, what);
+    EXPECT_EQ(ref.detail, got.detail) << what;
+    ASSERT_EQ(ref.iregs.size(), got.iregs.size()) << what;
+    EXPECT_EQ(ref.iregs, got.iregs) << what;
+    for (std::size_t i = 0; i < ref.fregs.size(); ++i) {
+        // Bit-level compare: NaN payloads must survive too.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.fregs[i]),
+                  std::bit_cast<std::uint64_t>(got.fregs[i]))
+            << what << " freg " << i;
+    }
+    EXPECT_EQ(ref.data, got.data) << what;
+}
+
+void
+initMemory(const Workload &w, MainMemory &mem)
+{
+    w.program.loadInto(mem);
+    if (w.init)
+        w.init(mem);
+}
+
+/**
+ * Run @p prog plain, then run it again snapshotting at @p at and
+ * resuming into a fresh processor + memory; both final states must
+ * match bit for bit.
+ */
+void
+checkCheckpointExact(const Program &prog, const CoreConfig &cfg,
+                     Cycle at, const std::string &what,
+                     void (*init)(MainMemory &) = nullptr)
+{
+    MainMemory mem_ref;
+    prog.loadInto(mem_ref);
+    if (init)
+        init(mem_ref);
+    MultithreadedProcessor ref(prog, mem_ref, cfg);
+    const RunStats ref_stats = ref.run();
+    const FinalState ref_state =
+        capture(ref, ref_stats, cfg, prog, mem_ref);
+
+    // First half: run to the snapshot point and save.
+    MainMemory mem_a;
+    prog.loadInto(mem_a);
+    if (init)
+        init(mem_a);
+    MultithreadedProcessor a(prog, mem_a, cfg);
+    a.runUntil(at);
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt);
+
+    // Byte stability: the same state must serialize to the same
+    // bytes every time (memory pages are sorted, nothing iterates
+    // in address-order-unstable containers).
+    std::stringstream ckpt2;
+    a.saveCheckpoint(ckpt2);
+    ASSERT_EQ(ckpt.str(), ckpt2.str()) << what;
+
+    // Second half: fresh machine, restore, run to completion.
+    MainMemory mem_b;
+    MultithreadedProcessor b(prog, mem_b, cfg);
+    b.restoreCheckpoint(ckpt);
+    EXPECT_EQ(b.now(), a.now()) << what;
+    const RunStats got_stats = b.run();
+    const FinalState got_state =
+        capture(b, got_stats, cfg, prog, mem_b);
+
+    expectSameState(ref_state, got_state, what);
+
+    // Save-restore-save must reproduce the checkpoint bytes.
+    MainMemory mem_c;
+    MultithreadedProcessor c(prog, mem_c, cfg);
+    std::stringstream ckpt_in(ckpt2.str());
+    c.restoreCheckpoint(ckpt_in);
+    std::stringstream ckpt3;
+    c.saveCheckpoint(ckpt3);
+    EXPECT_EQ(ckpt2.str(), ckpt3.str()) << what;
+}
+
+} // namespace
+
+TEST(Checkpoint, RunUntilSplitMatchesSingleRun)
+{
+    MatmulParams mp;
+    mp.n = 6;
+    const Workload w = makeMatmul(mp);
+    CoreConfig cfg;
+    cfg.max_cycles = 500'000;
+
+    MainMemory mem_ref;
+    initMemory(w, mem_ref);
+    MultithreadedProcessor ref(w.program, mem_ref, cfg);
+    const RunStats sr = ref.run();
+    ASSERT_TRUE(sr.finished);
+
+    MainMemory mem;
+    initMemory(w, mem);
+    MultithreadedProcessor cpu(w.program, mem, cfg);
+    // Arbitrary uneven split points, including no-op repeats.
+    for (Cycle stop : {7ull, 8ull, 100ull, 100ull, 1000ull})
+        cpu.runUntil(stop);
+    const RunStats ss = cpu.run();
+    expectSameStats(sr, ss, "split run");
+    EXPECT_EQ(ref.detail().all(), cpu.detail().all());
+}
+
+TEST(Checkpoint, WorkloadsResumeBitIdentically)
+{
+    struct Case
+    {
+        const char *name;
+        Workload w;
+        Cycle at;
+    };
+    MatmulParams mp;
+    mp.n = 6;
+    RayTraceParams rp;
+    rp.width = 6;
+    rp.height = 6;
+    rp.num_spheres = 3;
+    RecurrenceParams cq;
+    cq.n = 12;
+    cq.variant = RecurrenceVariant::DoacrossQueue;
+    BsearchParams bp;
+    bp.table_size = 16;
+    bp.queries_per_thread = 4;
+
+    std::vector<Case> cases;
+    cases.push_back({"matmul", makeMatmul(mp), 500});
+    cases.push_back({"raytrace", makeRayTrace(rp), 1000});
+    cases.push_back({"recurrence-q", makeRecurrence(cq), 97});
+    cases.push_back({"bsearch", makeBsearch(bp), 333});
+
+    for (const Case &tc : cases) {
+        CoreConfig cfg;
+        cfg.max_cycles = 500'000;
+
+        // Workload init functions close over parameters, so run
+        // the generic checker inline here instead.
+        MainMemory mem_ref;
+        initMemory(tc.w, mem_ref);
+        MultithreadedProcessor ref(tc.w.program, mem_ref, cfg);
+        const RunStats sr = ref.run();
+        ASSERT_TRUE(sr.finished) << tc.name;
+        ASSERT_GT(sr.cycles, tc.at) << tc.name
+            << ": snapshot point after the end of the run";
+        const FinalState ref_state =
+            capture(ref, sr, cfg, tc.w.program, mem_ref);
+
+        MainMemory mem_a;
+        initMemory(tc.w, mem_a);
+        MultithreadedProcessor a(tc.w.program, mem_a, cfg);
+        a.runUntil(tc.at);
+        std::stringstream ckpt;
+        a.saveCheckpoint(ckpt);
+
+        MainMemory mem_b;
+        MultithreadedProcessor b(tc.w.program, mem_b, cfg);
+        b.restoreCheckpoint(ckpt);
+        const RunStats sg = b.run();
+        const FinalState got =
+            capture(b, sg, cfg, tc.w.program, mem_b);
+        expectSameState(ref_state, got, tc.name);
+
+        if (tc.w.check) {
+            std::string why;
+            EXPECT_TRUE(tc.w.check(mem_b, &why))
+                << tc.name << ": " << why;
+        }
+    }
+}
+
+TEST(Checkpoint, ChainedCheckpointsStayExact)
+{
+    // Checkpoint every 200 cycles, restoring into a fresh machine
+    // each leg: errors would compound if any state leaked.
+    MatmulParams mp;
+    mp.n = 6;
+    const Workload w = makeMatmul(mp);
+    CoreConfig cfg;
+    cfg.max_cycles = 500'000;
+
+    MainMemory mem_ref;
+    initMemory(w, mem_ref);
+    MultithreadedProcessor ref(w.program, mem_ref, cfg);
+    const RunStats sr = ref.run();
+    const FinalState ref_state =
+        capture(ref, sr, cfg, w.program, mem_ref);
+
+    auto mem = std::make_unique<MainMemory>();
+    initMemory(w, *mem);
+    auto cpu = std::make_unique<MultithreadedProcessor>(
+        w.program, *mem, cfg);
+    RunStats sg;
+    for (Cycle at = 200;; at += 200) {
+        sg = cpu->runUntil(at);
+        if (cpu->finished())
+            break;
+        std::stringstream ckpt;
+        cpu->saveCheckpoint(ckpt);
+        auto next_mem = std::make_unique<MainMemory>();
+        auto next = std::make_unique<MultithreadedProcessor>(
+            w.program, *next_mem, cfg);
+        next->restoreCheckpoint(ckpt);
+        cpu = std::move(next);
+        mem = std::move(next_mem);
+    }
+    const FinalState got =
+        capture(*cpu, sg, cfg, w.program, *mem);
+    expectSameState(ref_state, got, "chained");
+}
+
+TEST(Checkpoint, FingerprintRejectsMismatchedConfig)
+{
+    MatmulParams mp;
+    mp.n = 4;
+    const Workload w = makeMatmul(mp);
+    CoreConfig cfg;
+    cfg.max_cycles = 100'000;
+
+    MainMemory mem;
+    initMemory(w, mem);
+    MultithreadedProcessor cpu(w.program, mem, cfg);
+    cpu.runUntil(100);
+    std::stringstream ckpt;
+    cpu.saveCheckpoint(ckpt);
+
+    CoreConfig other = cfg;
+    other.num_slots = 2;
+    MainMemory mem2;
+    MultithreadedProcessor wrong(w.program, mem2, other);
+    EXPECT_THROW(wrong.restoreCheckpoint(ckpt),
+                 std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncatedStream)
+{
+    MatmulParams mp;
+    mp.n = 4;
+    const Workload w = makeMatmul(mp);
+    CoreConfig cfg;
+    cfg.max_cycles = 100'000;
+
+    MainMemory mem;
+    initMemory(w, mem);
+    MultithreadedProcessor cpu(w.program, mem, cfg);
+    cpu.runUntil(100);
+    std::stringstream ckpt;
+    cpu.saveCheckpoint(ckpt);
+    const std::string bytes = ckpt.str();
+
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    MainMemory mem2;
+    MultithreadedProcessor fresh(w.program, mem2, cfg);
+    EXPECT_THROW(fresh.restoreCheckpoint(cut),
+                 std::runtime_error);
+
+    std::stringstream garbage("not a checkpoint at all");
+    MainMemory mem3;
+    MultithreadedProcessor fresh2(w.program, mem3, cfg);
+    EXPECT_THROW(fresh2.restoreCheckpoint(garbage),
+                 std::runtime_error);
+}
+
+TEST(Checkpoint, FuzzedProgramsResumeBitIdentically)
+{
+    // >= 200 generated programs, each snapshotted at a
+    // pseudo-random cycle under a seed-dependent machine shape.
+    constexpr int kPrograms = 220;
+    int checked = 0;
+    for (int seed = 1; seed <= kPrograms; ++seed) {
+        fuzz::GenOptions opts;
+        opts.seed = static_cast<std::uint64_t>(seed);
+        opts.max_top_units = 6;
+        const fuzz::GenProgram gp = fuzz::generate(opts);
+        const Program prog = assemble(gp.render());
+
+        CoreConfig cfg;
+        cfg.max_cycles = 200'000;
+        cfg.num_slots = (seed % 3 == 0) ? 2 : 4;
+        cfg.width = (seed % 4 == 0) ? 2 : 1;
+        cfg.standby_enabled = seed % 5 != 0;
+        if (seed % 7 == 0)
+            cfg.rotation_mode = RotationMode::Explicit;
+
+        // Pick the snapshot cycle from the run's actual length so
+        // it always lands mid-run (deterministic per seed).
+        MainMemory probe_mem;
+        prog.loadInto(probe_mem);
+        MultithreadedProcessor probe(prog, probe_mem, cfg);
+        const RunStats ps = probe.run();
+        ASSERT_TRUE(ps.finished)
+            << "fuzz seed " << seed << " did not finish";
+        if (ps.cycles < 4)
+            continue;           // too short to split meaningfully
+        const Cycle at =
+            1 + (static_cast<Cycle>(seed) * 2654435761ull) %
+                    (ps.cycles - 2);
+
+        checkCheckpointExact(prog, cfg, at,
+                             "fuzz seed " +
+                                 std::to_string(seed) +
+                                 " @" + std::to_string(at));
+        ++checked;
+    }
+    // The generator occasionally emits near-empty programs; most
+    // must still exercise a real split.
+    EXPECT_GE(checked, 200);
+}

@@ -7,7 +7,9 @@
  *
  * Operations (default: submit a sweep):
  *     --ping             health check; exit 0 on pong
- *     --stats            print the daemon's stats JSON
+ *     --stats            print the daemon's counters and per-job
+ *                        histograms as tables (with --json -: the
+ *                        raw stats JSON)
  *     --shutdown         ask the daemon to shut down cleanly
  *
  * Sweep description (same grammar as smtsim-sweep):
@@ -43,6 +45,7 @@
 #include <vector>
 
 #include "base/strutil.hh"
+#include "base/table.hh"
 #include "lab/lab.hh"
 #include "serve/serve.hh"
 
@@ -89,6 +92,57 @@ parseIntList(const std::string &opt, const std::string &text,
     if (out.empty())
         die(opt + ": empty list");
     return out;
+}
+
+std::string
+formatCount(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** Render the "stats" payload as two tables: scalar counters, then
+ *  one row per histogram with its non-empty log2 buckets. */
+void
+printStatsTables(const Json &stats, std::ostream &os)
+{
+    TextTable counters("daemon counters");
+    counters.addRow({"counter", "value"});
+    for (const auto &[key, value] : stats.members()) {
+        if (value.isNumber())
+            counters.addRow({key, formatCount(value.asU64())});
+    }
+    counters.print(os);
+
+    const Json *hists = stats.find("histograms");
+    if (hists == nullptr)
+        return;
+    os << "\n";
+    TextTable ht("per-job histograms");
+    ht.addRow({"metric", "count", "min", "mean", "max",
+               "log2 buckets (lo..hi:n)"});
+    for (const auto &[name, h] : hists->members()) {
+        const std::uint64_t count = h.at("count").asU64();
+        const std::uint64_t sum = h.at("sum").asU64();
+        std::string buckets;
+        const Json &bs = h.at("buckets");
+        for (std::size_t i = 0; i < bs.size(); ++i) {
+            const Json &b = bs.at(i);
+            if (!buckets.empty())
+                buckets += "  ";
+            buckets += formatCount(b.at("lo").asU64()) + ".." +
+                       formatCount(b.at("hi").asU64()) + ":" +
+                       formatCount(b.at("n").asU64());
+        }
+        char mean[32];
+        std::snprintf(mean, sizeof mean, "%.1f",
+                      count == 0 ? 0.0
+                                 : static_cast<double>(sum) /
+                                       static_cast<double>(count));
+        ht.addRow({name, formatCount(count),
+                   formatCount(h.at("min").asU64()), mean,
+                   formatCount(h.at("max").asU64()), buckets});
+    }
+    ht.print(os);
 }
 
 void
@@ -201,7 +255,11 @@ main(int argc, char **argv)
         Json stats;
         if (!client.stats(&stats, &error))
             die("stats failed: " + error);
-        std::cout << stats.dump(2) << "\n";
+        if (!json_path.empty())
+            writeTextOutput(json_path, stats.dump(2) + "\n",
+                            "JSON");
+        else
+            printStatsTables(stats, std::cout);
         return 0;
     }
     if (op == "shutdown") {

@@ -27,7 +27,16 @@
  *                        error-severity diagnostic aborts the run
  *                        with exit 1 (docs/ANALYSIS.md)
  *     --stats            print the detailed stall counters (core)
- *     --trace            stream per-cycle pipeline events (core)
+ *     --trace            stream per-cycle pipeline events as text
+ *                        to stderr (--pipe-trace is an alias;
+ *                        core and baseline engines)
+ *     --trace-out FILE   record the binary event stream for
+ *                        smtsim-scope (docs/OBSERVABILITY.md)
+ *     --ckpt-out PATH    checkpoint file (with --ckpt-every the
+ *                        cycle number is appended: PATH.N)
+ *     --ckpt-every K     checkpoint every K cycles (core)
+ *     --ckpt-at N        checkpoint once, at cycle N (core)
+ *     --restore PATH     resume from a checkpoint before running
  *     --json             emit the run statistics as one JSON object
  *
  * Numeric options are parsed strictly: a non-numeric or
@@ -44,6 +53,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "analysis/lint.hh"
 #include "asmr/assembler.hh"
 #include "base/strutil.hh"
@@ -52,6 +63,7 @@
 #include "interp/interpreter.hh"
 #include "machine/run_stats_json.hh"
 #include "mem/memory.hh"
+#include "obs/sinks.hh"
 
 using namespace smtsim;
 
@@ -126,6 +138,31 @@ printStats(const RunStats &s)
     std::printf("finished      %s\n", s.finished ? "yes" : "NO");
 }
 
+/** Fan one event stream out to several sinks (--trace plus
+ *  --trace-out in the same run). */
+class TeeSink : public obs::EventSink
+{
+  public:
+    void add(obs::EventSink *sink) { sinks_.push_back(sink); }
+
+    void
+    event(const obs::Event &ev) override
+    {
+        for (obs::EventSink *sink : sinks_)
+            sink->event(ev);
+    }
+
+    void
+    flush() override
+    {
+        for (obs::EventSink *sink : sinks_)
+            sink->flush();
+    }
+
+  private:
+    std::vector<obs::EventSink *> sinks_;
+};
+
 } // namespace
 
 int
@@ -139,6 +176,9 @@ main(int argc, char **argv)
     bool want_trace = false;
     bool want_json = false;
     bool want_lint = false;
+    std::string trace_out, ckpt_out, restore_path;
+    unsigned long long ckpt_every = 0;
+    long long ckpt_at = -1;
     std::vector<Addr> dump_words, dump_doubles;
 
     auto need_value = [&](int &i) -> const char * {
@@ -227,8 +267,18 @@ main(int argc, char **argv)
             want_lint = true;
         } else if (arg == "--stats") {
             want_detail = true;
-        } else if (arg == "--trace") {
+        } else if (arg == "--trace" || arg == "--pipe-trace") {
             want_trace = true;
+        } else if (arg == "--trace-out") {
+            trace_out = need_value(i);
+        } else if (arg == "--ckpt-out") {
+            ckpt_out = need_value(i);
+        } else if (arg == "--ckpt-every") {
+            ckpt_every = uint_value(arg, i);
+        } else if (arg == "--ckpt-at") {
+            ckpt_at = static_cast<long long>(uint_value(arg, i));
+        } else if (arg == "--restore") {
+            restore_path = need_value(i);
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else {
@@ -237,6 +287,33 @@ main(int argc, char **argv)
     }
     if (path.empty())
         usage(argv[0]);
+    const bool want_ckpt = ckpt_every > 0 || ckpt_at >= 0;
+    if (want_ckpt && ckpt_out.empty()) {
+        std::fprintf(stderr,
+                     "%s: --ckpt-every/--ckpt-at need --ckpt-out\n",
+                     argv[0]);
+        return 2;
+    }
+    if (ckpt_every > 0 && ckpt_at >= 0) {
+        std::fprintf(stderr,
+                     "%s: --ckpt-every and --ckpt-at are mutually "
+                     "exclusive\n",
+                     argv[0]);
+        return 2;
+    }
+    if ((want_ckpt || !ckpt_out.empty() || !restore_path.empty()) &&
+        engine != "core") {
+        std::fprintf(stderr,
+                     "%s: checkpoints need --engine core\n",
+                     argv[0]);
+        return 2;
+    }
+    if ((want_trace || !trace_out.empty()) && engine == "interp") {
+        std::fprintf(stderr,
+                     "%s: the interpreter has no event stream\n",
+                     argv[0]);
+        return 2;
+    }
 
     try {
         // A file starting with the object-format magic is loaded
@@ -277,11 +354,86 @@ main(int argc, char **argv)
                 printStats(s);
         };
 
+        // Sink plumbing shared by both cycle-accurate engines:
+        // --trace gets a text sink on stderr, --trace-out a binary
+        // stream, both at once a tee.
+        std::ofstream trace_file;
+        std::unique_ptr<obs::EventSink> text_sink, bin_sink;
+        TeeSink tee;
+        obs::EventSink *sink = nullptr;
+        auto setup_sinks = [&](int num_slots) {
+            if (want_trace) {
+                text_sink =
+                    std::make_unique<obs::TextSink>(std::cerr);
+                tee.add(text_sink.get());
+            }
+            if (!trace_out.empty()) {
+                trace_file.open(trace_out, std::ios::binary);
+                if (!trace_file) {
+                    std::fprintf(stderr, "cannot open %s\n",
+                                 trace_out.c_str());
+                    std::exit(1);
+                }
+                bin_sink = std::make_unique<obs::BinarySink>(
+                    trace_file, obs::TraceMeta{num_slots});
+                tee.add(bin_sink.get());
+            }
+            if (want_trace && !trace_out.empty())
+                sink = &tee;
+            else if (want_trace)
+                sink = text_sink.get();
+            else if (!trace_out.empty())
+                sink = bin_sink.get();
+        };
+
         if (engine == "core") {
             MultithreadedProcessor cpu(prog, mem, cfg);
-            if (want_trace)
-                cpu.setPipeTrace(&std::cerr);
-            report(cpu.run());
+            setup_sinks(cfg.num_slots);
+            if (sink)
+                cpu.setEventSink(sink);
+            if (!restore_path.empty()) {
+                std::ifstream in(restore_path, std::ios::binary);
+                if (!in) {
+                    std::fprintf(stderr, "cannot open %s\n",
+                                 restore_path.c_str());
+                    return 1;
+                }
+                cpu.restoreCheckpoint(in);
+            }
+            RunStats s;
+            if (want_ckpt) {
+                // Segment the run at the checkpoint cycles;
+                // runUntil() makes the split bit-identical to one
+                // run() call.
+                long long pending_at = ckpt_at;
+                for (;;) {
+                    Cycle stop = cfg.max_cycles;
+                    if (pending_at >= 0 &&
+                        cpu.now() <= static_cast<Cycle>(pending_at))
+                        stop = static_cast<Cycle>(pending_at);
+                    else if (ckpt_every > 0)
+                        stop = (cpu.now() / ckpt_every + 1) *
+                               ckpt_every;
+                    s = cpu.runUntil(stop);
+                    if (cpu.finished() ||
+                        cpu.now() >= cfg.max_cycles)
+                        break;
+                    std::string out = ckpt_out;
+                    if (ckpt_every > 0)
+                        out += "." + std::to_string(cpu.now());
+                    std::ofstream os(out, std::ios::binary);
+                    if (!os) {
+                        std::fprintf(stderr, "cannot open %s\n",
+                                     out.c_str());
+                        return 1;
+                    }
+                    cpu.saveCheckpoint(os);
+                    pending_at = -1;
+                }
+            } else {
+                s = cpu.run();
+            }
+            report(s);
             if (want_detail && !want_json) {
                 std::printf("--- detail ---\n");
                 cpu.detail().dump(std::cout);
@@ -293,6 +445,9 @@ main(int argc, char **argv)
             bcfg.max_cycles = cfg.max_cycles;
             bcfg.fast_forward = cfg.fast_forward;
             BaselineProcessor cpu(prog, mem, bcfg);
+            setup_sinks(1);
+            if (sink)
+                cpu.setEventSink(sink);
             report(cpu.run());
         } else if (engine == "interp") {
             InterpConfig icfg;

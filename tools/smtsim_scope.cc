@@ -1,0 +1,178 @@
+/**
+ * @file
+ * smtsim-scope: replay a recorded binary event stream
+ * (smtsim-run --trace-out) and inspect the pipeline cycle by cycle.
+ *
+ *     smtsim-scope [options] trace.bin
+ *
+ * Options:
+ *     --at N     start at cycle N (default: first event cycle)
+ *     --dump     print the view at --at and exit (CI mode; the
+ *                output is the stable block ScopeModel::dump
+ *                renders, suitable for diffing)
+ *     --events   list every event with cycle numbers and exit
+ *
+ * Without --dump/--events an interactive prompt opens:
+ *     n        step forward to the next cycle carrying events
+ *     b        step backward to the previous event cycle
+ *     g N      go to cycle N
+ *     d        re-print the current view
+ *     q        quit
+ *
+ * Stepping backward needs no re-simulation: the model replays the
+ * stream from keyframes (docs/OBSERVABILITY.md).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/strutil.hh"
+#include "base/types.hh"
+#include "obs/scope.hh"
+#include "obs/sinks.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--at N] [--dump] [--events] "
+                 "trace.bin\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+showView(const obs::ScopeModel &model, Cycle c)
+{
+    obs::ScopeModel::dump(model.viewAt(c), std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    unsigned long long at = 0;
+    bool have_at = false;
+    bool want_dump = false;
+    bool want_events = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--at") {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            if (!parseUint(argv[++i], &at)) {
+                std::fprintf(stderr,
+                             "%s: --at needs a non-negative "
+                             "integer, got \"%s\"\n",
+                             argv[0], argv[i]);
+                return 2;
+            }
+            have_at = true;
+        } else if (arg == "--dump") {
+            want_dump = true;
+        } else if (arg == "--events") {
+            want_events = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty())
+        usage(argv[0]);
+
+    try {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 1;
+        }
+        obs::ScopeModel model(obs::readEventStream(in));
+        if (model.empty()) {
+            std::fprintf(stderr, "%s: empty event stream\n",
+                         path.c_str());
+            return 1;
+        }
+
+        if (want_events) {
+            for (Cycle c = model.firstCycle();
+                 c != kNeverCycle && c <= model.lastCycle();
+                 c = model.nextEventCycle(c)) {
+                for (const obs::Event &ev :
+                     model.viewAt(c).events)
+                    std::cout << obs::formatEvent(ev) << '\n';
+            }
+            return 0;
+        }
+
+        Cycle cursor = have_at
+                           ? static_cast<Cycle>(at)
+                           : model.firstCycle();
+        if (want_dump) {
+            showView(model, cursor);
+            return 0;
+        }
+
+        std::printf("smtsim-scope: %d slot(s), cycles %llu..%llu "
+                    "(n/b/g N/d/q)\n",
+                    model.numSlots(),
+                    (unsigned long long)model.firstCycle(),
+                    (unsigned long long)model.lastCycle());
+        showView(model, cursor);
+        std::string line;
+        while (std::printf("scope> "), std::fflush(stdout),
+               std::getline(std::cin, line)) {
+            std::istringstream iss(line);
+            std::string cmd;
+            iss >> cmd;
+            if (cmd.empty())
+                continue;
+            if (cmd == "q" || cmd == "quit")
+                break;
+            if (cmd == "n") {
+                const Cycle next = model.nextEventCycle(cursor);
+                if (next == kNeverCycle) {
+                    std::printf("(at end of stream)\n");
+                    continue;
+                }
+                cursor = next;
+            } else if (cmd == "b") {
+                const Cycle prev = model.prevEventCycle(cursor);
+                if (prev == kNeverCycle) {
+                    std::printf("(at start of stream)\n");
+                    continue;
+                }
+                cursor = prev;
+            } else if (cmd == "g") {
+                unsigned long long target = 0;
+                std::string text;
+                iss >> text;
+                if (!parseUint(text.c_str(), &target)) {
+                    std::printf("g needs a cycle number\n");
+                    continue;
+                }
+                cursor = static_cast<Cycle>(target);
+            } else if (cmd != "d") {
+                std::printf("commands: n b g N d q\n");
+                continue;
+            }
+            showView(model, cursor);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
