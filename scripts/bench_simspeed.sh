@@ -3,11 +3,19 @@
 # BENCH_simspeed.json (google-benchmark JSON, incl. cycles/s and
 # MIPS counters per engine config).
 #
-# Also guards the observability layer's no-cost-when-disabled
-# promise: BM_CoreTraceOff (event sink detached) must stay within
-# SMTSIM_BENCH_TRACE_PCT percent (default 2) of the plain BM_Core/4
-# row from the same run. docs/OBSERVABILITY.md documents the
-# contract.
+# The build must be a Release build: the script refuses any other
+# CMAKE_BUILD_TYPE (numbers from debug-ish builds are not
+# comparable and must never land in BENCH_simspeed.json), and it
+# records/validates library_build_type in the emitted JSON context.
+#
+# Also guards two perf promises:
+#  - observability no-cost-when-disabled: BM_CoreTraceOff (event
+#    sink detached) must stay within SMTSIM_BENCH_TRACE_PCT percent
+#    (default 2) of the plain BM_Core/4 row from the same run
+#    (docs/OBSERVABILITY.md);
+#  - functional-first speedup: BM_Fastpath must reach at least
+#    SMTSIM_BENCH_FAST_X times (default 3) the MIPS of
+#    BM_Interpreter on the same kernel (docs/PERF.md).
 #
 # Usage: scripts/bench_simspeed.sh [build-dir] [out.json]
 #   SMTSIM_BENCH_MIN_TIME   benchmark_min_time seconds (default 0.5;
@@ -15,24 +23,86 @@
 #   SMTSIM_BENCH_TRACE_PCT  allowed tracing-disabled overhead in
 #                           percent (default 2); set to "skip" to
 #                           disable the guard
+#   SMTSIM_BENCH_FAST_X     required fast-engine speedup over the
+#                           interpreter (default 3); set to "skip"
+#                           to disable the guard
 set -eu
 
 build=${1:-build}
 out=${2:-BENCH_simspeed.json}
 min_time=${SMTSIM_BENCH_MIN_TIME:-0.5}
 trace_pct=${SMTSIM_BENCH_TRACE_PCT:-2}
+fast_x=${SMTSIM_BENCH_FAST_X:-3}
 
 if [ ! -x "$build/bench/bench_simspeed" ]; then
     echo "bench_simspeed not built in $build (cmake --build $build)" >&2
     exit 1
 fi
 
+# Refuse non-Release builds up front: the benchmark binary cannot
+# tell how the library it links was compiled, so read the build
+# type straight out of the CMake cache.
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    echo "bench guard: $build/CMakeCache.txt not found (not a CMake build dir?)" >&2
+    exit 1
+fi
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+    echo "bench guard: $build is a '${build_type:-<unset>}' build;" \
+         "simulator-throughput numbers are only meaningful from a" \
+         "Release build:" >&2
+    echo "    cmake -B build-release -DCMAKE_BUILD_TYPE=Release &&" \
+         "cmake --build build-release --target bench_simspeed" >&2
+    exit 1
+fi
+
 "$build/bench/bench_simspeed" \
     --benchmark_min_time="$min_time" \
     --benchmark_out="$out" \
-    --benchmark_out_format=json
+    --benchmark_out_format=json \
+    --benchmark_context=library_build_type=Release
+
+# Belt and braces: the context we just asked for must actually be in
+# the artifact, so downstream consumers (EXPERIMENTS.md, CI diffs)
+# can trust any BENCH_simspeed.json they are handed.
+python3 - "$out" <<'EOF'
+import json
+import sys
+
+out = sys.argv[1]
+ctx = json.load(open(out))["context"]
+lbt = ctx.get("library_build_type")
+if lbt != "Release":
+    sys.exit(f"bench guard: {out} context.library_build_type is "
+             f"{lbt!r}, expected 'Release'")
+EOF
 
 echo "wrote $out" >&2
+
+if [ "$fast_x" = "skip" ]; then
+    echo "fastpath speedup guard skipped" >&2
+else
+    # Same kernel, same MIPS definition, same run — the ratio is the
+    # functional-first headline number (docs/PERF.md).
+    python3 - "$out" "$fast_x" <<'EOF'
+import json
+import sys
+
+out, need = sys.argv[1], float(sys.argv[2])
+rows = {b["name"]: b for b in json.load(open(out))["benchmarks"]}
+try:
+    interp = rows["BM_Interpreter"]["MIPS"]
+    fast = rows["BM_Fastpath"]["MIPS"]
+except KeyError as missing:
+    sys.exit(f"bench guard: row {missing} missing from {out}")
+ratio = fast / interp
+print(f"fast engine: {fast:.1f} MIPS vs interpreter {interp:.1f} "
+      f"MIPS ({ratio:.2f}x)", file=sys.stderr)
+if ratio < need:
+    sys.exit(f"bench guard: fast-engine speedup {ratio:.2f}x is "
+             f"below the required {need:.1f}x over BM_Interpreter")
+EOF
+fi
 
 if [ "$trace_pct" = "skip" ]; then
     echo "tracing-overhead guard skipped" >&2

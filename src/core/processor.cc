@@ -77,11 +77,106 @@ MultithreadedProcessor::MultithreadedProcessor(const Program &prog,
     bindContext(0, 0, 0);
 }
 
+void
+MultithreadedProcessor::setReplayTrace(const ExecTrace *trace)
+{
+    replay_ = trace;
+    if (!trace)
+        return;
+    SMTSIM_ASSERT(now_ == 0,
+                  "replay must be armed before the first cycle");
+    for (int f = 1; f < cfg_.frames(); ++f) {
+        SMTSIM_ASSERT(contexts_[f].state == CtxState::Unused,
+                      "replay is incompatible with spawnContext");
+    }
+    contexts_[0].trace_tid = 0;
+    contexts_[0].next_branch = 0;
+    contexts_[0].next_mem = 0;
+}
+
+void
+MultithreadedProcessor::replayBranch(Context &ctx, Addr pc,
+                                     Addr evaluated)
+{
+    if (ctx.trace_tid < 0 ||
+        static_cast<std::size_t>(ctx.trace_tid) >=
+            replay_->threads.size()) {
+        throw ReplayDivergence(
+            "replay: branch on a thread the trace does not know");
+    }
+    const auto &recs =
+        replay_->threads[static_cast<std::size_t>(ctx.trace_tid)]
+            .branches;
+    if (ctx.next_branch >= recs.size())
+        throw ReplayDivergence("replay: branch stream exhausted");
+    const BranchRec &rec = recs[ctx.next_branch];
+    if (rec.pc != pc)
+        throw ReplayDivergence("replay: branch pc mismatch");
+    if (rec.next != evaluated) {
+        throw ReplayDivergence(
+            "replay: branch outcome diverged from recording");
+    }
+    ++ctx.next_branch;
+}
+
+void
+MultithreadedProcessor::replayMemAddr(const Context &ctx, Addr pc,
+                                      Addr addr) const
+{
+    if (ctx.trace_tid < 0 ||
+        static_cast<std::size_t>(ctx.trace_tid) >=
+            replay_->threads.size()) {
+        throw ReplayDivergence(
+            "replay: memory op on a thread the trace does not know");
+    }
+    const auto &recs =
+        replay_->threads[static_cast<std::size_t>(ctx.trace_tid)]
+            .mems;
+    if (ctx.next_mem >= recs.size())
+        throw ReplayDivergence("replay: memory stream exhausted");
+    const MemRec &rec = recs[ctx.next_mem];
+    if (rec.pc != pc)
+        throw ReplayDivergence("replay: memory pc mismatch");
+    if (rec.addr != addr) {
+        throw ReplayDivergence(
+            "replay: memory address diverged from recording");
+    }
+}
+
+void
+MultithreadedProcessor::checkReplayDrained() const
+{
+    for (std::size_t tid = 0; tid < replay_->threads.size();
+         ++tid) {
+        const ThreadTrace &tt = replay_->threads[tid];
+        const Context *claimed = nullptr;
+        for (const Context &ctx : contexts_) {
+            if (ctx.trace_tid == static_cast<int>(tid)) {
+                claimed = &ctx;
+                break;
+            }
+        }
+        if (!claimed) {
+            if (!tt.branches.empty() || !tt.mems.empty())
+                throw ReplayDivergence(
+                    "replay: recorded thread never started");
+            continue;
+        }
+        if (claimed->next_branch != tt.branches.size() ||
+            claimed->next_mem != tt.mems.size()) {
+            throw ReplayDivergence(
+                "replay: records left over at completion");
+        }
+    }
+}
+
 int
 MultithreadedProcessor::spawnContext(
     Addr entry, const std::array<std::uint32_t, kNumRegs> &iregs,
     const std::array<double, kNumRegs> &fregs)
 {
+    if (replay_)
+        fatal("spawnContext: unsupported in replay mode");
     for (int f = 0; f < cfg_.frames(); ++f) {
         if (contexts_[f].state == CtxState::Unused) {
             contexts_[f].state = CtxState::Ready;
@@ -665,7 +760,8 @@ MultithreadedProcessor::writeResult(int slot_id, const IssuedOp &op,
 }
 
 void
-MultithreadedProcessor::takeRemoteTrap(const IssuedOp &op, Cycle c)
+MultithreadedProcessor::takeRemoteTrap(const IssuedOp &op, Cycle c,
+                                       Addr addr)
 {
     Slot &slot = slots_[op.slot];
     Context &ctx = ctxOf(op.slot);
@@ -673,8 +769,6 @@ MultithreadedProcessor::takeRemoteTrap(const IssuedOp &op, Cycle c)
                   "remote access with queue-register destination");
 
     ++stats_.context_switches;
-    const Addr addr =
-        op.ops.rs_i + static_cast<std::uint32_t>(op.insn.imm);
     if (sink_) {
         obs::Event ev;
         ev.cycle = c;
@@ -729,6 +823,11 @@ MultithreadedProcessor::performGrant(const Grant &grant, Cycle c)
     if (op.insn.isMem()) {
         const Addr addr =
             op.ops.rs_i + static_cast<std::uint32_t>(op.insn.imm);
+        // Replay mode checks the address against the recording; the
+        // record is consumed only once the access completes, so a
+        // trapped op re-checks the same record when it resumes.
+        if (replay_)
+            replayMemAddr(ctx, op.pc, addr);
         Cycle result_lat =
             static_cast<Cycle>(meta.result_latency);
 
@@ -736,7 +835,7 @@ MultithreadedProcessor::performGrant(const Grant &grant, Cycle c)
             ctx.satisfied_addr && *ctx.satisfied_addr == addr;
         if (cfg_.remote.contains(addr) && !satisfied) {
             if (rotation_mode_ == RotationMode::Implicit) {
-                takeRemoteTrap(op, c);
+                takeRemoteTrap(op, c, addr);
                 return;
             }
             // Explicit-rotation mode suppresses data-absence
@@ -744,6 +843,8 @@ MultithreadedProcessor::performGrant(const Grant &grant, Cycle c)
             // waits out the latency.
             result_lat = cfg_.remote.latency;
         }
+        if (replay_)
+            ++ctx.next_mem;
         if (satisfied)
             ctx.satisfied_addr.reset();
 
@@ -912,6 +1013,8 @@ MultithreadedProcessor::handleControl(int slot_id,
             break;
           case Op::JR:
             next = ops.rs_i;
+            if (replay_)
+                replayBranch(ctx, entry.pc, next);
             break;
           case Op::JALR:
             if (insn.rd != 0) {
@@ -919,12 +1022,16 @@ MultithreadedProcessor::handleControl(int slot_id,
                 slot.isb[insn.rd] = c;
             }
             next = ops.rs_i;
+            if (replay_)
+                replayBranch(ctx, entry.pc, next);
             break;
           default:
             if (evalBranch(insn.op, ops.rs_i, ops.rt_i)) {
                 next = entry.pc + kInsnBytes +
                        static_cast<Addr>(insn.imm * 4);
             }
+            if (replay_)
+                replayBranch(ctx, entry.pc, next);
             break;
         }
         ++stats_.branches;
@@ -1009,6 +1116,14 @@ MultithreadedProcessor::handleControl(int slot_id,
             contexts_[frame].q_write_fp = ctx.q_write_fp;
             contexts_[frame].resume_pc = entry.pc + kInsnBytes;
             contexts_[frame].state = CtxState::Ready;
+            // Thread i of the recording engine starts on slot i
+            // (the FASTFORK convention), so the forked context
+            // plays back trace thread j.
+            if (replay_) {
+                contexts_[frame].trace_tid = j;
+                contexts_[frame].next_branch = 0;
+                contexts_[frame].next_mem = 0;
+            }
             bindContext(frame, j, c);
         }
         break;
@@ -1025,6 +1140,13 @@ MultithreadedProcessor::handleControl(int slot_id,
             ++*stall_priority_;
             return ControlOutcome::Blocked;
         }
+        // The kill point is timing-dependent: the victims' record
+        // streams cannot be lined up with a functional recording,
+        // so KILLT programs are not replayable.
+        if (replay_)
+            throw ReplayDivergence("replay: KILLT is not "
+                                   "replayable (timing-dependent "
+                                   "kill point)");
         killOtherThreads(slot_id, c);
         break;
       case Op::TID:
@@ -1513,6 +1635,11 @@ MultithreadedProcessor::runUntil(Cycle stop)
         decodePhase(now_);
         rotationPhase(now_);
         if (allDone()) {
+            // Replay sanity: a finished run must have consumed
+            // every record of every claimed stream, or the timing
+            // it produced came from the wrong dynamic path.
+            if (replay_)
+                checkReplayDrained();
             stats_.cycles = std::max(now_, last_activity_);
             stats_.finished = true;
             finished_ = true;

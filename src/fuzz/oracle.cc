@@ -6,7 +6,9 @@
 #include "base/logging.hh"
 #include "baseline/baseline.hh"
 #include "core/processor.hh"
+#include "fastpath/engine.hh"
 #include "interp/interpreter.hh"
+#include "machine/run_stats_json.hh"
 #include "mem/memory.hh"
 
 namespace smtsim::fuzz
@@ -50,9 +52,10 @@ RunConfig::name() const
       case Engine::Interp: os << "interp"; break;
       case Engine::Baseline: os << "baseline"; break;
       case Engine::Core: os << "core"; break;
+      case Engine::Fast: os << "fast"; break;
     }
     os << " slots=" << slots;
-    if (engine != Engine::Interp) {
+    if (engine != Engine::Interp && engine != Engine::Fast) {
         os << " ff=" << (fast_forward ? 1 : 0);
         os << " width=" << width;
     }
@@ -91,6 +94,27 @@ runEngine(const Program &prog, const RunConfig &rc,
                     ir[i] = interp.intReg(t, static_cast<RegIndex>(i));
                     fr[i] =
                         fpBits(interp.fpReg(t, static_cast<RegIndex>(i)));
+                }
+                st.iregs.push_back(ir);
+                st.fregs.push_back(fr);
+            }
+            break;
+          }
+          case Engine::Fast: {
+            InterpConfig cfg;
+            cfg.num_threads = rc.slots;
+            cfg.max_steps = budget.interp_max_steps;
+            fastpath::FastEngine fast(prog, mem, cfg);
+            const InterpResult r = fast.run();
+            st.finished = r.completed;
+            st.instructions = r.steps;
+            for (int t = 0; t < rc.slots; ++t) {
+                std::array<std::uint32_t, kNumRegs> ir{};
+                std::array<std::uint64_t, kNumRegs> fr{};
+                for (int i = 0; i < kNumRegs; ++i) {
+                    ir[i] = fast.intReg(t, static_cast<RegIndex>(i));
+                    fr[i] =
+                        fpBits(fast.fpReg(t, static_cast<RegIndex>(i)));
                 }
                 st.iregs.push_back(ir);
                 st.fregs.push_back(fr);
@@ -252,6 +276,15 @@ buildGrid(const GenFeatures &features)
         return rc;
     };
 
+    // The fast engine must be architecturally indistinguishable
+    // from the interpreter at every logical-processor count.
+    for (int slots : {1, 2, 4, 8}) {
+        RunConfig rc;
+        rc.engine = Engine::Fast;
+        rc.slots = slots;
+        grid.emplace_back(interpRef(slots), rc);
+    }
+
     // The issue's grid: slots 1/2/4/8 x fast-forward x cache.
     for (int slots : {1, 2, 4, 8}) {
         for (bool ff : {true, false}) {
@@ -336,6 +369,66 @@ checkPair(const Program &prog, const GenFeatures &features,
 }
 
 std::optional<Divergence>
+checkReplayTiming(const Program &prog, const GenFeatures &features,
+                  const OracleBudget &budget)
+{
+    (void)features;     // verified replay self-detects divergence
+    RunConfig cell;     // the cell being exercised, for reports
+    cell.engine = Engine::Core;
+    cell.slots = 4;
+
+    CoreConfig ccfg;
+    ccfg.num_slots = cell.slots;
+    ccfg.max_cycles = budget.max_cycles;
+
+    InterpConfig icfg;
+    icfg.num_threads = ccfg.num_slots;
+    icfg.queue_depth = ccfg.queue_reg_depth;
+    icfg.max_steps = budget.interp_max_steps;
+
+    try {
+        MainMemory fmem;
+        prog.loadInto(fmem);
+        const fastpath::TracedRun recorded =
+            fastpath::recordTrace(prog, fmem, icfg);
+        if (!recorded.result.completed)
+            return std::nullopt;    // budget-bound; nothing to time
+
+        MainMemory emem;
+        prog.loadInto(emem);
+        MultithreadedProcessor exec(prog, emem, ccfg);
+        const RunStats a = exec.run();
+
+        RunStats b;
+        try {
+            MainMemory rmem;
+            prog.loadInto(rmem);
+            MultithreadedProcessor rep(prog, rmem, ccfg);
+            rep.setReplayTrace(&recorded.trace);
+            b = rep.run();
+        } catch (const ReplayDivergence &) {
+            // Legitimately non-replayable (interleaving-dependent
+            // control flow); production code falls back to execute
+            // mode, so there is nothing to compare.
+            return std::nullopt;
+        }
+        const std::string ja = statsToJson(a).dump();
+        const std::string jb = statsToJson(b).dump();
+        if (ja != jb) {
+            return Divergence{
+                cell, cell,
+                "replay timing mismatch: execute " + ja +
+                    " vs replay " + jb};
+        }
+    } catch (const FatalError &) {
+        // Trapping programs are covered by the architectural grid;
+        // trap parity is checked there.
+    } catch (const PanicError &) {
+    }
+    return std::nullopt;
+}
+
+std::optional<Divergence>
 checkProgram(const Program &prog, const GenFeatures &features,
              const OracleBudget &budget)
 {
@@ -362,7 +455,7 @@ checkProgram(const Program &prog, const GenFeatures &features,
         if (!diff.empty())
             return Divergence{ref, cfg, diff};
     }
-    return std::nullopt;
+    return checkReplayTiming(prog, features, budget);
 }
 
 } // namespace smtsim::fuzz

@@ -33,7 +33,8 @@ enum class Engine
 {
     Interp,
     Baseline,
-    Core
+    Core,
+    Fast        ///< threaded-code engine (fastpath::FastEngine)
 };
 
 /** One cell of the oracle grid. */
@@ -135,7 +136,21 @@ std::optional<Divergence> checkPair(const Program &prog,
                                     const RunConfig &cfg,
                                     const OracleBudget &budget = {});
 
-/** Run the whole grid; first divergence wins. */
+/**
+ * Functional-first timing check: record the program's execution
+ * trace with the fast engine, then run the detailed core once in
+ * execute mode and once in verified replay mode and diff the full
+ * statistics dumps — cycles, per-unit busy counters, everything.
+ * A replay that diverges from the recording falls back to execute
+ * mode (still compared, trivially equal); a *stats* mismatch means
+ * replay changed timing and is reported as a divergence.
+ */
+std::optional<Divergence> checkReplayTiming(
+    const Program &prog, const GenFeatures &features,
+    const OracleBudget &budget = {});
+
+/** Run the whole grid (plus the replay timing check); first
+ *  divergence wins. */
 std::optional<Divergence> checkProgram(const Program &prog,
                                        const GenFeatures &features,
                                        const OracleBudget &budget = {});

@@ -20,6 +20,7 @@ engineToken(Engine e)
       case Engine::Interp: return "interp";
       case Engine::Baseline: return "baseline";
       case Engine::Core: return "core";
+      case Engine::Fast: return "fast";
     }
     return "core";
 }
@@ -33,6 +34,8 @@ parseEngineToken(const std::string &tok)
         return Engine::Baseline;
     if (tok == "core")
         return Engine::Core;
+    if (tok == "fast")
+        return Engine::Fast;
     fatal("repro: unknown engine \"", tok, "\"");
 }
 

@@ -79,6 +79,27 @@ class MainMemory
     /** Drop every resident page (restore starts from empty). */
     void reset() { pages_.clear(); }
 
+    /**
+     * Backing storage of the page containing @p addr, or nullptr
+     * while the page is untouched (reads as zero). The pointer
+     * stays valid until reset(): pages are unordered_map nodes and
+     * never resize. The fastpath engine caches it to keep
+     * page-local access runs out of the hash table.
+     */
+    const std::uint8_t *
+    findPageData(Addr addr) const
+    {
+        const Page *page = findPage(addr);
+        return page ? page->data() : nullptr;
+    }
+
+    /** Like findPageData, but allocates (zero-filled) on first
+     *  touch — the write-side counterpart. */
+    std::uint8_t *pageData(Addr addr)
+    {
+        return touchPage(addr).data();
+    }
+
   private:
     const Page *findPage(Addr addr) const;
     Page &touchPage(Addr addr);

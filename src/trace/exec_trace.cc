@@ -1,0 +1,167 @@
+#include "exec_trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/serial.hh"
+#include "trace/spsc.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/** Anything above this is treated as corruption, not data: the
+ *  largest plausible trace is bounded by the interpreter's step
+ *  budget, far below 2^28 records per stream. */
+constexpr std::uint32_t kMaxRecords = 1u << 28;
+constexpr std::uint32_t kMaxThreads = 1u << 12;
+
+std::uint32_t
+checkedCount(obs::ByteReader &r, const char *what)
+{
+    const std::uint32_t n = r.u32();
+    if (n > kMaxRecords) {
+        throw std::runtime_error(
+            std::string("trace: implausible ") + what + " count (" +
+            std::to_string(n) + ")");
+    }
+    return n;
+}
+
+} // namespace
+
+std::vector<Addr>
+ExecTrace::fetchBlockPcs(int tid) const
+{
+    const ThreadTrace &t =
+        threads.at(static_cast<std::size_t>(tid));
+    std::vector<Addr> blocks;
+    blocks.reserve(t.branches.size() + 1);
+    blocks.push_back(entry);
+    for (const BranchRec &b : t.branches) {
+        // An untaken branch continues the current fetch block.
+        if (b.next != b.pc + kInsnBytes)
+            blocks.push_back(b.next);
+    }
+    return blocks;
+}
+
+void
+ExecTrace::save(std::ostream &os) const
+{
+    obs::ByteWriter w(os);
+    w.u64(kExecTraceMagic);
+    w.u32(entry);
+    w.u32(static_cast<std::uint32_t>(threads.size()));
+    for (const ThreadTrace &t : threads) {
+        w.u64(t.insns);
+        w.u32(static_cast<std::uint32_t>(t.branches.size()));
+        for (const BranchRec &b : t.branches) {
+            w.u32(b.pc);
+            w.u32(b.next);
+        }
+        w.u32(static_cast<std::uint32_t>(t.mems.size()));
+        for (const MemRec &m : t.mems) {
+            w.u32(m.pc);
+            w.u32(m.addr);
+        }
+        w.u32(static_cast<std::uint32_t>(t.queue_pushes.size()));
+        for (const QueueRec &q : t.queue_pushes) {
+            w.u32(q.pc);
+            w.u64(q.value);
+        }
+    }
+}
+
+ExecTrace
+ExecTrace::load(std::istream &is)
+{
+    obs::ByteReader r(is);
+    obs::expectU64(r, kExecTraceMagic, "execution-trace magic");
+
+    ExecTrace trace;
+    trace.entry = r.u32();
+    const std::uint32_t num_threads = r.u32();
+    if (num_threads > kMaxThreads) {
+        throw std::runtime_error(
+            "trace: implausible thread count (" +
+            std::to_string(num_threads) + ")");
+    }
+    trace.threads.resize(num_threads);
+    for (ThreadTrace &t : trace.threads) {
+        t.insns = r.u64();
+        const std::uint32_t nb = checkedCount(r, "branch");
+        t.branches.reserve(nb);
+        for (std::uint32_t i = 0; i < nb; ++i) {
+            BranchRec b;
+            b.pc = r.u32();
+            b.next = r.u32();
+            t.branches.push_back(b);
+        }
+        const std::uint32_t nm = checkedCount(r, "memory");
+        t.mems.reserve(nm);
+        for (std::uint32_t i = 0; i < nm; ++i) {
+            MemRec m;
+            m.pc = r.u32();
+            m.addr = r.u32();
+            t.mems.push_back(m);
+        }
+        const std::uint32_t nq = checkedCount(r, "queue");
+        t.queue_pushes.reserve(nq);
+        for (std::uint32_t i = 0; i < nq; ++i) {
+            QueueRec q;
+            q.pc = r.u32();
+            q.value = r.u64();
+            t.queue_pushes.push_back(q);
+        }
+    }
+    return trace;
+}
+
+void
+StreamingRecorder::onBranch(int tid, Addr pc, Addr next)
+{
+    ring_.push(StreamRec{StreamRec::Kind::Branch,
+                         static_cast<std::uint8_t>(tid), pc, next});
+}
+
+void
+StreamingRecorder::onMem(int tid, Addr pc, Addr addr)
+{
+    ring_.push(StreamRec{StreamRec::Kind::Mem,
+                         static_cast<std::uint8_t>(tid), pc, addr});
+}
+
+void
+StreamingRecorder::onQueuePush(int tid, Addr pc, std::uint64_t value)
+{
+    ring_.push(StreamRec{StreamRec::Kind::QueuePush,
+                         static_cast<std::uint8_t>(tid), pc, value});
+}
+
+void
+drainStream(SpscRing<StreamRec> &ring, ExecTrace &out)
+{
+    StreamRec rec;
+    while (ring.pop(rec)) {
+        ThreadTrace &t = out.threads.at(rec.tid);
+        switch (rec.kind) {
+          case StreamRec::Kind::Branch:
+            t.branches.push_back(BranchRec{
+                rec.pc, static_cast<Addr>(rec.payload)});
+            break;
+          case StreamRec::Kind::Mem:
+            t.mems.push_back(MemRec{
+                rec.pc, static_cast<Addr>(rec.payload)});
+            break;
+          case StreamRec::Kind::QueuePush:
+            t.queue_pushes.push_back(QueueRec{rec.pc, rec.payload});
+            break;
+        }
+    }
+}
+
+} // namespace smtsim

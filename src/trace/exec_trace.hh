@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Compact execution traces for trace-driven timing (`SMTTRC1`).
+ *
+ * The functional-first pipeline (docs/PERF.md) records, per thread,
+ * exactly the data-dependent decisions a timing model cannot
+ * recompute without architectural values:
+ *
+ *  - every *resolved* branch outcome (conditional branches and the
+ *    register-indirect JR/JALR; J/JAL targets are static),
+ *  - every memory-access effective address, in program order,
+ *  - every queue-register push with its value (informational; the
+ *    timing models re-derive queue occupancy structurally).
+ *
+ * Fetch-block PCs are fully determined by the entry point plus the
+ * branch records, so they are served as a derived view
+ * (fetchBlockPcs()) rather than stored.
+ *
+ * The on-disk format mirrors the SMTEVT1 event stream
+ * (obs/sinks.hh): little-endian fixed-width records behind a u64
+ * magic, written with obs::ByteWriter. load() throws
+ * std::runtime_error on truncation, magic mismatch or implausible
+ * counts instead of misparsing.
+ */
+
+#ifndef SMTSIM_TRACE_EXEC_TRACE_HH
+#define SMTSIM_TRACE_EXEC_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace smtsim
+{
+
+/**
+ * Thrown by a trace-driven timing run when the machine's execution
+ * departs from the recorded trace (wrong pc on a record, stream
+ * exhausted, or records left over at completion). Replay callers
+ * catch this and fall back to execute mode — the trace-recording
+ * contract (docs/PERF.md) says when it cannot happen.
+ */
+struct ReplayDivergence : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** "SMTTRC1\0", little-endian, same layout rule as kEventMagic. */
+constexpr std::uint64_t kExecTraceMagic = 0x0031435254544d53ull;
+
+/** One resolved control transfer (conditional or indirect). */
+struct BranchRec
+{
+    Addr pc = 0;    ///< branch instruction address
+    Addr next = 0;  ///< resolved next pc (pc+4 when untaken)
+
+    bool operator==(const BranchRec &) const = default;
+};
+
+/** One memory access (loads and stores alike). */
+struct MemRec
+{
+    Addr pc = 0;    ///< memory instruction address
+    Addr addr = 0;  ///< effective address
+
+    bool operator==(const MemRec &) const = default;
+};
+
+/** One queue-register push (raw 64-bit payload). */
+struct QueueRec
+{
+    Addr pc = 0;
+    std::uint64_t value = 0;
+
+    bool operator==(const QueueRec &) const = default;
+};
+
+/** Per-thread record streams, each in program order. */
+struct ThreadTrace
+{
+    std::vector<BranchRec> branches;
+    std::vector<MemRec> mems;
+    std::vector<QueueRec> queue_pushes;
+    /** Instructions the thread executed (all of them, not just the
+     *  recorded ones). */
+    std::uint64_t insns = 0;
+
+    bool operator==(const ThreadTrace &) const = default;
+};
+
+/** A full recorded execution: one ThreadTrace per logical
+ *  processor, indexed by interpreter thread id. */
+struct ExecTrace
+{
+    Addr entry = 0;
+    std::vector<ThreadTrace> threads;
+
+    /**
+     * Fetch-block start addresses of one thread, derived from the
+     * entry point and the recorded branch targets: the blocks a
+     * fetch unit walking this trace would request.
+     */
+    std::vector<Addr> fetchBlockPcs(int tid) const;
+
+    /** Serialize as SMTTRC1. */
+    void save(std::ostream &os) const;
+
+    /**
+     * Parse an SMTTRC1 stream.
+     * @throws std::runtime_error on bad magic, truncation or
+     *         implausible record counts.
+     */
+    static ExecTrace load(std::istream &is);
+
+    bool operator==(const ExecTrace &) const = default;
+};
+
+/**
+ * Sink interface the fast engine records through; one callback per
+ * record kind, invoked in per-thread program order.
+ */
+class TraceRecorder
+{
+  public:
+    virtual ~TraceRecorder() = default;
+    virtual void onBranch(int tid, Addr pc, Addr next) = 0;
+    virtual void onMem(int tid, Addr pc, Addr addr) = 0;
+    virtual void onQueuePush(int tid, Addr pc,
+                             std::uint64_t value) = 0;
+};
+
+/** Recorder that assembles an ExecTrace in memory. */
+class TraceBuilder final : public TraceRecorder
+{
+  public:
+    explicit TraceBuilder(int num_threads)
+    {
+        trace_.threads.resize(
+            static_cast<std::size_t>(num_threads));
+    }
+
+    void
+    onBranch(int tid, Addr pc, Addr next) override
+    {
+        trace_.threads[static_cast<std::size_t>(tid)]
+            .branches.push_back(BranchRec{pc, next});
+    }
+
+    void
+    onMem(int tid, Addr pc, Addr addr) override
+    {
+        trace_.threads[static_cast<std::size_t>(tid)]
+            .mems.push_back(MemRec{pc, addr});
+    }
+
+    void
+    onQueuePush(int tid, Addr pc, std::uint64_t value) override
+    {
+        trace_.threads[static_cast<std::size_t>(tid)]
+            .queue_pushes.push_back(QueueRec{pc, value});
+    }
+
+    /** The assembled trace (entry/insns filled by the caller). */
+    ExecTrace &trace() { return trace_; }
+
+  private:
+    ExecTrace trace_;
+};
+
+/** One record in flight between producer and consumer threads. */
+struct StreamRec
+{
+    enum class Kind : std::uint8_t { Branch, Mem, QueuePush };
+    Kind kind = Kind::Branch;
+    std::uint8_t tid = 0;
+    Addr pc = 0;
+    std::uint64_t payload = 0;  ///< next pc / address / value
+};
+
+template <typename T>
+class SpscRing;
+
+/** Recorder that streams records into an SPSC ring (producer side
+ *  of the two-thread pipeline). */
+class StreamingRecorder final : public TraceRecorder
+{
+  public:
+    explicit StreamingRecorder(SpscRing<StreamRec> &ring)
+        : ring_(ring)
+    {
+    }
+
+    void onBranch(int tid, Addr pc, Addr next) override;
+    void onMem(int tid, Addr pc, Addr addr) override;
+    void onQueuePush(int tid, Addr pc,
+                     std::uint64_t value) override;
+
+  private:
+    SpscRing<StreamRec> &ring_;
+};
+
+/**
+ * Consumer side: drain @p ring until it is closed and empty,
+ * appending records into @p out (whose thread vector must already
+ * be sized). Runs on its own host thread in the pipeline.
+ */
+void drainStream(SpscRing<StreamRec> &ring, ExecTrace &out);
+
+} // namespace smtsim
+
+#endif // SMTSIM_TRACE_EXEC_TRACE_HH

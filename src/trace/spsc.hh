@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer ring buffer.
+ *
+ * The functional-first pipeline (docs/PERF.md) runs the fast
+ * functional engine and the trace consumer on separate host
+ * threads: the engine pushes execution-trace records while the
+ * consumer assembles them into an ExecTrace (exec_trace.hh). The
+ * ring is the only shared state, so this is the one place in the
+ * pipeline where host-level synchronization lives (TSan-covered by
+ * tests/test_spsc.cc).
+ *
+ * Exactly one thread may call push() and exactly one thread may
+ * call pop(); close() may be called from either (or a third)
+ * thread to release whoever is blocked.
+ */
+
+#ifndef SMTSIM_TRACE_SPSC_HH
+#define SMTSIM_TRACE_SPSC_HH
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace smtsim
+{
+
+/** Bounded SPSC queue with blocking push/pop and cooperative
+ *  shutdown. Capacity is rounded up to a power of two. */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity = 1024)
+        : buf_(std::bit_ceil(capacity < 2 ? std::size_t{2}
+                                          : capacity)),
+          mask_(buf_.size() - 1)
+    {
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /**
+     * Append one item, blocking while the ring is full.
+     * @return false when the ring was closed (item dropped).
+     */
+    bool
+    push(const T &item)
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::size_t head =
+                head_.load(std::memory_order_acquire);
+            if (tail - head <= mask_)
+                break;
+            if (closed_.load(std::memory_order_acquire))
+                return false;
+            std::this_thread::yield();
+        }
+        buf_[tail & mask_] = item;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Remove the oldest item, blocking while the ring is empty.
+     * After close(), remaining items still drain in order.
+     * @return false once the ring is closed *and* drained.
+     */
+    bool
+    pop(T &out)
+    {
+        const std::size_t head =
+            head_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::size_t tail =
+                tail_.load(std::memory_order_acquire);
+            if (head != tail)
+                break;
+            if (closed_.load(std::memory_order_acquire))
+                return false;
+            std::this_thread::yield();
+        }
+        out = buf_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Release blocked callers; push() fails from now on. */
+    void
+    close()
+    {
+        closed_.store(true, std::memory_order_release);
+    }
+
+    bool closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t mask_;
+    /** Consumer cursor (monotonically increasing, wraps via mask). */
+    alignas(64) std::atomic<std::size_t> head_{0};
+    /** Producer cursor. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    std::atomic<bool> closed_{false};
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_TRACE_SPSC_HH

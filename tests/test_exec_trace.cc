@@ -1,0 +1,144 @@
+/**
+ * @file
+ * SMTTRC1 execution-trace format tests: round-trip fidelity, the
+ * fetch-block derived view, and rejection of truncated/garbage
+ * streams (mirroring the SMTEVT1 tests in test_obs.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "trace/exec_trace.hh"
+#include "trace/spsc.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+ExecTrace
+sampleTrace()
+{
+    ExecTrace trace;
+    trace.entry = 0x1000;
+    trace.threads.resize(2);
+    trace.threads[0].branches = {{0x1008, 0x1020}, {0x1028, 0x102c}};
+    trace.threads[0].mems = {{0x1004, 0x20000}, {0x1024, 0x20008}};
+    trace.threads[0].queue_pushes = {{0x1010, 0x123456789abcull}};
+    trace.threads[0].insns = 17;
+    trace.threads[1].branches = {{0x1040, 0x1000}};
+    trace.threads[1].insns = 5;
+    return trace;
+}
+
+} // namespace
+
+TEST(ExecTrace, RoundTripsThroughSmttrc1)
+{
+    const ExecTrace trace = sampleTrace();
+    std::stringstream ss;
+    trace.save(ss);
+    const ExecTrace loaded = ExecTrace::load(ss);
+    EXPECT_EQ(loaded, trace);
+}
+
+TEST(ExecTrace, EmptyTraceRoundTrips)
+{
+    ExecTrace trace;
+    trace.entry = 0x1000;
+    trace.threads.resize(1);
+    std::stringstream ss;
+    trace.save(ss);
+    EXPECT_EQ(ExecTrace::load(ss), trace);
+}
+
+TEST(ExecTrace, RejectsGarbage)
+{
+    std::stringstream bad("this is not an execution trace at all");
+    EXPECT_THROW(ExecTrace::load(bad), std::runtime_error);
+}
+
+TEST(ExecTrace, RejectsEventStreamMagic)
+{
+    // An SMTEVT1 event stream must not parse as an execution trace.
+    std::stringstream ss;
+    const char magic[8] = {'S', 'M', 'T', 'E', 'V', 'T', '1', 0};
+    ss.write(magic, 8);
+    ss.write("\0\0\0\0\0\0\0\0", 8);
+    EXPECT_THROW(ExecTrace::load(ss), std::runtime_error);
+}
+
+TEST(ExecTrace, RejectsTruncation)
+{
+    std::stringstream ss;
+    sampleTrace().save(ss);
+    std::string bytes = ss.str();
+    // Chop off a partial tail record: every prefix must be rejected,
+    // never misparsed.
+    bytes.resize(bytes.size() - 3);
+    std::stringstream cut(bytes);
+    EXPECT_THROW(ExecTrace::load(cut), std::runtime_error);
+}
+
+TEST(ExecTrace, RejectsImplausibleCounts)
+{
+    std::stringstream ss;
+    sampleTrace().save(ss);
+    std::string bytes = ss.str();
+    // Overwrite the thread count (u32 after the u64 magic + u32
+    // entry) with an absurd value.
+    bytes[12] = static_cast<char>(0xff);
+    bytes[13] = static_cast<char>(0xff);
+    bytes[14] = static_cast<char>(0xff);
+    bytes[15] = static_cast<char>(0xff);
+    std::stringstream huge(bytes);
+    EXPECT_THROW(ExecTrace::load(huge), std::runtime_error);
+}
+
+TEST(ExecTrace, FetchBlockPcsDerivesFromBranches)
+{
+    ExecTrace trace;
+    trace.entry = 0x1000;
+    trace.threads.resize(1);
+    // Untaken conditional (next == pc+4), then a taken branch.
+    trace.threads[0].branches = {{0x1004, 0x1008},
+                                 {0x100c, 0x1040}};
+    const std::vector<Addr> blocks = trace.fetchBlockPcs(0);
+    const std::vector<Addr> want = {0x1000, 0x1040};
+    EXPECT_EQ(blocks, want);
+}
+
+TEST(ExecTrace, StreamDrainMatchesDirectAssembly)
+{
+    const ExecTrace want = sampleTrace();
+
+    SpscRing<StreamRec> ring(8);
+    ExecTrace got;
+    got.entry = want.entry;
+    got.threads.resize(want.threads.size());
+    for (std::size_t i = 0; i < want.threads.size(); ++i)
+        got.threads[i].insns = want.threads[i].insns;
+
+    std::thread producer([&] {
+        StreamingRecorder rec(ring);
+        for (std::size_t tid = 0; tid < want.threads.size();
+             ++tid) {
+            const ThreadTrace &tt = want.threads[tid];
+            for (const BranchRec &b : tt.branches)
+                rec.onBranch(static_cast<int>(tid), b.pc, b.next);
+            for (const MemRec &m : tt.mems)
+                rec.onMem(static_cast<int>(tid), m.pc, m.addr);
+            for (const QueueRec &q : tt.queue_pushes)
+                rec.onQueuePush(static_cast<int>(tid), q.pc,
+                                q.value);
+        }
+        ring.close();
+    });
+    drainStream(ring, got);
+    producer.join();
+
+    EXPECT_EQ(got, want);
+}

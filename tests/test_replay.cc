@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Trace-driven replay on the detailed core: a run timed from a
+ * recorded execution trace must produce bit-identical statistics to
+ * the same run in execute mode, and workloads whose timing feeds
+ * back into execution (KILLT races) must fall back cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "fastpath/engine.hh"
+#include "harness/runner.hh"
+#include "lab/executor.hh"
+#include "lab/spec.hh"
+#include "lab/spec_json.hh"
+#include "mem/memory.hh"
+#include "workloads/workloads.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+/** Field-by-field RunStats equality with a readable diagnosis. */
+void
+expectStatsEqual(const RunStats &a, const RunStats &b,
+                 const std::string &label)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.instructions, b.instructions) << label;
+    EXPECT_EQ(a.finished, b.finished) << label;
+    EXPECT_EQ(a.fu_grants, b.fu_grants) << label;
+    EXPECT_EQ(a.fu_busy, b.fu_busy) << label;
+    EXPECT_EQ(a.unit_busy, b.unit_busy) << label;
+    EXPECT_EQ(a.branches, b.branches) << label;
+    EXPECT_EQ(a.loads, b.loads) << label;
+    EXPECT_EQ(a.stores, b.stores) << label;
+    EXPECT_EQ(a.standby_stalls, b.standby_stalls) << label;
+    EXPECT_EQ(a.context_switches, b.context_switches) << label;
+    EXPECT_EQ(a.writeback_conflicts, b.writeback_conflicts)
+        << label;
+    EXPECT_EQ(a.dcache_hits, b.dcache_hits) << label;
+    EXPECT_EQ(a.dcache_misses, b.dcache_misses) << label;
+    EXPECT_EQ(a.icache_hits, b.icache_hits) << label;
+    EXPECT_EQ(a.icache_misses, b.icache_misses) << label;
+}
+
+void
+expectReplayMatchesExecute(const Workload &w, const CoreConfig &cfg)
+{
+    const Outcome exec = runCore(w, cfg);
+    ASSERT_TRUE(exec.ok) << w.name << ": " << exec.error;
+    bool replayed = false;
+    const Outcome rep = runCoreReplay(w, cfg, &replayed);
+    ASSERT_TRUE(rep.ok) << w.name << ": " << rep.error;
+    EXPECT_TRUE(replayed) << w.name;
+    expectStatsEqual(rep.stats, exec.stats, w.name);
+}
+
+} // namespace
+
+TEST(Replay, SingleSlotMatchesExecute)
+{
+    MatmulParams mp;
+    mp.n = 4;
+    CoreConfig cfg;
+    cfg.num_slots = 1;
+    expectReplayMatchesExecute(makeMatmul(mp), cfg);
+}
+
+TEST(Replay, MultiSlotWorkloadsMatchExecute)
+{
+    MatmulParams mp;
+    mp.n = 5;
+    BsearchParams bp;
+    bp.table_size = 32;
+    bp.queries_per_thread = 8;
+    StencilParams sp;
+    sp.width = 8;
+    sp.height = 6;
+    sp.sweeps = 2;
+    RayTraceParams rp;
+    rp.width = 4;
+    rp.height = 4;
+    rp.num_spheres = 3;
+    for (const Workload &w : {makeMatmul(mp), makeBsearch(bp),
+                              makeStencil(sp), makeRayTrace(rp)}) {
+        for (int slots : {2, 4}) {
+            CoreConfig cfg;
+            cfg.num_slots = slots;
+            expectReplayMatchesExecute(w, cfg);
+        }
+    }
+}
+
+TEST(Replay, QueueRegisterWorkloadMatchesExecute)
+{
+    // Doacross over FP queue registers: replay must reproduce queue
+    // occupancy (and hence blocking) without the recorded values
+    // influencing timing.
+    RecurrenceParams qp;
+    qp.n = 24;
+    qp.variant = RecurrenceVariant::DoacrossQueue;
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    expectReplayMatchesExecute(makeRecurrence(qp), cfg);
+}
+
+TEST(Replay, MemorySpinWaitFallsBackToExecute)
+{
+    // The doacross-memory variant spins on a flag word, so its
+    // per-thread instruction streams depend on the interleaving:
+    // the spin count recorded by the functional engine differs from
+    // the core's. Verified replay must catch the first divergent
+    // spin branch and fall back; either way the stats match execute
+    // mode exactly.
+    RecurrenceParams mp;
+    mp.n = 24;
+    mp.variant = RecurrenceVariant::DoacrossMemory;
+    const Workload w = makeRecurrence(mp);
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    const Outcome exec = runCore(w, cfg);
+    ASSERT_TRUE(exec.ok) << exec.error;
+    bool replayed = true;
+    const Outcome rep = runCoreReplay(w, cfg, &replayed);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_FALSE(replayed);
+    expectStatsEqual(rep.stats, exec.stats, w.name);
+}
+
+TEST(Replay, NonDefaultGeometryMatchesExecute)
+{
+    // Timing-config changes (width, rotation, caches) must not
+    // disturb replay: the trace pins values, not schedules.
+    MatmulParams mp;
+    mp.n = 5;
+    const Workload w = makeMatmul(mp);
+
+    CoreConfig wide;
+    wide.num_slots = 2;
+    wide.width = 2;
+    expectReplayMatchesExecute(w, wide);
+
+    CoreConfig rot;
+    rot.num_slots = 4;
+    rot.rotation_mode = RotationMode::Explicit;
+    expectReplayMatchesExecute(w, rot);
+}
+
+TEST(Replay, EagerListWalkFallsBackToExecute)
+{
+    // KILLT's kill point depends on timing, so the eager list walk
+    // is declared non-replayable; runCoreReplay must detect the
+    // divergence and transparently re-run in execute mode.
+    ListWalkParams wp;
+    wp.num_nodes = 12;
+    wp.break_at = 7;
+    wp.eager = true;
+    const Workload w = makeListWalk(wp);
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+
+    const Outcome exec = runCore(w, cfg);
+    ASSERT_TRUE(exec.ok) << exec.error;
+    bool replayed = true;
+    const Outcome rep = runCoreReplay(w, cfg, &replayed);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_FALSE(replayed);
+    expectStatsEqual(rep.stats, exec.stats, w.name);
+}
+
+TEST(Replay, SweepExecutesOnceTimesSixteenBitIdentical)
+{
+    // The tentpole sweep property: a 16-cell grid over one
+    // workload runs the functional engine exactly once, times all
+    // 16 cells from that trace, and every cell's statistics are
+    // bit-identical to an execute-mode sweep of the same spec.
+    lab::ExperimentSpec spec;
+    spec.name = "replay-16";
+    spec.workloads = {lab::WorkloadSpec::matmul(5)};
+    spec.slots = {4};
+    spec.lsu = {1, 2};
+    spec.widths = {1, 2};
+    spec.standby = {true, false};
+    spec.rotation_intervals = {4, 8};
+
+    lab::LabOptions opts;
+    opts.num_threads = 2;
+
+    const lab::ResultSet exec = lab::runSweep(spec, opts);
+    ASSERT_EQ(exec.results.size(), 16u);
+    EXPECT_EQ(exec.functional_executions, 0u);
+    EXPECT_EQ(exec.replays, 0u);
+
+    spec.replay = true;
+    const lab::ResultSet rep = lab::runSweep(spec, opts);
+    ASSERT_EQ(rep.results.size(), 16u);
+    EXPECT_EQ(rep.functional_executions, 1u);
+    EXPECT_EQ(rep.replays, 16u);
+    EXPECT_EQ(rep.replay_fallbacks, 0u);
+
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        const lab::JobResult &a = rep.results[i];
+        const lab::JobResult &b = exec.results[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_TRUE(a.ok) << a.id << ": " << a.error;
+        EXPECT_TRUE(b.ok) << b.id << ": " << b.error;
+        expectStatsEqual(a.stats, b.stats, a.id);
+    }
+}
+
+TEST(Replay, SweepGroupsByWorkloadAndSlotCount)
+{
+    // Two slot counts need two traces (the recording engine's
+    // thread count is the slot count); everything else shares.
+    lab::ExperimentSpec spec;
+    spec.workloads = {lab::WorkloadSpec::matmul(4)};
+    spec.slots = {2, 4};
+    spec.standby = {true, false};
+    spec.replay = true;
+
+    const lab::ResultSet rs = lab::runSweep(spec, {});
+    ASSERT_EQ(rs.results.size(), 4u);
+    EXPECT_EQ(rs.functional_executions, 2u);
+    EXPECT_EQ(rs.replays, 4u);
+    for (const lab::JobResult &r : rs.results)
+        EXPECT_TRUE(r.ok) << r.id << ": " << r.error;
+}
+
+TEST(Replay, SpecJsonRoundTripsReplayFlag)
+{
+    lab::ExperimentSpec spec;
+    spec.workloads = {lab::WorkloadSpec::matmul(4)};
+    spec.replay = true;
+    const lab::ExperimentSpec back = lab::experimentSpecFromJson(
+        lab::experimentSpecToJson(spec));
+    EXPECT_TRUE(back.replay);
+    // Absent flag defaults to execute mode (older spec files).
+    const Json old = Json::parse(
+        R"({"workloads": [{"kind": "matmul", "params": {"n": 4}}],)"
+        R"( "name": "old"})");
+    EXPECT_FALSE(lab::experimentSpecFromJson(old).replay);
+}
+
+TEST(Replay, DivergentTraceIsRejected)
+{
+    // Hand the core a trace recorded from a different program: the
+    // pc mismatch must surface as ReplayDivergence, not as silently
+    // wrong timing.
+    MatmulParams mp;
+    mp.n = 4;
+    const Workload recorded_w = makeMatmul(mp);
+    BsearchParams bp;
+    bp.table_size = 32;
+    bp.queries_per_thread = 8;
+    const Workload timed_w = makeBsearch(bp);
+
+    InterpConfig icfg;
+    icfg.num_threads = 2;
+    MainMemory fmem;
+    recorded_w.program.loadInto(fmem);
+    if (recorded_w.init)
+        recorded_w.init(fmem);
+    const fastpath::TracedRun traced =
+        fastpath::recordTrace(recorded_w.program, fmem, icfg);
+
+    CoreConfig cfg;
+    cfg.num_slots = 2;
+    MainMemory tmem;
+    MultithreadedProcessor cpu(timed_w.program, tmem, cfg);
+    cpu.setReplayTrace(&traced.trace);
+    EXPECT_THROW(cpu.run(), ReplayDivergence);
+}

@@ -1,12 +1,12 @@
 /**
  * @file
- * smtsim-run: assemble a .s file and execute it on one of the three
+ * smtsim-run: assemble a .s file and execute it on one of the
  * engines.
  *
  *     smtsim-run [options] program.s
  *
  * Options:
- *     --engine core|baseline|interp   (default core)
+ *     --engine core|baseline|interp|fast   (default core)
  *     --slots N          thread slots (core; default 4)
  *     --frames N         context frames (core; default = slots)
  *     --lsu N            load/store units (default 1)
@@ -19,7 +19,7 @@
  *     --private-icache   per-slot fetch units
  *     --dcache BYTES     finite data cache (direct-mapped)
  *     --icache BYTES     finite instruction cache
- *     --threads N        interpreter logical processors
+ *     --threads N        interp/fast logical processors
  *     --max-cycles N     simulation budget
  *     --dump-word ADDR   print a 32-bit word of memory after the run
  *     --dump-double ADDR print a double after the run
@@ -58,6 +58,7 @@
 #include "analysis/lint.hh"
 #include "asmr/assembler.hh"
 #include "base/strutil.hh"
+#include "fastpath/engine.hh"
 #include "baseline/baseline.hh"
 #include "core/processor.hh"
 #include "interp/interpreter.hh"
@@ -308,9 +309,10 @@ main(int argc, char **argv)
                      argv[0]);
         return 2;
     }
-    if ((want_trace || !trace_out.empty()) && engine == "interp") {
+    if ((want_trace || !trace_out.empty()) &&
+        (engine == "interp" || engine == "fast")) {
         std::fprintf(stderr,
-                     "%s: the interpreter has no event stream\n",
+                     "%s: functional engines have no event stream\n",
                      argv[0]);
         return 2;
     }
@@ -449,11 +451,17 @@ main(int argc, char **argv)
             if (sink)
                 cpu.setEventSink(sink);
             report(cpu.run());
-        } else if (engine == "interp") {
+        } else if (engine == "interp" || engine == "fast") {
             InterpConfig icfg;
             icfg.num_threads = threads;
-            Interpreter interp(prog, mem, icfg);
-            const InterpResult r = interp.run();
+            InterpResult r;
+            if (engine == "fast") {
+                fastpath::FastEngine fast(prog, mem, icfg);
+                r = fast.run();
+            } else {
+                Interpreter interp(prog, mem, icfg);
+                r = interp.run();
+            }
             if (want_json) {
                 RunStats s;
                 s.instructions = r.steps;
