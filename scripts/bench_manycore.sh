@@ -1,0 +1,107 @@
+#!/bin/sh
+# Run the many-core scaling benchmarks and emit BENCH_manycore.json
+# (google-benchmark JSON: per-row corecycles/s, MIPS and
+# logical_processors, from 1x1 up to 64 cores x 8 slots = 512
+# logical processors).
+#
+# The build must be a Release build: the script refuses any other
+# CMAKE_BUILD_TYPE (scaling numbers from debug-ish builds are not
+# comparable), and it records/validates library_build_type in the
+# emitted JSON context.
+#
+# Also guards the parallel-host promise: on the 16-core machine the
+# 4-host-thread row must reach at least SMTSIM_BENCH_MC_EFF
+# parallel efficiency (t1 / (4 * t4), real time) over the
+# 1-host-thread row. The guard is skipped automatically when the
+# host has fewer than 4 CPUs — barrier hand-offs on an
+# oversubscribed host measure the scheduler, not the simulator.
+#
+# Usage: scripts/bench_manycore.sh [build-dir] [out.json]
+#   SMTSIM_BENCH_MIN_TIME  benchmark_min_time seconds (default 0.5;
+#                          use e.g. 0.1 for a CI smoke run)
+#   SMTSIM_BENCH_MC_EFF    required 4-thread parallel efficiency
+#                          (default 0.3); set to "skip" to disable
+set -eu
+
+build=${1:-build}
+out=${2:-BENCH_manycore.json}
+min_time=${SMTSIM_BENCH_MIN_TIME:-0.5}
+eff=${SMTSIM_BENCH_MC_EFF:-0.3}
+
+if [ ! -x "$build/bench/bench_manycore" ]; then
+    echo "bench_manycore not built in $build (cmake --build $build)" >&2
+    exit 1
+fi
+
+# Refuse non-Release builds up front: the benchmark binary cannot
+# tell how the library it links was compiled, so read the build
+# type straight out of the CMake cache.
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    echo "bench guard: $build/CMakeCache.txt not found (not a CMake build dir?)" >&2
+    exit 1
+fi
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+    echo "bench guard: $build is a '${build_type:-<unset>}' build;" \
+         "many-core scaling numbers are only meaningful from a" \
+         "Release build:" >&2
+    echo "    cmake -B build-release -DCMAKE_BUILD_TYPE=Release &&" \
+         "cmake --build build-release --target bench_manycore" >&2
+    exit 1
+fi
+
+"$build/bench/bench_manycore" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_context=library_build_type=Release
+
+# The context we just asked for must actually be in the artifact, so
+# downstream consumers can trust any BENCH_manycore.json handed to
+# them.
+python3 - "$out" <<'EOF'
+import json
+import sys
+
+out = sys.argv[1]
+ctx = json.load(open(out))["context"]
+lbt = ctx.get("library_build_type")
+if lbt != "Release":
+    sys.exit(f"bench guard: {out} context.library_build_type is "
+             f"{lbt!r}, expected 'Release'")
+EOF
+
+echo "wrote $out" >&2
+
+if [ "$eff" = "skip" ]; then
+    echo "parallel-efficiency guard skipped" >&2
+    exit 0
+fi
+
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$ncpu" -lt 4 ]; then
+    echo "parallel-efficiency guard skipped: host has $ncpu CPU(s)," \
+         "need >= 4 to run 4 host threads in parallel" >&2
+    exit 0
+fi
+
+python3 - "$out" "$eff" <<'EOF'
+import json
+import sys
+
+out, need = sys.argv[1], float(sys.argv[2])
+rows = {b["name"]: b for b in json.load(open(out))["benchmarks"]}
+try:
+    t1 = rows["BM_ManyCore/16/1/real_time"]["real_time"]
+    t4 = rows["BM_ManyCore/16/4/real_time"]["real_time"]
+except KeyError as missing:
+    sys.exit(f"bench guard: row {missing} missing from {out}")
+eff = t1 / (4.0 * t4)
+print(f"16-core machine: 1 thread {t1:.1f} vs 4 threads {t4:.1f} "
+      f"({rows['BM_ManyCore/16/1/real_time']['time_unit']}) -> "
+      f"parallel efficiency {eff:.2f}", file=sys.stderr)
+if eff < need:
+    sys.exit(f"bench guard: 4-thread parallel efficiency {eff:.2f} "
+             f"is below the required {need:.2f} (quantum barrier or "
+             f"worker-pool overhead regressed)")
+EOF

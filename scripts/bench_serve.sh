@@ -5,6 +5,11 @@
 # injected worker crashes. The bench fails hard (exit 1) if the
 # herd executes more than once or any job is lost.
 #
+# The build must be a Release build, for the same reason as
+# scripts/bench_simspeed.sh: latency/throughput numbers from
+# debug-ish builds are not comparable and must never land in
+# BENCH_serve.json.
+#
 # Usage: scripts/bench_serve.sh [build-dir] [out.json]
 #   SMTSIM_SERVE_HERD     herd submissions       (default 1200)
 #   SMTSIM_SERVE_CLIENTS  concurrent connections (default 32)
@@ -16,6 +21,23 @@ out=${2:-BENCH_serve.json}
 
 if [ ! -x "$build/bench/bench_serve" ]; then
     echo "bench_serve not built in $build (cmake --build $build)" >&2
+    exit 1
+fi
+
+# Refuse non-Release builds up front: the benchmark binary cannot
+# tell how the library it links was compiled, so read the build
+# type straight out of the CMake cache.
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    echo "bench guard: $build/CMakeCache.txt not found (not a CMake build dir?)" >&2
+    exit 1
+fi
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+    echo "bench guard: $build is a '${build_type:-<unset>}' build;" \
+         "service latency numbers are only meaningful from a" \
+         "Release build:" >&2
+    echo "    cmake -B build-release -DCMAKE_BUILD_TYPE=Release &&" \
+         "cmake --build build-release --target bench_serve" >&2
     exit 1
 fi
 

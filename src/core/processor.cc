@@ -95,6 +95,34 @@ MultithreadedProcessor::setReplayTrace(const ExecTrace *trace)
 }
 
 void
+MultithreadedProcessor::setRemoteModel(RemoteTimingModel *model)
+{
+    SMTSIM_ASSERT(now_ == 0,
+                  "remote model must be attached before the first "
+                  "cycle");
+    remote_model_ = model;
+}
+
+void
+MultithreadedProcessor::completeRemote(int frame, Cycle ready_at)
+{
+    SMTSIM_ASSERT(remote_model_ != nullptr,
+                  "completeRemote without an attached remote model");
+    SMTSIM_ASSERT(frame >= 0 && frame < cfg_.frames(),
+                  "completeRemote: bad frame");
+    Context &ctx = contexts_[static_cast<std::size_t>(frame)];
+    SMTSIM_ASSERT(ctx.state == CtxState::WaitRemote,
+                  "completeRemote: frame is not waiting on a remote "
+                  "access");
+    SMTSIM_ASSERT(ctx.ready_at == kNeverCycle,
+                  "completeRemote: frame's access already resolved");
+    SMTSIM_ASSERT(ready_at > now_,
+                  "completeRemote: completion not in the future");
+    ctx.ready_at = ready_at;
+    last_activity_ = std::max(last_activity_, ready_at);
+}
+
+void
 MultithreadedProcessor::replayBranch(Context &ctx, Addr pc,
                                      Addr evaluated)
 {
@@ -776,11 +804,19 @@ MultithreadedProcessor::takeRemoteTrap(const IssuedOp &op, Cycle c,
         ev.slot = static_cast<std::int8_t>(op.slot);
         ev.pc = addr;
         ev.insn = encode(op.insn);
-        ev.a = cfg_.remote.latency;
+        ev.a = remote_model_ ? 0 : cfg_.remote.latency;
         sink_->event(ev);
     }
     ctx.state = CtxState::WaitRemote;
-    ctx.ready_at = c + cfg_.remote.latency;
+    if (remote_model_) {
+        // Completion depends on machine-wide interconnect state the
+        // core cannot see; park the context unwakeably and let the
+        // machine resolve it at its next quantum barrier.
+        ctx.ready_at = kNeverCycle;
+        remote_model_->request(slot.frame, addr, c);
+    } else {
+        ctx.ready_at = c + cfg_.remote.latency;
+    }
     ctx.satisfied_addr = addr;
     ctx.replay.push_back(ReplayEntry{op.insn, op.pc});
     ctx.resume_pc = nextUnissuedPc(op.slot);
@@ -840,8 +876,12 @@ MultithreadedProcessor::performGrant(const Grant &grant, Cycle c)
             }
             // Explicit-rotation mode suppresses data-absence
             // context switches (section 2.3.1); the thread simply
-            // waits out the latency.
-            result_lat = cfg_.remote.latency;
+            // waits out the latency. Under a machine-level model the
+            // wait charges the uncontended topology latency — known
+            // at grant time, unlike bank contention.
+            result_lat = remote_model_
+                             ? remote_model_->uncontendedLatency(addr)
+                             : cfg_.remote.latency;
         }
         if (replay_)
             ++ctx.next_mem;

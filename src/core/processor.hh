@@ -38,6 +38,7 @@
 #include "base/types.hh"
 #include "core/config.hh"
 #include "core/queue_ring.hh"
+#include "core/remote_model.hh"
 #include "core/schedule.hh"
 #include "isa/insn.hh"
 #include "machine/run_stats.hh"
@@ -164,6 +165,39 @@ class MultithreadedProcessor
      * disarm. Incompatible with spawnContext() and checkpoints.
      */
     void setReplayTrace(const ExecTrace *trace);
+
+    /**
+     * Attach the many-core machine's inter-core timing model
+     * (src/core/remote_model.hh). With a model attached, a
+     * data-absence trap no longer charges the RemoteRegion's fixed
+     * latency: the context parks with ready_at = kNeverCycle and the
+     * access is handed to the model; the owner must later resolve it
+     * with completeRemote(). Inline (explicit-rotation) remote waits
+     * charge the model's uncontendedLatency() instead of the stub
+     * latency. Must be called before the first cycle; pass nullptr
+     * to detach. The model is not owned.
+     */
+    void setRemoteModel(RemoteTimingModel *model);
+
+    /**
+     * Resolve a remote access previously handed to the attached
+     * RemoteTimingModel: context frame @p frame wakes at
+     * @p ready_at, which must be in this core's future. Called by
+     * the many-core machine at quantum barriers.
+     */
+    void completeRemote(int frame, Cycle ready_at);
+
+    /**
+     * Earliest cycle after now() at which this core can do work
+     * (kNeverCycle when drained — e.g. every runnable context is
+     * parked on an unresolved remote access). The many-core machine
+     * uses this to pick quantum boundaries; it is exactly the idle
+     * fast-forward event bound.
+     */
+    Cycle nextEventHint() const { return nextEventCycle(now_); }
+
+    /** Statistics accumulated so far (final once finished()). */
+    const RunStats &stats() const { return stats_; }
 
   private:
     // ----- contexts (section 2.1.3) ------------------------------
@@ -396,6 +430,10 @@ class MultithreadedProcessor
 
     /** Armed execution trace for replay mode (not owned). */
     const ExecTrace *replay_ = nullptr;
+
+    /** Inter-core timing model for remote accesses (not owned);
+     *  nullptr = the fixed-latency RemoteRegion stub. */
+    RemoteTimingModel *remote_model_ = nullptr;
 
     obs::EventSink *sink_ = nullptr;
     /** Backing storage for the setPipeTrace() TextSink shim. */

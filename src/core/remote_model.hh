@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The core's window onto an external inter-core memory model.
+ *
+ * A lone MultithreadedProcessor charges its RemoteRegion's fixed
+ * latency for every remote access (the paper's stub). Inside a
+ * many-core machine the same accesses instead traverse a shared
+ * banked L2 over an interconnect (src/interconnect/), whose
+ * contention the core cannot compute locally — the machine owns
+ * that state. This interface splits the two timing questions a
+ * core ever asks:
+ *
+ *  - uncontendedLatency(): the latency an *inline* remote wait
+ *    (explicit-rotation mode, which suppresses data-absence
+ *    context switches) charges at grant time. Modeling decision:
+ *    inline waits pay the topology latency but do not contend for
+ *    bank MSHRs — their completion must be known at grant time,
+ *    before the machine's barrier folds the cycle-ordered request
+ *    sequence (docs/MANYCORE.md).
+ *
+ *  - request(): a data-absence trap's access, resolved later. The
+ *    core parks the context with ready_at = kNeverCycle; the
+ *    machine answers at its next quantum barrier via
+ *    MultithreadedProcessor::completeRemote().
+ */
+
+#ifndef SMTSIM_CORE_REMOTE_MODEL_HH
+#define SMTSIM_CORE_REMOTE_MODEL_HH
+
+#include "base/types.hh"
+
+namespace smtsim
+{
+
+/** Implemented by the many-core machine; not owned by the core. */
+class RemoteTimingModel
+{
+  public:
+    virtual ~RemoteTimingModel() = default;
+
+    /** Latency of an inline (non-trapping) remote access. */
+    virtual Cycle uncontendedLatency(Addr addr) const = 0;
+
+    /**
+     * Record a trapped remote access issued at @p issued for
+     * context frame @p frame. The owner later resolves it with
+     * completeRemote(frame, completion); completion must land
+     * strictly after the quantum that issued it.
+     */
+    virtual void request(int frame, Addr addr, Cycle issued) = 0;
+};
+
+} // namespace smtsim
+
+#endif // SMTSIM_CORE_REMOTE_MODEL_HH

@@ -8,6 +8,8 @@
 #include "core/processor.hh"
 #include "fastpath/engine.hh"
 #include "interp/interpreter.hh"
+#include "machine/manycore.hh"
+#include "machine/manycore_json.hh"
 #include "machine/run_stats_json.hh"
 #include "mem/memory.hh"
 
@@ -429,6 +431,85 @@ checkReplayTiming(const Program &prog, const GenFeatures &features,
 }
 
 std::optional<Divergence>
+checkManyCoreDeterminism(const Program &prog,
+                         const GenFeatures &features,
+                         const OracleBudget &budget)
+{
+    // Same gating as the single-core remote cell: remote traps
+    // rebind contexts across slots, which permutes queue rings and
+    // priority ring heads.
+    if (features.usesQueues() || features.priority)
+        return std::nullopt;
+
+    RunConfig cell;     // for reports only
+    cell.engine = Engine::Core;
+    cell.slots = 4;
+    cell.remote = true;
+
+    MachineConfig mcfg;
+    mcfg.num_cores = 2;
+    mcfg.core.num_slots = cell.slots;
+    mcfg.core.max_cycles = budget.max_cycles;
+    mcfg.core.remote.base = prog.symbol("table");
+    mcfg.core.remote.size = 64;
+    mcfg.core.num_frames = mcfg.core.num_slots + 1;
+
+    auto capture = [&](int host_threads, MachineStats *stats,
+                       std::vector<EngineState> *cores) {
+        ManyCoreMachine m(prog, mcfg);
+        *stats = m.run(host_threads);
+        for (int c = 0; c < m.numCores(); ++c) {
+            EngineState st;
+            st.finished = (*stats).cores[c].finished;
+            st.instructions = (*stats).cores[c].instructions;
+            for (int t = 0; t < mcfg.core.num_slots; ++t) {
+                std::array<std::uint32_t, kNumRegs> ir{};
+                std::array<std::uint64_t, kNumRegs> fr{};
+                for (int i = 0; i < kNumRegs; ++i) {
+                    ir[i] = m.core(c).intReg(
+                        t, static_cast<RegIndex>(i));
+                    fr[i] = fpBits(m.core(c).fpReg(
+                        t, static_cast<RegIndex>(i)));
+                }
+                st.iregs.push_back(ir);
+                st.fregs.push_back(fr);
+            }
+            captureMemory(prog, m.memory(c), st);
+            cores->push_back(std::move(st));
+        }
+    };
+
+    try {
+        MachineStats sa, sb;
+        std::vector<EngineState> ca, cb;
+        capture(0, &sa, &ca);   // sequential reference schedule
+        capture(2, &sb, &cb);   // one host thread per core
+        if (!machineStatsEqual(sa, sb)) {
+            return Divergence{
+                cell, cell,
+                "manycore schedule divergence: sequential " +
+                    machineStatsToJson(sa).dump() + " vs threaded " +
+                    machineStatsToJson(sb).dump()};
+        }
+        for (std::size_t c = 0; c < ca.size(); ++c) {
+            const std::string diff = diffStates(ca[c], cb[c], false);
+            if (!diff.empty()) {
+                return Divergence{cell, cell,
+                                  "manycore schedule divergence: "
+                                  "core " +
+                                      std::to_string(c) + ": " +
+                                      diff};
+            }
+        }
+    } catch (const FatalError &) {
+        // Trap parity across schedules is uninteresting here; the
+        // architectural grid covers trapping programs.
+    } catch (const PanicError &) {
+    }
+    return std::nullopt;
+}
+
+std::optional<Divergence>
 checkProgram(const Program &prog, const GenFeatures &features,
              const OracleBudget &budget)
 {
@@ -455,7 +536,9 @@ checkProgram(const Program &prog, const GenFeatures &features,
         if (!diff.empty())
             return Divergence{ref, cfg, diff};
     }
-    return checkReplayTiming(prog, features, budget);
+    if (auto div = checkReplayTiming(prog, features, budget))
+        return div;
+    return checkManyCoreDeterminism(prog, features, budget);
 }
 
 } // namespace smtsim::fuzz

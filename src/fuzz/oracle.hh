@@ -149,6 +149,21 @@ std::optional<Divergence> checkReplayTiming(
     const Program &prog, const GenFeatures &features,
     const OracleBudget &budget = {});
 
+/**
+ * Many-core determinism check: run the program on a 2-core machine
+ * (each core a full multithreaded processor, coupled through the
+ * shared word table as interconnect-resolved remote memory) once on
+ * the sequential reference schedule and once with two host threads,
+ * and diff the complete machine statistics plus every core's
+ * architectural state. Any difference means the parallel host
+ * schedule leaked into simulated behavior — the invariant
+ * docs/MANYCORE.md argues can't happen. Skipped for queue/priority
+ * programs for the same slot-rebinding reason as the remote cell.
+ */
+std::optional<Divergence> checkManyCoreDeterminism(
+    const Program &prog, const GenFeatures &features,
+    const OracleBudget &budget = {});
+
 /** Run the whole grid (plus the replay timing check); first
  *  divergence wins. */
 std::optional<Divergence> checkProgram(const Program &prog,

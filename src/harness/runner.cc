@@ -45,6 +45,34 @@ runCore(const Workload &workload, const CoreConfig &cfg)
     return out;
 }
 
+MachineOutcome
+runMachine(const Workload &workload, const MachineConfig &cfg,
+           int host_threads)
+{
+    MachineOutcome out;
+    ManyCoreMachine machine(
+        workload.program, cfg,
+        [&workload](int, MainMemory &mem) {
+            if (workload.init)
+                workload.init(mem);
+        });
+    out.stats = machine.run(host_threads);
+    if (!out.stats.finished) {
+        out.error = workload.name + ": cycle budget exhausted";
+        return out;
+    }
+    for (int i = 0; i < machine.numCores(); ++i) {
+        std::string why;
+        if (!verify(workload, machine.memory(i), &why)) {
+            out.error =
+                "core " + std::to_string(i) + ": " + why;
+            return out;
+        }
+    }
+    out.ok = true;
+    return out;
+}
+
 Outcome
 runBaseline(const Workload &workload, const BaselineConfig &cfg)
 {

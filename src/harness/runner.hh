@@ -12,6 +12,7 @@
 
 #include "baseline/baseline.hh"
 #include "core/config.hh"
+#include "machine/manycore.hh"
 #include "machine/run_stats.hh"
 #include "trace/exec_trace.hh"
 #include "workloads/workloads.hh"
@@ -29,6 +30,24 @@ struct Outcome
 
 /** Run on the multithreaded core. */
 Outcome runCore(const Workload &workload, const CoreConfig &cfg);
+
+/** Result of one many-core machine run. */
+struct MachineOutcome
+{
+    MachineStats stats;
+    bool ok = false;        ///< finished and every core verified
+    std::string error;      ///< first failure description
+};
+
+/**
+ * Run on the N-core machine (SPMD: every core executes the
+ * workload against its own private memory, coupled through the
+ * shared L2 model). host_threads = 0 is the sequential reference
+ * schedule; any value produces bit-identical results.
+ */
+MachineOutcome runMachine(const Workload &workload,
+                          const MachineConfig &cfg,
+                          int host_threads = 0);
 
 /** Run on the baseline RISC processor. */
 Outcome runBaseline(const Workload &workload,

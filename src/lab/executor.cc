@@ -114,7 +114,8 @@ replayJob(const Job &job, const ExecTrace &trace,
 } // namespace
 
 JobResult
-simulateJob(const Job &job, double timeout_seconds)
+simulateJob(const Job &job, double timeout_seconds,
+            int machine_host_threads)
 {
     JobResult r;
     r.id = job.id;
@@ -133,6 +134,29 @@ simulateJob(const Job &job, double timeout_seconds)
           case EngineKind::Interp:
             outcome = runInterp(workload, job.interp_threads);
             break;
+          case EngineKind::Machine: {
+            MachineConfig mcfg;
+            mcfg.num_cores = job.machine.cores;
+            mcfg.core = job.core;
+            mcfg.noc = job.machine.noc;
+            mcfg.quantum = job.machine.quantum;
+            if (job.machine.remote_data) {
+                // Couple the cores through every data-segment
+                // access; base/size are a pure function of the
+                // workload spec, so cache identity is preserved.
+                mcfg.core.remote.base = workload.program.data_base;
+                mcfg.core.remote.size = static_cast<Addr>(
+                    workload.program.data.size());
+            }
+            const MachineOutcome mo = runMachine(
+                workload, mcfg, machine_host_threads);
+            outcome.ok = mo.ok;
+            outcome.error = mo.error;
+            // The cache record stays a single RunStats; machine
+            // jobs store the deterministic machine-wide roll-up.
+            outcome.stats = mo.stats.aggregate();
+            break;
+          }
         }
         r.ok = outcome.ok;
         r.error = outcome.error;
@@ -231,7 +255,8 @@ runJobsImpl(const std::vector<Job> &jobs, const LabOptions &opts,
                     // reproduces the failure with execute-mode
                     // error reporting.
                     result =
-                        simulateJob(job, opts.timeout_seconds);
+                        simulateJob(job, opts.timeout_seconds,
+                                    opts.machine_host_threads);
                 }
                 if (result.ok)
                     cache.store(job, result);

@@ -81,6 +81,14 @@ struct LabOptions
      * caches under different addresses than an unclamped one.
      */
     std::uint64_t max_cycles = 0;
+    /**
+     * Host threads per machine-engine job (0 = the sequential
+     * reference schedule). Pure execution policy: the parallel
+     * schedule is bit-identical to the sequential one (enforced by
+     * test_manycore and the manycore-determinism CI job), so this
+     * deliberately does not enter job identity or cache keys.
+     */
+    int machine_host_threads = 0;
     ProgressFn progress;
 };
 
@@ -91,8 +99,11 @@ struct LabOptions
  * @p timeout_seconds > 0 an overrunning job is marked failed
  * ("timeout") on return. Shared by the sweep executor and the
  * service's worker processes (serve/worker.hh).
+ * @p machine_host_threads applies to machine-engine jobs only
+ * (LabOptions::machine_host_threads semantics).
  */
-JobResult simulateJob(const Job &job, double timeout_seconds = 0.0);
+JobResult simulateJob(const Job &job, double timeout_seconds = 0.0,
+                      int machine_host_threads = 0);
 
 /**
  * Run a pre-expanded job list. With @p replay set, core jobs use

@@ -343,6 +343,22 @@ canonicalConfig(const BaselineConfig &cfg)
     return oss.str();
 }
 
+std::string
+canonicalConfig(const MachineTuning &tuning)
+{
+    std::ostringstream oss;
+    oss << "machine{cores=" << tuning.cores
+        << ";remote_data=" << (tuning.remote_data ? 1 : 0)
+        << ";banks=" << tuning.noc.l2_banks
+        << ";interleave=" << tuning.noc.bank_interleave
+        << ";mshrs=" << tuning.noc.mshrs_per_bank
+        << ";l2_cycles=" << tuning.noc.l2_access_cycles
+        << ";conflict=" << tuning.noc.bank_conflict_penalty
+        << ";hop=" << tuning.noc.hop_latency
+        << ";quantum=" << tuning.quantum << '}';
+    return oss.str();
+}
+
 // ----------------------------------------------------------------
 // Job
 // ----------------------------------------------------------------
@@ -354,6 +370,7 @@ engineName(EngineKind kind)
       case EngineKind::Core: return "core";
       case EngineKind::Baseline: return "baseline";
       case EngineKind::Interp: return "interp";
+      case EngineKind::Machine: return "machine";
     }
     return "?";
 }
@@ -373,6 +390,10 @@ Job::canonical() const
         break;
       case EngineKind::Interp:
         oss << "interp{threads=" << interp_threads << '}';
+        break;
+      case EngineKind::Machine:
+        oss << canonicalConfig(machine) << '/'
+            << canonicalConfig(core);
         break;
     }
     oss << '/' << workload.canonical();
@@ -419,6 +440,19 @@ interpJob(std::string id, WorkloadSpec workload, int num_threads)
     return job;
 }
 
+Job
+machineJob(std::string id, WorkloadSpec workload,
+           const CoreConfig &core, const MachineTuning &tuning)
+{
+    Job job;
+    job.id = std::move(id);
+    job.engine = EngineKind::Machine;
+    job.workload = std::move(workload);
+    job.core = core;
+    job.machine = tuning;
+    return job;
+}
+
 // ----------------------------------------------------------------
 // ExperimentSpec
 // ----------------------------------------------------------------
@@ -429,12 +463,17 @@ ExperimentSpec::expand() const
     if (workloads.empty())
         throw std::invalid_argument(name + ": no workloads");
     for (const auto *axis : {&slots, &frames, &lsu, &widths,
-                             &rotation_intervals}) {
+                             &rotation_intervals, &cores}) {
         if (axis->empty())
             throw std::invalid_argument(name + ": empty grid axis");
     }
     if (standby.empty())
         throw std::invalid_argument(name + ": empty grid axis");
+
+    // The historical single-core grid keeps its exact ids and cache
+    // keys; only a non-default cores axis switches the sweep onto
+    // the machine engine.
+    const bool many_core = !(cores.size() == 1 && cores[0] == 1);
 
     std::vector<Job> jobs;
     std::set<std::string> ids;
@@ -467,7 +506,21 @@ ExperimentSpec::expand() const
                                    << f << "/ls" << l << "/w" << w
                                    << '/' << (sb ? "sb" : "nosb")
                                    << "/r" << r;
-                                addJob(coreJob(id.str(), wl, cfg));
+                                if (!many_core) {
+                                    addJob(coreJob(id.str(), wl,
+                                                   cfg));
+                                    continue;
+                                }
+                                for (int c : cores) {
+                                    MachineTuning tuning =
+                                        machine_template;
+                                    tuning.cores = c;
+                                    std::ostringstream mid;
+                                    mid << id.str() << "/c" << c;
+                                    addJob(machineJob(mid.str(),
+                                                      wl, cfg,
+                                                      tuning));
+                                }
                             }
                         }
                     }

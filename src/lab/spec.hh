@@ -26,6 +26,7 @@
 
 #include "baseline/baseline.hh"
 #include "core/config.hh"
+#include "interconnect/interconnect.hh"
 #include "workloads/workloads.hh"
 
 namespace smtsim::lab
@@ -97,9 +98,30 @@ struct WorkloadSpec
 Workload instantiate(const WorkloadSpec &spec);
 
 /** Which engine executes a job. */
-enum class EngineKind { Core, Baseline, Interp };
+enum class EngineKind { Core, Baseline, Interp, Machine };
 
 const char *engineName(EngineKind kind);
+
+/**
+ * Machine-engine tuning riding on a Job (engine == Machine): core
+ * count, interconnect and quantum for the many-core machine; the
+ * Job's CoreConfig describes each of its (identical) cores.
+ */
+struct MachineTuning
+{
+    /** Simulated cores. */
+    int cores = 2;
+    /**
+     * Overlay the core RemoteRegion onto the workload program's
+     * data segment at execution time (base/size come from the
+     * instantiated program, so the overlay is part of the job's
+     * identity via the workload spec + this flag).
+     */
+    bool remote_data = true;
+    InterconnectConfig noc;
+    /** Barrier quantum; 0 = auto (ManyCoreMachine resolves it). */
+    Cycle quantum = 0;
+};
 
 /** One simulation point: engine + configuration + workload. */
 struct Job
@@ -108,9 +130,10 @@ struct Job
     std::string id;
     EngineKind engine = EngineKind::Core;
     WorkloadSpec workload;
-    CoreConfig core;            ///< used when engine == Core
+    CoreConfig core;            ///< used when engine is Core/Machine
     BaselineConfig baseline;    ///< used when engine == Baseline
     int interp_threads = 1;     ///< used when engine == Interp
+    MachineTuning machine;      ///< used when engine == Machine
 
     /**
      * Canonical serialization of everything that determines the
@@ -131,10 +154,14 @@ Job baselineJob(std::string id, WorkloadSpec workload,
                 const BaselineConfig &cfg = {});
 Job interpJob(std::string id, WorkloadSpec workload,
               int num_threads = 1);
+Job machineJob(std::string id, WorkloadSpec workload,
+               const CoreConfig &core,
+               const MachineTuning &tuning = {});
 
 /** Canonical config renderings (exposed for tests/debugging). */
 std::string canonicalConfig(const CoreConfig &cfg);
 std::string canonicalConfig(const BaselineConfig &cfg);
+std::string canonicalConfig(const MachineTuning &tuning);
 
 /**
  * A declarative grid sweep: the cross product of the axis vectors,
@@ -154,8 +181,20 @@ struct ExperimentSpec
     std::vector<int> widths{1};
     std::vector<bool> standby{true};
     std::vector<int> rotation_intervals{8};
+    /**
+     * Machine-size axis. The default {1} keeps the sweep on the
+     * single-core engine with its historical ids and cache keys;
+     * any other value set turns every grid cell into a many-core
+     * machine job ("/cN" id suffix) built from machine_template,
+     * including N = 1 (a 1-core machine times remote traffic
+     * through the interconnect, unlike the bare core).
+     */
+    std::vector<int> cores{1};
 
     CoreConfig core_template;
+    /** Interconnect/quantum template for machine jobs (its `cores`
+     *  field is overridden by the axis). */
+    MachineTuning machine_template;
     /** Add runBaseline point(s) ("<workload>/baseline"). */
     bool include_baseline = false;
     BaselineConfig baseline_template;
@@ -174,7 +213,8 @@ struct ExperimentSpec
     /**
      * Flatten the grid into jobs, ids like
      * "raytrace/s4/f4/ls2/w1/sb/r8" (axes with one value are still
-     * spelled out — ids stay stable when an axis grows).
+     * spelled out — ids stay stable when an axis grows). Machine
+     * sweeps (cores axis != {1}) append "/cN".
      * @throws std::invalid_argument on an empty axis or duplicate
      * points.
      */

@@ -279,6 +279,51 @@ baselineConfigFromJson(const Json &j)
     return cfg;
 }
 
+namespace
+{
+
+Json
+machineTuningToJson(const MachineTuning &t)
+{
+    Json j = Json::object();
+    j.set("cores", Json(t.cores));
+    j.set("remote_data", Json(t.remote_data));
+    j.set("l2_banks", Json(t.noc.l2_banks));
+    j.set("bank_interleave", Json(t.noc.bank_interleave));
+    j.set("mshrs_per_bank", Json(t.noc.mshrs_per_bank));
+    j.set("l2_access_cycles", Json(t.noc.l2_access_cycles));
+    j.set("bank_conflict_penalty",
+          Json(t.noc.bank_conflict_penalty));
+    j.set("hop_latency", Json(t.noc.hop_latency));
+    j.set("quantum", Json(t.quantum));
+    return j;
+}
+
+MachineTuning
+machineTuningFromJson(const Json &j)
+{
+    checkMembers(j, "machine",
+                 {"cores", "remote_data", "l2_banks",
+                  "bank_interleave", "mshrs_per_bank",
+                  "l2_access_cycles", "bank_conflict_penalty",
+                  "hop_latency", "quantum"});
+    MachineTuning t;
+    t.cores = asIntField(j, "cores");
+    t.remote_data = j.at("remote_data").asBool();
+    t.noc.l2_banks = asIntField(j, "l2_banks");
+    t.noc.bank_interleave = static_cast<Addr>(
+        j.at("bank_interleave").asU64());
+    t.noc.mshrs_per_bank = asIntField(j, "mshrs_per_bank");
+    t.noc.l2_access_cycles = j.at("l2_access_cycles").asU64();
+    t.noc.bank_conflict_penalty =
+        j.at("bank_conflict_penalty").asU64();
+    t.noc.hop_latency = j.at("hop_latency").asU64();
+    t.quantum = j.at("quantum").asU64();
+    return t;
+}
+
+} // namespace
+
 // ----------------------------------------------------------------
 // Job
 // ----------------------------------------------------------------
@@ -300,6 +345,10 @@ jobToJson(const Job &job)
       case EngineKind::Interp:
         j.set("interp_threads", Json(job.interp_threads));
         break;
+      case EngineKind::Machine:
+        j.set("core", coreConfigToJson(job.core));
+        j.set("machine", machineTuningToJson(job.machine));
+        break;
     }
     return j;
 }
@@ -309,7 +358,7 @@ jobFromJson(const Json &j)
 {
     checkMembers(j, "job",
                  {"id", "engine", "workload", "core", "baseline",
-                  "interp_threads"});
+                  "interp_threads", "machine"});
     Job job;
     job.id = j.at("id").asString();
     job.workload = workloadSpecFromJson(j.at("workload"));
@@ -323,6 +372,10 @@ jobFromJson(const Json &j)
     } else if (engine == "interp") {
         job.engine = EngineKind::Interp;
         job.interp_threads = asIntField(j, "interp_threads");
+    } else if (engine == "machine") {
+        job.engine = EngineKind::Machine;
+        job.core = coreConfigFromJson(j.at("core"));
+        job.machine = machineTuningFromJson(j.at("machine"));
     } else {
         throw JsonParseError("job: unknown engine \"" + engine +
                              "\"");
@@ -354,7 +407,10 @@ experimentSpecToJson(const ExperimentSpec &spec)
     j.set("standby", std::move(standby));
     j.set("rotation_intervals",
           intList(spec.rotation_intervals));
+    j.set("cores", intList(spec.cores));
     j.set("core_template", coreConfigToJson(spec.core_template));
+    j.set("machine_template",
+          machineTuningToJson(spec.machine_template));
     j.set("include_baseline", Json(spec.include_baseline));
     j.set("baseline_template",
           baselineConfigToJson(spec.baseline_template));
@@ -368,8 +424,9 @@ experimentSpecFromJson(const Json &j)
     checkMembers(j, "experiment spec",
                  {"name", "workloads", "slots", "frames", "lsu",
                   "widths", "standby", "rotation_intervals",
-                  "core_template", "include_baseline",
-                  "baseline_template", "replay"});
+                  "cores", "core_template", "machine_template",
+                  "include_baseline", "baseline_template",
+                  "replay"});
     ExperimentSpec spec;
     spec.name = j.at("name").asString();
     const Json &workloads = j.at("workloads");
@@ -395,6 +452,8 @@ experimentSpecFromJson(const Json &j)
     if (const Json *v = j.find("rotation_intervals"))
         spec.rotation_intervals =
             intListFromJson(*v, "rotation_intervals");
+    if (const Json *v = j.find("cores"))
+        spec.cores = intListFromJson(*v, "cores");
     if (const Json *v = j.find("standby")) {
         if (v->type() != Json::Type::Array)
             throw JsonParseError("standby: expected an array");
@@ -415,8 +474,11 @@ experimentSpecFromJson(const Json &j)
     checkAxis(spec.lsu, "lsu");
     checkAxis(spec.widths, "widths");
     checkAxis(spec.rotation_intervals, "rotation_intervals");
+    checkAxis(spec.cores, "cores");
     if (const Json *v = j.find("core_template"))
         spec.core_template = coreConfigFromJson(*v);
+    if (const Json *v = j.find("machine_template"))
+        spec.machine_template = machineTuningFromJson(*v);
     if (const Json *v = j.find("include_baseline"))
         spec.include_baseline = v->asBool();
     if (const Json *v = j.find("baseline_template"))

@@ -1,0 +1,105 @@
+#include "machine/manycore_json.hh"
+
+#include "machine/run_stats_json.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+Json
+u64Vector(const std::vector<std::uint64_t> &v)
+{
+    Json arr = Json::array();
+    for (std::uint64_t x : v)
+        arr.push(Json(x));
+    return arr;
+}
+
+std::vector<std::uint64_t>
+readU64Vector(const Json &arr)
+{
+    std::vector<std::uint64_t> v;
+    v.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        v.push_back(arr.at(i).asU64());
+    return v;
+}
+
+Json
+nocToJson(const InterconnectStats &s)
+{
+    Json j = Json::object();
+    j.set("requests", Json(s.requests));
+    j.set("conflicts", Json(s.conflicts));
+    j.set("total_latency", Json(s.total_latency));
+    j.set("bank_accesses", u64Vector(s.bank_accesses));
+    j.set("bank_conflicts", u64Vector(s.bank_conflicts));
+    return j;
+}
+
+InterconnectStats
+nocFromJson(const Json &j)
+{
+    InterconnectStats s;
+    s.requests = j.at("requests").asU64();
+    s.conflicts = j.at("conflicts").asU64();
+    s.total_latency = j.at("total_latency").asU64();
+    s.bank_accesses = readU64Vector(j.at("bank_accesses"));
+    s.bank_conflicts = readU64Vector(j.at("bank_conflicts"));
+    return s;
+}
+
+} // namespace
+
+Json
+machineStatsToJson(const MachineStats &stats)
+{
+    Json j = Json::object();
+    j.set("cycles", Json(stats.cycles));
+    j.set("quanta", Json(stats.quanta));
+    j.set("finished", Json(stats.finished));
+    Json cores = Json::array();
+    for (const RunStats &s : stats.cores)
+        cores.push(statsToJson(s));
+    j.set("cores", std::move(cores));
+    j.set("noc", nocToJson(stats.noc));
+    return j;
+}
+
+MachineStats
+machineStatsFromJson(const Json &j)
+{
+    MachineStats stats;
+    stats.cycles = j.at("cycles").asU64();
+    stats.quanta = j.at("quanta").asU64();
+    stats.finished = j.at("finished").asBool();
+    const Json &cores = j.at("cores");
+    stats.cores.reserve(cores.size());
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        stats.cores.push_back(statsFromJson(cores.at(i)));
+    stats.noc = nocFromJson(j.at("noc"));
+    return stats;
+}
+
+bool
+machineStatsEqual(const MachineStats &a, const MachineStats &b)
+{
+    if (a.cycles != b.cycles || a.quanta != b.quanta ||
+        a.finished != b.finished ||
+        a.cores.size() != b.cores.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        if (!statsEqual(a.cores[i], b.cores[i]))
+            return false;
+    }
+    return a.noc.requests == b.noc.requests &&
+           a.noc.conflicts == b.noc.conflicts &&
+           a.noc.total_latency == b.noc.total_latency &&
+           a.noc.bank_accesses == b.noc.bank_accesses &&
+           a.noc.bank_conflicts == b.noc.bank_conflicts;
+}
+
+} // namespace smtsim

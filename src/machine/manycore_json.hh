@@ -1,0 +1,33 @@
+/**
+ * @file
+ * JSON serialization of MachineStats, shared by
+ * `smtsim-run --cores N --json` and the experiment engine's result
+ * cache. Every counter round-trips exactly, so the
+ * manycore-determinism CI job can byte-diff dumps from different
+ * host-thread schedules.
+ */
+
+#ifndef SMTSIM_MACHINE_MANYCORE_JSON_HH
+#define SMTSIM_MACHINE_MANYCORE_JSON_HH
+
+#include "base/json.hh"
+#include "machine/manycore.hh"
+
+namespace smtsim
+{
+
+/** Serialize every MachineStats field into a JSON object. */
+Json machineStatsToJson(const MachineStats &stats);
+
+/**
+ * Rebuild a MachineStats from machineStatsToJson output.
+ * @throws JsonParseError on missing/malformed members.
+ */
+MachineStats machineStatsFromJson(const Json &j);
+
+/** Field-by-field equality (used by the determinism tests). */
+bool machineStatsEqual(const MachineStats &a, const MachineStats &b);
+
+} // namespace smtsim
+
+#endif // SMTSIM_MACHINE_MANYCORE_JSON_HH

@@ -21,6 +21,8 @@
 #include "asmr/assembler.hh"
 #include "core/processor.hh"
 #include "fuzz/generate.hh"
+#include "machine/manycore.hh"
+#include "machine/manycore_json.hh"
 #include "test_common.hh"
 #include "workloads/workloads.hh"
 
@@ -348,6 +350,66 @@ TEST(Checkpoint, RejectsTruncatedStream)
     MultithreadedProcessor fresh2(w.program, mem3, cfg);
     EXPECT_THROW(fresh2.restoreCheckpoint(garbage),
                  std::runtime_error);
+}
+
+TEST(Checkpoint, ManyCoreMachineResumesBitIdentically)
+{
+    // The whole machine — 3 cores coupled through the interconnect
+    // — snapshotted mid-run and resumed into a fresh machine must
+    // reproduce the uninterrupted run's stats and every core's
+    // memory (test_manycore covers the register file).
+    MatmulParams mp;
+    mp.n = 6;
+    const Workload w = makeMatmul(mp);
+    MachineConfig cfg;
+    cfg.num_cores = 3;
+    cfg.core.max_cycles = 500'000;
+    cfg.core.remote.base = w.program.data_base;
+    cfg.core.remote.size =
+        static_cast<Addr>(w.program.data.size());
+    const auto init = [&w](int, MainMemory &mem) {
+        if (w.init)
+            w.init(mem);
+    };
+
+    ManyCoreMachine ref(w.program, cfg, init);
+    const MachineStats sr = ref.run();
+    ASSERT_TRUE(sr.finished);
+    ASSERT_GT(sr.cycles, 1000u);
+
+    ManyCoreMachine a(w.program, cfg, init);
+    a.runUntil(1000);
+    std::stringstream ckpt;
+    a.saveCheckpoint(ckpt);
+
+    ManyCoreMachine b(w.program, cfg);  // no init: all from ckpt
+    b.restoreCheckpoint(ckpt);
+    const MachineStats sg = b.run(2);   // finish in parallel
+    EXPECT_EQ(sr.cycles, sg.cycles);
+    EXPECT_EQ(sr.finished, sg.finished);
+    ASSERT_EQ(sr.cores.size(), sg.cores.size());
+    for (std::size_t c = 0; c < sr.cores.size(); ++c) {
+        expectSameStats(sr.cores[c], sg.cores[c],
+                        "machine core " + std::to_string(c));
+        const Addr base = w.program.data_base;
+        const Addr end =
+            base + static_cast<Addr>(w.program.data.size());
+        for (Addr addr = base; addr < end; addr += 4) {
+            ASSERT_EQ(ref.memory(static_cast<int>(c)).read32(addr),
+                      b.memory(static_cast<int>(c)).read32(addr))
+                << "core " << c << " addr " << addr;
+        }
+        std::string why;
+        EXPECT_TRUE(w.check(b.memory(static_cast<int>(c)), &why))
+            << "core " << c << ": " << why;
+    }
+
+    // A machine of a different shape must refuse the checkpoint.
+    MachineConfig other = cfg;
+    other.num_cores = 2;
+    ManyCoreMachine wrong(w.program, other, init);
+    std::stringstream in(ckpt.str());
+    EXPECT_THROW(wrong.restoreCheckpoint(in), std::runtime_error);
 }
 
 TEST(Checkpoint, FuzzedProgramsResumeBitIdentically)

@@ -21,6 +21,22 @@
  *     --icache BYTES     finite instruction cache
  *     --threads N        interp/fast logical processors
  *     --max-cycles N     simulation budget
+ *     --cores N          many-core machine mode: N copies of the
+ *                        configured core coupled through a banked
+ *                        shared L2 (docs/MANYCORE.md; core engine)
+ *     --host-threads M   simulate cores on M host threads
+ *                        (0 = sequential reference schedule;
+ *                        results are bit-identical either way)
+ *     --remote-data LAT  mark the program's data segment as remote
+ *                        memory (stub latency LAT on a lone core;
+ *                        the machine times it via the interconnect)
+ *     --l2-banks N       machine: shared-L2 banks (default 4)
+ *     --bank-interleave B  machine: bank stripe bytes (default 64)
+ *     --mshrs N          machine: MSHR slots per bank (default 4)
+ *     --l2-cycles N      machine: bank service cycles (default 20)
+ *     --bank-conflict N  machine: busy-bank penalty (default 6)
+ *     --hop-latency N    machine: ring hop cycles (default 2)
+ *     --quantum N        machine: barrier quantum (0 = auto)
  *     --dump-word ADDR   print a 32-bit word of memory after the run
  *     --dump-double ADDR print a double after the run
  *     --lint             run the static verifier first; any
@@ -62,6 +78,8 @@
 #include "baseline/baseline.hh"
 #include "core/processor.hh"
 #include "interp/interpreter.hh"
+#include "machine/manycore.hh"
+#include "machine/manycore_json.hh"
 #include "machine/run_stats_json.hh"
 #include "mem/memory.hh"
 #include "obs/sinks.hh"
@@ -139,6 +157,30 @@ printStats(const RunStats &s)
     std::printf("finished      %s\n", s.finished ? "yes" : "NO");
 }
 
+void
+printMachineStats(const MachineStats &s)
+{
+    std::printf("cores         %zu\n", s.cores.size());
+    std::printf("quanta        %llu\n",
+                (unsigned long long)s.quanta);
+    for (std::size_t i = 0; i < s.cores.size(); ++i) {
+        std::printf("core%-2zu        %llu cycles, %llu insns%s\n",
+                    i, (unsigned long long)s.cores[i].cycles,
+                    (unsigned long long)s.cores[i].instructions,
+                    s.cores[i].finished ? "" : " (unfinished)");
+    }
+    if (s.noc.requests) {
+        std::printf("noc           %llu requests, %llu conflicts, "
+                    "avg latency %.1f\n",
+                    (unsigned long long)s.noc.requests,
+                    (unsigned long long)s.noc.conflicts,
+                    static_cast<double>(s.noc.total_latency) /
+                        static_cast<double>(s.noc.requests));
+    }
+    std::printf("--- aggregate ---\n");
+    printStats(s.aggregate());
+}
+
 /** Fan one event stream out to several sinks (--trace plus
  *  --trace-out in the same run). */
 class TeeSink : public obs::EventSink
@@ -172,6 +214,11 @@ main(int argc, char **argv)
     std::string engine = "core";
     std::string path;
     CoreConfig cfg;
+    int cores = 0;              // > 0 selects many-core machine mode
+    int host_threads = 0;
+    InterconnectConfig noc;
+    unsigned long long quantum = 0;
+    long long remote_data_latency = -1;
     int threads = 4;
     bool want_detail = false;
     bool want_trace = false;
@@ -254,6 +301,29 @@ main(int argc, char **argv)
                 static_cast<Addr>(uint_value(arg, i));
         } else if (arg == "--threads") {
             threads = static_cast<int>(int_value(arg, i, 1));
+        } else if (arg == "--cores") {
+            cores = static_cast<int>(int_value(arg, i, 1));
+        } else if (arg == "--host-threads") {
+            host_threads = static_cast<int>(int_value(arg, i, 0));
+        } else if (arg == "--remote-data") {
+            remote_data_latency =
+                static_cast<long long>(int_value(arg, i, 1));
+        } else if (arg == "--l2-banks") {
+            noc.l2_banks = static_cast<int>(int_value(arg, i, 1));
+        } else if (arg == "--bank-interleave") {
+            noc.bank_interleave =
+                static_cast<Addr>(int_value(arg, i, 4));
+        } else if (arg == "--mshrs") {
+            noc.mshrs_per_bank =
+                static_cast<int>(int_value(arg, i, 1));
+        } else if (arg == "--l2-cycles") {
+            noc.l2_access_cycles = uint_value(arg, i);
+        } else if (arg == "--bank-conflict") {
+            noc.bank_conflict_penalty = uint_value(arg, i);
+        } else if (arg == "--hop-latency") {
+            noc.hop_latency = uint_value(arg, i);
+        } else if (arg == "--quantum") {
+            quantum = uint_value(arg, i);
         } else if (arg == "--max-cycles") {
             cfg.max_cycles = uint_value(arg, i);
         } else if (arg == "--dump-word") {
@@ -309,6 +379,18 @@ main(int argc, char **argv)
                      argv[0]);
         return 2;
     }
+    if (cores > 0 && engine != "core") {
+        std::fprintf(stderr, "%s: --cores needs --engine core\n",
+                     argv[0]);
+        return 2;
+    }
+    if (cores > 0 && (want_trace || !trace_out.empty())) {
+        std::fprintf(stderr,
+                     "%s: event traces are per-core; not available "
+                     "with --cores\n",
+                     argv[0]);
+        return 2;
+    }
     if ((want_trace || !trace_out.empty()) &&
         (engine == "interp" || engine == "fast")) {
         std::fprintf(stderr,
@@ -346,6 +428,17 @@ main(int argc, char **argv)
 
         MainMemory mem;
         prog.loadInto(mem);
+        if (remote_data_latency >= 0) {
+            cfg.remote.base = prog.data_base;
+            cfg.remote.size =
+                static_cast<Addr>(prog.data.size());
+            cfg.remote.latency =
+                static_cast<Cycle>(remote_data_latency);
+        }
+        // Post-run memory dumps read core 0's private memory in
+        // machine mode (every core's is identical under SPMD).
+        MainMemory *dump_mem = &mem;
+        std::unique_ptr<ManyCoreMachine> machine;
 
         // --json replaces the human-readable report with one
         // machine-readable object on stdout.
@@ -388,7 +481,62 @@ main(int argc, char **argv)
                 sink = bin_sink.get();
         };
 
-        if (engine == "core") {
+        if (engine == "core" && cores > 0) {
+            MachineConfig mcfg;
+            mcfg.num_cores = cores;
+            mcfg.core = cfg;
+            mcfg.noc = noc;
+            mcfg.quantum = quantum;
+            machine = std::make_unique<ManyCoreMachine>(prog, mcfg);
+            dump_mem = &machine->memory(0);
+            if (!restore_path.empty()) {
+                std::ifstream in(restore_path, std::ios::binary);
+                if (!in) {
+                    std::fprintf(stderr, "cannot open %s\n",
+                                 restore_path.c_str());
+                    return 1;
+                }
+                machine->restoreCheckpoint(in);
+            }
+            MachineStats s;
+            if (want_ckpt) {
+                // Same segmenting discipline as the single-core
+                // path; machine runUntil() splits bit-identically
+                // and always stops on a quantum barrier.
+                long long pending_at = ckpt_at;
+                for (;;) {
+                    Cycle stop = cfg.max_cycles;
+                    if (pending_at >= 0 &&
+                        machine->now() <=
+                            static_cast<Cycle>(pending_at))
+                        stop = static_cast<Cycle>(pending_at);
+                    else if (ckpt_every > 0)
+                        stop = (machine->now() / ckpt_every + 1) *
+                               ckpt_every;
+                    s = machine->runUntil(stop, host_threads);
+                    if (machine->finished() ||
+                        machine->now() >= cfg.max_cycles)
+                        break;
+                    std::string out = ckpt_out;
+                    if (ckpt_every > 0)
+                        out += "." + std::to_string(machine->now());
+                    std::ofstream os(out, std::ios::binary);
+                    if (!os) {
+                        std::fprintf(stderr, "cannot open %s\n",
+                                     out.c_str());
+                        return 1;
+                    }
+                    machine->saveCheckpoint(os);
+                    pending_at = -1;
+                }
+            } else {
+                s = machine->run(host_threads);
+            }
+            if (want_json)
+                std::cout << machineStatsToJson(s).dump(2) << '\n';
+            else
+                printMachineStats(s);
+        } else if (engine == "core") {
             MultithreadedProcessor cpu(prog, mem, cfg);
             setup_sinks(cfg.num_slots);
             if (sink)
@@ -478,9 +626,10 @@ main(int argc, char **argv)
         }
 
         for (Addr a : dump_words)
-            std::printf("[0x%08x] = %u\n", a, mem.read32(a));
+            std::printf("[0x%08x] = %u\n", a, dump_mem->read32(a));
         for (Addr a : dump_doubles)
-            std::printf("[0x%08x] = %g\n", a, mem.readDouble(a));
+            std::printf("[0x%08x] = %g\n", a,
+                        dump_mem->readDouble(a));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;

@@ -22,6 +22,11 @@
  *     --width LIST       per-slot issue widths (default 1)
  *     --standby on|off|both        standby stations (default on)
  *     --interval LIST    rotation intervals (default 8)
+ *     --cores LIST       simulated core counts. The default {1}
+ *                        keeps the classic single-core grid; any
+ *                        other list switches every cell to the
+ *                        many-core machine engine (docs/MANYCORE.md)
+ *                        with shared-L2 remote-data coupling
  *     --max-cycles N     per-job cycle budget override
  *     --timeout SECONDS  per-job wall-clock budget
  *     --replay           functional-first execution: record each
@@ -33,6 +38,9 @@
  *
  * Execution:
  *     --jobs N           worker threads (default: host cores)
+ *     --host-threads N   host threads per machine-engine job
+ *                        (0 = sequential reference schedule;
+ *                        results are bit-identical either way)
  *     --cache-dir PATH   result cache (default .smtsim-cache)
  *     --cache-max-mb N   cache size budget in MiB; least-recently-
  *                        used records are evicted past it (default
@@ -172,6 +180,13 @@ main(int argc, char **argv)
         } else if (arg == "--interval") {
             spec.rotation_intervals =
                 parseIntList(arg, need_value(i), 1);
+        } else if (arg == "--cores") {
+            spec.cores = parseIntList(arg, need_value(i), 1);
+        } else if (arg == "--host-threads") {
+            long long v = 0;
+            if (!parseInt(need_value(i), &v) || v < 0)
+                die("--host-threads needs an integer >= 0");
+            opts.machine_host_threads = static_cast<int>(v);
         } else if (arg == "--standby") {
             const std::string v = need_value(i);
             if (v == "on")
