@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Static-verifier throughput microbenchmarks (google-benchmark):
+ * how fast analysis::lint() turns a program into a verdict. Not a
+ * paper experiment — the lint pass sits on the smtsim-run --lint
+ * hot path and in smtsim-serve's admission gate, where a slow
+ * verdict delays every submission, so its cost is tracked like
+ * simulator throughput.
+ *
+ * Rows:
+ *  - clean first-party workloads (the common admission case),
+ *  - a flagged concurrency bug (verdict with diagnostics),
+ *  - the synthetic fuzz kernel (large straight-line code),
+ *  - the cross-slot passes at growing slot counts (the per-slot
+ *    projection is the only part that scales with --slots).
+ *
+ * Every row reports insns/s (program words verified per second).
+ *
+ * scripts/bench_lint.sh runs this binary and emits BENCH_lint.json
+ * for before/after tracking.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "analysis/lint.hh"
+#include "asmr/assembler.hh"
+#include "fuzz/lintoracle.hh"
+#include "trace/synth.hh"
+#include "workloads/workloads.hh"
+
+using namespace smtsim;
+
+namespace
+{
+
+void
+reportRate(benchmark::State &state, std::uint64_t insns)
+{
+    state.counters["insns/s"] = benchmark::Counter(
+        static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+
+/** Lint @p prog once per iteration with @p opts. */
+void
+lintLoop(benchmark::State &state, const Program &prog,
+         const analysis::LintOptions &opts)
+{
+    std::uint64_t insns = 0;
+    for (auto _ : state) {
+        const analysis::LintReport r = analysis::lint(prog, opts);
+        benchmark::DoNotOptimize(r.diags.data());
+        insns += prog.text.size();
+    }
+    reportRate(state, insns);
+}
+
+void
+BM_LintTokenRing(benchmark::State &state)
+{
+    const Workload w = makeTokenRing({});
+    lintLoop(state, w.program, {});
+}
+BENCHMARK(BM_LintTokenRing);
+
+void
+BM_LintMatmul(benchmark::State &state)
+{
+    MatmulParams p;
+    p.n = 8;
+    const Workload w = makeMatmul(p);
+    lintLoop(state, w.program, {});
+}
+BENCHMARK(BM_LintMatmul);
+
+void
+BM_LintFlaggedRing(benchmark::State &state)
+{
+    // A wait-for cycle: the verdict carries diagnostics, the path
+    // the serve admission gate takes when rejecting.
+    const Program prog = assemble(
+        fuzz::renderBugProgram(fuzz::BugClass::WaitCycle, 1));
+    lintLoop(state, prog, {});
+}
+BENCHMARK(BM_LintFlaggedRing);
+
+void
+BM_LintSynthetic(benchmark::State &state)
+{
+    SynthParams p;
+    p.seed = 101;
+    p.iterations = 256;
+    p.insns_per_block = 32;
+    lintLoop(state, makeSyntheticKernel(p), {});
+}
+BENCHMARK(BM_LintSynthetic);
+
+void
+BM_LintSlots(benchmark::State &state)
+{
+    const Workload w = makeTokenRing({});
+    analysis::LintOptions opts;
+    opts.slots = static_cast<int>(state.range(0));
+    lintLoop(state, w.program, opts);
+}
+BENCHMARK(BM_LintSlots)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Run the static-verifier throughput microbenchmarks and emit
+# BENCH_lint.json (google-benchmark JSON, incl. insns/s per row).
+#
+# The lint pass gates smtsim-run --lint and every smtsim-serve
+# admission, so its cost is tracked like simulator throughput
+# (docs/ANALYSIS.md).
+#
+# The build must be a Release build: the script refuses any other
+# CMAKE_BUILD_TYPE (numbers from debug-ish builds are not
+# comparable and must never land in BENCH_lint.json), and it
+# records/validates library_build_type in the emitted JSON context.
+#
+# Usage: scripts/bench_lint.sh [build-dir] [out.json]
+#   SMTSIM_BENCH_MIN_TIME  benchmark_min_time seconds (default 0.5;
+#                          use e.g. 0.1 for a CI smoke run)
+set -eu
+
+build=${1:-build}
+out=${2:-BENCH_lint.json}
+min_time=${SMTSIM_BENCH_MIN_TIME:-0.5}
+
+if [ ! -x "$build/bench/bench_lint" ]; then
+    echo "bench_lint not built in $build (cmake --build $build" \
+         "--target bench_lint)" >&2
+    exit 1
+fi
+
+# Refuse non-Release builds up front: the benchmark binary cannot
+# tell how the library it links was compiled, so read the build
+# type straight out of the CMake cache.
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    echo "bench guard: $build/CMakeCache.txt not found (not a CMake build dir?)" >&2
+    exit 1
+fi
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+    echo "bench guard: $build is a '${build_type:-<unset>}' build;" \
+         "verifier-throughput numbers are only meaningful from a" \
+         "Release build:" >&2
+    echo "    cmake -B build-release -DCMAKE_BUILD_TYPE=Release &&" \
+         "cmake --build build-release --target bench_lint" >&2
+    exit 1
+fi
+
+"$build/bench/bench_lint" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_context=library_build_type=Release
+
+# Belt and braces: the context we just asked for must actually be
+# in the artifact, so downstream consumers can trust any
+# BENCH_lint.json they are handed.
+python3 - "$out" <<'EOF'
+import json
+import sys
+
+out = sys.argv[1]
+ctx = json.load(open(out))["context"]
+lbt = ctx.get("library_build_type")
+if lbt != "Release":
+    sys.exit(f"bench guard: {out} context.library_build_type is "
+             f"{lbt!r}, expected 'Release'")
+EOF
+
+echo "wrote $out" >&2

@@ -25,6 +25,13 @@ fi
 
 echo "fuzz soak: runs=$runs seed=$seed corpus=$corpus"
 "$fuzz" --replay tests/data/fuzz-corpus
+# Lint soundness cell: cross-tabulate the static concurrency
+# verifier against bounded runs -- generated clean programs must
+# stay diagnostic-free and finish, injected bug classes must be
+# flagged and hang (docs/ANALYSIS.md). Mismatch repros land in the
+# same findings directory as divergences.
+"$fuzz" --lint-oracle "$runs" --seed "$seed" --corpus "$corpus" \
+    --quiet
 # --lint: every generated program must pass the static verifier
 # (docs/ANALYSIS.md) before it executes; a diagnostic fails the run
 # like a divergence.

@@ -1,0 +1,772 @@
+#include "analysis/concurrency.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "isa/semantics.hh"
+
+namespace smtsim::analysis
+{
+
+namespace
+{
+
+void
+insnTraffic(const Insn &insn, const QueueSummary &qs, int &pops,
+            int &pushes)
+{
+    pops = pushes = 0;
+    RegRef srcs[3];
+    const int n = insn.srcs(srcs);
+    for (int k = 0; k < n; ++k) {
+        if (qs.mapped_read.has(srcs[k]))
+            ++pops;
+    }
+    const RegRef dst = insn.dst();
+    if (dst.valid() && qs.mapped_write.has(dst))
+        ++pushes;
+}
+
+void
+blockTraffic(const Cfg &cfg, const QueueSummary &qs,
+             std::uint32_t b, int &pops, int &pushes)
+{
+    pops = pushes = 0;
+    const BasicBlock &bb = cfg.blocks[b];
+    for (std::uint32_t i = bb.first; i < bb.first + bb.count; ++i) {
+        int p, q;
+        insnTraffic(cfg.insns[i], qs, p, q);
+        pops += p;
+        pushes += q;
+    }
+}
+
+// --- Dominators and natural loops ---------------------------------
+
+/** Immediate dominators over reachable blocks (Cooper-Harvey-
+ *  Kennedy); ~0u for unreachable blocks. */
+std::vector<std::uint32_t>
+computeIdoms(const Cfg &cfg)
+{
+    const std::uint32_t nb =
+        static_cast<std::uint32_t>(cfg.blocks.size());
+    std::vector<std::uint32_t> idom(nb, ~0u);
+
+    // Reverse post-order over reachable blocks.
+    std::vector<std::uint32_t> rpo;
+    std::vector<int> color(nb, 0);
+    {
+        std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+        stack.push_back({cfg.entry_block, 0});
+        color[cfg.entry_block] = 1;
+        while (!stack.empty()) {
+            auto &[b, next] = stack.back();
+            if (next < cfg.blocks[b].succs.size()) {
+                const std::uint32_t s =
+                    cfg.blocks[b].succs[next++].block;
+                if (color[s] == 0) {
+                    color[s] = 1;
+                    stack.push_back({s, 0});
+                }
+            } else {
+                rpo.push_back(b);
+                stack.pop_back();
+            }
+        }
+        std::reverse(rpo.begin(), rpo.end());
+    }
+
+    std::vector<std::uint32_t> rpo_index(nb, ~0u);
+    for (std::uint32_t k = 0;
+         k < static_cast<std::uint32_t>(rpo.size()); ++k)
+        rpo_index[rpo[k]] = k;
+
+    auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    idom[cfg.entry_block] = cfg.entry_block;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t b : rpo) {
+            if (b == cfg.entry_block)
+                continue;
+            std::uint32_t new_idom = ~0u;
+            for (std::uint32_t p : cfg.blocks[b].preds) {
+                if (idom[p] == ~0u)
+                    continue;
+                new_idom = new_idom == ~0u
+                               ? p
+                               : intersect(new_idom, p);
+            }
+            if (new_idom != ~0u && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<std::uint32_t> &idom, std::uint32_t a,
+          std::uint32_t b, std::uint32_t entry)
+{
+    while (true) {
+        if (b == a)
+            return true;
+        if (b == entry || idom[b] == ~0u)
+            return false;
+        b = idom[b];
+    }
+}
+
+struct NaturalLoop
+{
+    std::uint32_t header;
+    std::set<std::uint32_t> body;       ///< includes the header
+    std::set<std::uint32_t> latches;    ///< back-edge sources
+};
+
+/** Natural loops of the reachable CFG, merged per header. */
+std::vector<NaturalLoop>
+findLoops(const Cfg &cfg, const std::vector<std::uint32_t> &idom)
+{
+    std::map<std::uint32_t, NaturalLoop> by_header;
+    for (std::uint32_t u = 0;
+         u < static_cast<std::uint32_t>(cfg.blocks.size()); ++u) {
+        if (!cfg.blocks[u].reachable || idom[u] == ~0u)
+            continue;
+        for (const Edge &e : cfg.blocks[u].succs) {
+            const std::uint32_t h = e.block;
+            if (idom[h] == ~0u ||
+                !dominates(idom, h, u, cfg.entry_block))
+                continue;
+            NaturalLoop &loop = by_header[h];
+            loop.header = h;
+            loop.latches.insert(u);
+            // Standard body construction: everything that reaches
+            // the latch without passing through the header.
+            loop.body.insert(h);
+            std::deque<std::uint32_t> work;
+            if (loop.body.insert(u).second)
+                work.push_back(u);
+            while (!work.empty()) {
+                const std::uint32_t v = work.front();
+                work.pop_front();
+                for (std::uint32_t p : cfg.blocks[v].preds) {
+                    if (cfg.blocks[p].reachable &&
+                        loop.body.insert(p).second)
+                        work.push_back(p);
+                }
+            }
+        }
+    }
+    std::vector<NaturalLoop> loops;
+    loops.reserve(by_header.size());
+    for (auto &[h, loop] : by_header)
+        loops.push_back(std::move(loop));
+    return loops;
+}
+
+// --- Per-slot per-loop iteration rates ----------------------------
+
+struct LoopRate
+{
+    bool determinate = false;
+    long pushes = 0;
+    long pops = 0;
+    std::uint32_t first_pop_insn = ~0u;
+    std::uint32_t first_push_insn = ~0u;
+};
+
+/**
+ * Min/max queue traffic along one slot's feasible paths from the
+ * loop header back to a latch. Inner cycles are condensed into
+ * SCCs: a traffic-free inner loop contributes nothing per outer
+ * iteration, while an inner cycle that pushes or pops makes the
+ * count trip-dependent and the rate indeterminate.
+ */
+LoopRate
+slotLoopRate(const Cfg &cfg, const QueueSummary &qs,
+             const SlotProjection &proj, const NaturalLoop &loop)
+{
+    LoopRate rate;
+    const std::uint32_t h = loop.header;
+    if (!proj.feasible[h])
+        return rate;
+
+    // Feasible latches: the slot actually iterates.
+    std::vector<std::uint32_t> latches;
+    for (std::uint32_t u : loop.latches) {
+        if (!proj.feasible[u])
+            continue;
+        const BasicBlock &bb = cfg.blocks[u];
+        for (std::size_t k = 0; k < bb.succs.size(); ++k) {
+            if (bb.succs[k].block == h &&
+                (proj.edge_feasible[u] & (1u << k))) {
+                latches.push_back(u);
+                break;
+            }
+        }
+    }
+    if (latches.empty())
+        return rate;
+
+    // Feasible body nodes and intra-body edges (edges into the
+    // header removed, so the remainder is one iteration).
+    std::vector<std::uint32_t> nodes;
+    for (std::uint32_t v : loop.body) {
+        if (proj.feasible[v])
+            nodes.push_back(v);
+    }
+    std::map<std::uint32_t, std::uint32_t> node_index;
+    for (std::uint32_t k = 0;
+         k < static_cast<std::uint32_t>(nodes.size()); ++k)
+        node_index[nodes[k]] = k;
+    const std::uint32_t nn =
+        static_cast<std::uint32_t>(nodes.size());
+    std::vector<std::vector<std::uint32_t>> succs(nn);
+    for (std::uint32_t k = 0; k < nn; ++k) {
+        const std::uint32_t u = nodes[k];
+        const BasicBlock &bb = cfg.blocks[u];
+        for (std::size_t e = 0; e < bb.succs.size(); ++e) {
+            const std::uint32_t v = bb.succs[e].block;
+            if (v == h || !(proj.edge_feasible[u] & (1u << e)))
+                continue;
+            auto it = node_index.find(v);
+            if (it != node_index.end())
+                succs[k].push_back(it->second);
+        }
+    }
+
+    // Tarjan SCC (iterative).
+    std::vector<std::uint32_t> scc_of(nn, ~0u);
+    std::uint32_t scc_count = 0;
+    {
+        std::vector<std::uint32_t> low(nn, 0), num(nn, ~0u);
+        std::vector<bool> on_stack(nn, false);
+        std::vector<std::uint32_t> stack;
+        std::uint32_t counter = 0;
+        struct Frame
+        {
+            std::uint32_t v;
+            std::size_t next;
+        };
+        for (std::uint32_t root = 0; root < nn; ++root) {
+            if (num[root] != ~0u)
+                continue;
+            std::vector<Frame> frames{{root, 0}};
+            num[root] = low[root] = counter++;
+            stack.push_back(root);
+            on_stack[root] = true;
+            while (!frames.empty()) {
+                Frame &f = frames.back();
+                if (f.next < succs[f.v].size()) {
+                    const std::uint32_t w = succs[f.v][f.next++];
+                    if (num[w] == ~0u) {
+                        num[w] = low[w] = counter++;
+                        stack.push_back(w);
+                        on_stack[w] = true;
+                        frames.push_back({w, 0});
+                    } else if (on_stack[w]) {
+                        low[f.v] = std::min(low[f.v], num[w]);
+                    }
+                } else {
+                    if (low[f.v] == num[f.v]) {
+                        while (true) {
+                            const std::uint32_t w = stack.back();
+                            stack.pop_back();
+                            on_stack[w] = false;
+                            scc_of[w] = scc_count;
+                            if (w == f.v)
+                                break;
+                        }
+                        ++scc_count;
+                    }
+                    const std::uint32_t v = f.v;
+                    frames.pop_back();
+                    if (!frames.empty())
+                        low[frames.back().v] =
+                            std::min(low[frames.back().v], low[v]);
+                }
+            }
+        }
+    }
+
+    // SCC traffic; a cyclic SCC with traffic is trip-dependent.
+    std::vector<long> scc_pops(scc_count, 0),
+        scc_pushes(scc_count, 0);
+    std::vector<std::uint32_t> scc_size(scc_count, 0);
+    std::vector<bool> scc_self(scc_count, false);
+    for (std::uint32_t k = 0; k < nn; ++k) {
+        int p, q;
+        blockTraffic(cfg, qs, nodes[k], p, q);
+        scc_pops[scc_of[k]] += p;
+        scc_pushes[scc_of[k]] += q;
+        ++scc_size[scc_of[k]];
+        for (std::uint32_t w : succs[k]) {
+            if (w == k)
+                scc_self[scc_of[k]] = true;
+        }
+    }
+    for (std::uint32_t c = 0; c < scc_count; ++c) {
+        if ((scc_size[c] > 1 || scc_self[c]) &&
+            (scc_pops[c] > 0 || scc_pushes[c] > 0))
+            return rate;    // inner loop carries queue traffic
+    }
+
+    // Tarjan numbers SCCs in reverse topological order, so iterate
+    // from high to low for a forward DP. Min/max (pushes, pops)
+    // from the header's SCC; cyclic traffic-free SCCs contribute 0.
+    constexpr long kUnset = -1;
+    struct Range
+    {
+        long min_pushes = kUnset, max_pushes = kUnset;
+        long min_pops = kUnset, max_pops = kUnset;
+    };
+    std::vector<Range> in(scc_count);
+    std::vector<std::vector<std::uint32_t>> scc_succs(scc_count);
+    for (std::uint32_t k = 0; k < nn; ++k) {
+        for (std::uint32_t w : succs[k]) {
+            if (scc_of[w] != scc_of[k])
+                scc_succs[scc_of[k]].push_back(scc_of[w]);
+        }
+    }
+    const std::uint32_t hs = scc_of[node_index[h]];
+    in[hs] = {0, 0, 0, 0};
+    for (std::uint32_t c = scc_count; c-- > 0;) {
+        if (in[c].min_pushes == kUnset)
+            continue;
+        const long out_min_pushes = in[c].min_pushes + scc_pushes[c];
+        const long out_max_pushes = in[c].max_pushes + scc_pushes[c];
+        const long out_min_pops = in[c].min_pops + scc_pops[c];
+        const long out_max_pops = in[c].max_pops + scc_pops[c];
+        for (std::uint32_t w : scc_succs[c]) {
+            Range &r = in[w];
+            if (r.min_pushes == kUnset) {
+                r = {out_min_pushes, out_max_pushes, out_min_pops,
+                     out_max_pops};
+            } else {
+                r.min_pushes = std::min(r.min_pushes,
+                                        out_min_pushes);
+                r.max_pushes = std::max(r.max_pushes,
+                                        out_max_pushes);
+                r.min_pops = std::min(r.min_pops, out_min_pops);
+                r.max_pops = std::max(r.max_pops, out_max_pops);
+            }
+        }
+    }
+
+    long min_pushes = kUnset, max_pushes = 0, min_pops = 0,
+         max_pops = 0;
+    for (std::uint32_t u : latches) {
+        const std::uint32_t c = scc_of[node_index[u]];
+        if (in[c].min_pushes == kUnset)
+            return rate;    // latch not on a header path: give up
+        const long tp = in[c].min_pushes + scc_pushes[c];
+        const long tq = in[c].max_pushes + scc_pushes[c];
+        const long rp = in[c].min_pops + scc_pops[c];
+        const long rq = in[c].max_pops + scc_pops[c];
+        if (min_pushes == kUnset) {
+            min_pushes = tp;
+            max_pushes = tq;
+            min_pops = rp;
+            max_pops = rq;
+        } else {
+            min_pushes = std::min(min_pushes, tp);
+            max_pushes = std::max(max_pushes, tq);
+            min_pops = std::min(min_pops, rp);
+            max_pops = std::max(max_pops, rq);
+        }
+    }
+    if (min_pushes != max_pushes || min_pops != max_pops)
+        return rate;
+
+    rate.determinate = true;
+    rate.pushes = min_pushes;
+    rate.pops = min_pops;
+    for (std::uint32_t v : nodes) {
+        const BasicBlock &bb = cfg.blocks[v];
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            int p, q;
+            insnTraffic(cfg.insns[i], qs, p, q);
+            if (p > 0 && rate.first_pop_insn == ~0u)
+                rate.first_pop_insn = i;
+            if (q > 0 && rate.first_push_insn == ~0u)
+                rate.first_push_insn = i;
+        }
+    }
+    return rate;
+}
+
+// --- Spin-wait pairing --------------------------------------------
+
+/** Byte extent of one store/flag access. */
+struct MemRange
+{
+    Addr lo;
+    Addr hi;
+
+    bool
+    overlaps(const MemRange &o) const
+    {
+        return lo < o.hi && o.lo < hi;
+    }
+};
+
+Addr
+accessBytes(Op op)
+{
+    return op == Op::SF || op == Op::PSTF || op == Op::LF ? 8 : 4;
+}
+
+/**
+ * Scan a feasible block of @p proj for stores; returns false (via
+ * @p may_alias) only when every store's address resolves to a
+ * constant range disjoint from @p flag.
+ */
+void
+scanBlockStores(const Cfg &cfg, const QueueSummary &qs,
+                const SlotProjection &proj, int slot, int slots,
+                std::uint32_t b, const MemRange &flag,
+                bool &may_alias)
+{
+    SlotState st = proj.in[b];
+    const BasicBlock &bb = cfg.blocks[b];
+    for (std::uint32_t i = bb.first;
+         !may_alias && i < bb.first + bb.count; ++i) {
+        const Insn &insn = cfg.insns[i];
+        if (isStoreOp(insn.op)) {
+            const SlotValue base = readRegValue(st, insn.rs, qs);
+            if (!base.isConst()) {
+                may_alias = true;   // unknown target: could hit it
+                break;
+            }
+            const Addr a =
+                base.val + static_cast<std::uint32_t>(insn.imm);
+            if (flag.overlaps({a, a + accessBytes(insn.op)})) {
+                may_alias = true;
+                break;
+            }
+        }
+        transferInsn(insn, st, qs, slot, slots);
+    }
+}
+
+struct SpinCandidate
+{
+    std::uint32_t block;
+    std::uint32_t load_insn;
+    Addr addr;
+};
+
+/**
+ * Recognize `spin: lw rX, imm(rB); b.. rX, spin` shapes in slot
+ * @p s: a feasible single-block self-loop whose branch tests a
+ * value freshly loaded from a statically-known address, with no
+ * store and no queue traffic inside the block. Returns candidates
+ * that the data segment's initial value does not already satisfy.
+ */
+std::vector<SpinCandidate>
+findSpins(const Program &prog, const Cfg &cfg,
+          const QueueSummary &qs, const SlotProjection &proj,
+          int slots)
+{
+    std::vector<SpinCandidate> out;
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(cfg.blocks.size()); ++b) {
+        if (!proj.feasible[b])
+            continue;
+        const BasicBlock &bb = cfg.blocks[b];
+        const Insn &last = cfg.insns[bb.first + bb.count - 1];
+        if (!isCondBranchOp(last.op))
+            continue;
+
+        // A feasible edge back to this very block?
+        EdgeKind self_kind{};
+        bool has_self = false;
+        for (std::size_t k = 0; k < bb.succs.size(); ++k) {
+            if (bb.succs[k].block == b &&
+                (proj.edge_feasible[b] & (1u << k))) {
+                self_kind = bb.succs[k].kind;
+                has_self = true;
+                break;
+            }
+        }
+        if (!has_self)
+            continue;
+
+        // Walk the block: track the last load into each register
+        // and refuse blocks with stores or queue traffic.
+        SlotState st = proj.in[b];
+        std::uint32_t load_of[kNumRegs];
+        Addr addr_of[kNumRegs];
+        std::fill(std::begin(load_of), std::end(load_of), ~0u);
+        bool refuse = false;
+        for (std::uint32_t i = bb.first;
+             i < bb.first + bb.count && !refuse; ++i) {
+            const Insn &insn = cfg.insns[i];
+            int pops, pushes;
+            insnTraffic(insn, qs, pops, pushes);
+            if (isStoreOp(insn.op) || pops > 0 || pushes > 0) {
+                refuse = true;
+                break;
+            }
+            if (insn.op == Op::LW) {
+                const SlotValue base =
+                    readRegValue(st, insn.rs, qs);
+                load_of[insn.rt] = ~0u;
+                if (base.isConst()) {
+                    load_of[insn.rt] = i;
+                    addr_of[insn.rt] =
+                        base.val +
+                        static_cast<std::uint32_t>(insn.imm);
+                }
+            } else {
+                const RegRef dst = insn.dst();
+                if (dst.file == RF::Int && dst.idx < kNumRegs)
+                    load_of[dst.idx] = ~0u;     // clobbered
+            }
+            transferInsn(insn, st, qs, proj.slot, slots);
+        }
+        if (refuse)
+            continue;
+
+        // The branch must test exactly one freshly-loaded value
+        // against a constant (or r0).
+        const bool br2 = opMeta(last.op).format == Format::BR2;
+        std::uint32_t load_insn = ~0u;
+        Addr flag_addr = 0;
+        std::uint32_t other_val = 0;
+        bool loaded_is_rs = true;
+        if (load_of[last.rs] != ~0u) {
+            const SlotValue o =
+                br2 ? readRegValue(st, last.rt, qs)
+                    : SlotValue::constant(0);
+            if (o.isConst()) {
+                load_insn = load_of[last.rs];
+                flag_addr = addr_of[last.rs];
+                other_val = o.val;
+            }
+        } else if (br2 && load_of[last.rt] != ~0u) {
+            const SlotValue o = readRegValue(st, last.rs, qs);
+            if (o.isConst()) {
+                load_insn = load_of[last.rt];
+                flag_addr = addr_of[last.rt];
+                other_val = o.val;
+                loaded_is_rs = false;
+            }
+        }
+        if (load_insn == ~0u)
+            continue;
+
+        // Does the initial memory value already end the spin?
+        std::uint32_t w0 = 0;
+        if (flag_addr >= prog.data_base &&
+            flag_addr + 4 <= prog.data_base + prog.data.size()) {
+            const std::size_t off = flag_addr - prog.data_base;
+            w0 = static_cast<std::uint32_t>(prog.data[off]) |
+                 static_cast<std::uint32_t>(prog.data[off + 1])
+                     << 8 |
+                 static_cast<std::uint32_t>(prog.data[off + 2])
+                     << 16 |
+                 static_cast<std::uint32_t>(prog.data[off + 3])
+                     << 24;
+        }
+        const bool taken0 =
+            evalBranch(last.op, loaded_is_rs ? w0 : other_val,
+                       loaded_is_rs ? other_val : w0);
+        const bool spins0 =
+            self_kind == EdgeKind::Taken ? taken0 : !taken0;
+        if (!spins0)
+            continue;   // exits on the first iteration already
+
+        out.push_back({b, load_insn, flag_addr});
+    }
+    return out;
+}
+
+} // namespace
+
+ConcurrencyReport
+analyzeConcurrency(const Program &prog, const Cfg &cfg,
+                   const QueueSummary &qs, const SlotAnalysis &sa)
+{
+    ConcurrencyReport cr;
+    if (!sa.analyzable || sa.slots < 1)
+        return cr;
+    cr.ran = true;
+
+    const int S = sa.slots;
+    const bool queue_rules =
+        S >= 2 && !qs.mappings.empty() && !qs.has_qdis;
+
+    // --- Q009: whole-ring wait-for cycle --------------------------
+    if (queue_rules) {
+        bool cycle = true;
+        std::uint32_t site = ~0u;
+        for (int s = 0; s < S; ++s) {
+            const SlotProjection &p =
+                sa.per_slot[static_cast<std::size_t>(s)];
+            if (!p.active || !p.hasPops() || p.pop_free_escape) {
+                cycle = false;
+                break;
+            }
+            site = std::min(site, p.first_pop_insn);
+        }
+        if (cycle)
+            cr.wait_cycles.push_back({site});
+    }
+
+    // --- Q010: links whose producer never pushes ------------------
+    // Both ends must be running slots: a program that never forks
+    // is a legitimate 1-LP self-ring (the link wraps straight back
+    // to the only thread), so inactive producers are a
+    // configuration question, not a static bug.
+    if (queue_rules && cr.wait_cycles.empty()) {
+        for (int c = 0; c < S; ++c) {
+            const SlotProjection &pc =
+                sa.per_slot[static_cast<std::size_t>(c)];
+            if (!pc.active || !pc.hasPops())
+                continue;
+            const int p = (c + S - 1) % S;
+            const SlotProjection &pp =
+                sa.per_slot[static_cast<std::size_t>(p)];
+            if (pp.active && !pp.hasPushes())
+                cr.never_fed.push_back(
+                    {pc.first_pop_insn, p, c});
+        }
+    }
+
+    // --- Q011/Q012: per-iteration rate mismatches -----------------
+    if (queue_rules && cr.wait_cycles.empty()) {
+        const std::vector<std::uint32_t> idom = computeIdoms(cfg);
+        const std::vector<NaturalLoop> loops = findLoops(cfg, idom);
+        for (const NaturalLoop &loop : loops) {
+            std::vector<LoopRate> rates(
+                static_cast<std::size_t>(S));
+            for (int s = 0; s < S; ++s) {
+                const SlotProjection &p =
+                    sa.per_slot[static_cast<std::size_t>(s)];
+                if (p.active)
+                    rates[static_cast<std::size_t>(s)] =
+                        slotLoopRate(cfg, qs, p, loop);
+            }
+            for (int s = 0; s < S; ++s) {
+                const int c = (s + 1) % S;
+                const LoopRate &rp =
+                    rates[static_cast<std::size_t>(s)];
+                const LoopRate &rc =
+                    rates[static_cast<std::size_t>(c)];
+                // Compare only links where both sides move data
+                // every iteration: a slot that merely drains
+                // seeds (or seeds outside the loop) has no
+                // meaningful per-iteration rate on this link.
+                if (!rp.determinate || !rc.determinate ||
+                    rp.pushes <= 0 || rc.pops <= 0)
+                    continue;
+                if (rc.pops > rp.pushes) {
+                    cr.starved.push_back({rc.first_pop_insn, s, c,
+                                          rp.pushes, rc.pops});
+                } else if (rp.pushes > rc.pops) {
+                    cr.overrun.push_back({rp.first_push_insn, s, c,
+                                          rp.pushes, rc.pops});
+                }
+            }
+        }
+    }
+
+    // --- S001: spin waits no store can satisfy --------------------
+    {
+        std::set<std::uint32_t> reported;
+        for (int s = 0; s < S; ++s) {
+            const SlotProjection &ps =
+                sa.per_slot[static_cast<std::size_t>(s)];
+            if (!ps.active)
+                continue;
+            for (const SpinCandidate &cand :
+                 findSpins(prog, cfg, qs, ps, S)) {
+                if (reported.count(cand.load_insn))
+                    continue;
+                const MemRange flag{cand.addr, cand.addr + 4};
+                bool may_alias = false;
+
+                // Other slots run freely while this one spins.
+                for (int t = 0; t < S && !may_alias; ++t) {
+                    if (t == s)
+                        continue;
+                    const SlotProjection &pt =
+                        sa.per_slot[static_cast<std::size_t>(t)];
+                    if (!pt.active)
+                        continue;
+                    for (std::uint32_t b = 0;
+                         !may_alias &&
+                         b < static_cast<std::uint32_t>(
+                                 cfg.blocks.size());
+                         ++b) {
+                        if (pt.feasible[b])
+                            scanBlockStores(cfg, qs, pt, t, S, b,
+                                            flag, may_alias);
+                    }
+                }
+
+                // The spinning slot itself only reaches stores
+                // that execute before (or while) it spins: sever
+                // the spin block's exit edges and rescan.
+                if (!may_alias) {
+                    std::vector<bool> seen(cfg.blocks.size(),
+                                           false);
+                    std::deque<std::uint32_t> work;
+                    for (std::uint32_t sb : ps.start_blocks) {
+                        if (ps.feasible[sb] && !seen[sb]) {
+                            seen[sb] = true;
+                            work.push_back(sb);
+                        }
+                    }
+                    while (!work.empty() && !may_alias) {
+                        const std::uint32_t b = work.front();
+                        work.pop_front();
+                        scanBlockStores(cfg, qs, ps, s, S, b, flag,
+                                        may_alias);
+                        if (b == cand.block)
+                            continue;   // exits severed
+                        const BasicBlock &bb = cfg.blocks[b];
+                        for (std::size_t k = 0;
+                             k < bb.succs.size(); ++k) {
+                            if (!(ps.edge_feasible[b] &
+                                  (1u << k)))
+                                continue;
+                            const std::uint32_t v =
+                                bb.succs[k].block;
+                            if (!seen[v]) {
+                                seen[v] = true;
+                                work.push_back(v);
+                            }
+                        }
+                    }
+                }
+
+                if (!may_alias) {
+                    reported.insert(cand.load_insn);
+                    cr.dead_spins.push_back(
+                        {cand.load_insn, s, cand.addr});
+                }
+            }
+        }
+    }
+
+    return cr;
+}
+
+} // namespace smtsim::analysis

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cross-slot concurrency verification over per-slot projections
+ * (analysis/slots.hh).
+ *
+ * The queue registers couple slot s to slot (s+1) mod S: writes of
+ * the mapped write-register push onto the downstream link, reads of
+ * the mapped read-register pop the upstream link, and both block.
+ * Three whole-ring properties are checked statically:
+ *
+ *  - wait-for cycle: every slot's first queue action is
+ *    unavoidably a pop. All links start empty, so all S slots block
+ *    simultaneously and nothing ever unblocks them (Q009).
+ *  - link never fed: a slot pops a link whose producer slot never
+ *    pushes (or never even starts because no fastfork runs): the
+ *    first pop on that link blocks forever (Q010).
+ *  - per-iteration rate mismatch: producer and consumer share a
+ *    loop but push/pop different (statically determinate) counts
+ *    per iteration, so the link starves (Q011) or fills until the
+ *    producer wedges (Q012). This assumes matched trip counts —
+ *    see docs/ANALYSIS.md for the precision caveats.
+ *
+ * Independently, a memory-flag spin wait (single-block load/branch
+ * self-loop on a statically-resolvable address) that no reachable
+ * store can ever satisfy is reported as S001 — the static face of
+ * the remote/many-core flag-polling idiom.
+ */
+
+#ifndef SMTSIM_ANALYSIS_CONCURRENCY_HH
+#define SMTSIM_ANALYSIS_CONCURRENCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/queue.hh"
+#include "analysis/slots.hh"
+
+namespace smtsim::analysis
+{
+
+/** All S slots block popping before any push (static deadlock). */
+struct WaitCycle
+{
+    std::uint32_t insn;     ///< earliest blocking pop site
+};
+
+/** Slot @c consumer pops the link out of @c producer, a running
+ *  slot that never pushes. */
+struct NeverFedLink
+{
+    std::uint32_t insn;     ///< consumer's first pop
+    int producer;
+    int consumer;
+};
+
+/** Producer/consumer per-iteration rate mismatch on one link. */
+struct RateMismatch
+{
+    std::uint32_t insn;     ///< pop (starved) / push (overrun) site
+    int producer;
+    int consumer;
+    long pushes;            ///< producer pushes per iteration
+    long pops;              ///< consumer pops per iteration
+};
+
+/** Spin wait on a flag address no store can ever satisfy. */
+struct DeadSpin
+{
+    std::uint32_t insn;     ///< the polling load
+    int slot;               ///< first slot that can spin here
+    Addr addr;              ///< resolved flag address
+};
+
+struct ConcurrencyReport
+{
+    /** False when the projection refused the program (indirect
+     *  jumps, KILLT, structural errors): nothing was checked. */
+    bool ran = false;
+
+    std::vector<WaitCycle> wait_cycles;     ///< 0 or 1 entry
+    std::vector<NeverFedLink> never_fed;
+    std::vector<RateMismatch> starved;      ///< pops > pushes
+    std::vector<RateMismatch> overrun;      ///< pushes > pops
+    std::vector<DeadSpin> dead_spins;
+};
+
+/** Run every cross-slot check. @p prog supplies the data segment's
+ *  initial values for the spin-wait rule. */
+ConcurrencyReport analyzeConcurrency(const Program &prog,
+                                     const Cfg &cfg,
+                                     const QueueSummary &qs,
+                                     const SlotAnalysis &sa);
+
+} // namespace smtsim::analysis
+
+#endif // SMTSIM_ANALYSIS_CONCURRENCY_HH

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 #include <sstream>
 
 #include "analysis/cfg.hh"
+#include "analysis/concurrency.hh"
 #include "analysis/dataflow.hh"
 #include "analysis/queue.hh"
+#include "analysis/slots.hh"
 
 namespace smtsim::analysis
 {
@@ -252,6 +255,95 @@ lint(const Program &prog, const LintOptions &opts)
         }
     }
 
+    // --- Cross-slot concurrency (Q009+, S001) ---------------------
+    // Project the program per logical processor and compare the
+    // slots' queue behavior around the ring. Each new rule defers
+    // to the older single-slot rule that already explains the same
+    // program (Q007/Q002/Q001), so one bug gets one diagnostic.
+    if (opts.slots >= 1) {
+        const auto fired = [&](const char *id) {
+            for (const Diagnostic &d : report.diags) {
+                if (std::strcmp(d.id, id) == 0)
+                    return true;
+            }
+            return false;
+        };
+
+        const SlotAnalysis sa =
+            analyzeSlots(cfg, qs, opts.slots);
+        const ConcurrencyReport cr =
+            analyzeConcurrency(prog, cfg, qs, sa);
+
+        if (!fired("Q007") && !fired("Q002")) {
+            for (const WaitCycle &wc : cr.wait_cycles) {
+                rep.add("Q009", "queue-wait-cycle",
+                        Severity::Error, wc.insn,
+                        "wait-for cycle across all " +
+                            std::to_string(opts.slots) +
+                            " slots: every slot's first queue "
+                            "action is a pop, so all links stay "
+                            "empty and every slot blocks forever");
+            }
+        }
+        // SPMD rings hit one source site for several links; report
+        // each offending instruction once (the first link found).
+        std::set<std::uint32_t> seen_site;
+        if (!fired("Q002")) {
+            for (const NeverFedLink &nf : cr.never_fed) {
+                if (!seen_site.insert(nf.insn).second)
+                    continue;
+                rep.add("Q010", "queue-link-never-fed",
+                        Severity::Error, nf.insn,
+                        "slot " + std::to_string(nf.consumer) +
+                            " pops the link out of slot " +
+                            std::to_string(nf.producer) +
+                            ", which never pushes; the pop "
+                            "blocks forever");
+            }
+        }
+        if (!fired("Q001")) {
+            seen_site.clear();
+            for (const RateMismatch &rm : cr.starved) {
+                if (!seen_site.insert(rm.insn).second)
+                    continue;
+                rep.add("Q011", "queue-rate-starvation",
+                        Severity::Error, rm.insn,
+                        "slot " + std::to_string(rm.consumer) +
+                            " pops " + std::to_string(rm.pops) +
+                            " value(s) per loop iteration but "
+                            "slot " + std::to_string(rm.producer) +
+                            " pushes only " +
+                            std::to_string(rm.pushes) +
+                            "; the link starves and the consumer "
+                            "blocks");
+            }
+            seen_site.clear();
+            for (const RateMismatch &rm : cr.overrun) {
+                if (!seen_site.insert(rm.insn).second)
+                    continue;
+                rep.add("Q012", "queue-rate-overrun",
+                        Severity::Error, rm.insn,
+                        "slot " + std::to_string(rm.producer) +
+                            " pushes " + std::to_string(rm.pushes) +
+                            " value(s) per loop iteration but "
+                            "slot " + std::to_string(rm.consumer) +
+                            " pops only " +
+                            std::to_string(rm.pops) +
+                            "; the link fills and the producer "
+                            "blocks");
+            }
+        }
+        for (const DeadSpin &ds : cr.dead_spins) {
+            rep.add("S001", "spin-wait-never-satisfied",
+                    Severity::Error, ds.insn,
+                    "spin wait polls the word at " +
+                        hexAddr(ds.addr) +
+                        " but no reachable store in any slot can "
+                        "write it, and the initial value keeps "
+                        "the loop spinning");
+        }
+    }
+
     // --- Thread control (T) ---------------------------------------
     {
         const std::vector<std::uint32_t> forks = cfg.forkTargets();
@@ -328,6 +420,80 @@ toJson(const LintReport &report)
     root.set("diagnostics", std::move(arr));
     root.set("errors", report.errorCount());
     root.set("warnings", report.warningCount());
+    return root;
+}
+
+Json
+toSarif(const LintReport &report, const std::string &source_name)
+{
+    const auto level = [](Severity s) {
+        return s == Severity::Error ? "error" : "warning";
+    };
+
+    // One reportingDescriptor per distinct rule, in report order.
+    Json rules = Json::array();
+    std::vector<const char *> rule_ids;
+    for (const Diagnostic &d : report.diags) {
+        bool known = false;
+        for (const char *id : rule_ids)
+            known = known || std::strcmp(id, d.id) == 0;
+        if (known)
+            continue;
+        rule_ids.push_back(d.id);
+        Json rule = Json::object();
+        rule.set("id", d.id);
+        rule.set("name", d.name);
+        Json cfg = Json::object();
+        cfg.set("level", level(d.severity));
+        rule.set("defaultConfiguration", std::move(cfg));
+        rules.push(std::move(rule));
+    }
+
+    Json results = Json::array();
+    for (const Diagnostic &d : report.diags) {
+        Json region = Json::object();
+        region.set("startLine",
+                   d.loc.valid() ? d.loc.line : 1u);
+        region.set("startColumn",
+                   d.loc.valid() ? d.loc.col : 1u);
+        Json artifact = Json::object();
+        artifact.set("uri", source_name);
+        Json phys = Json::object();
+        phys.set("artifactLocation", std::move(artifact));
+        phys.set("region", std::move(region));
+        Json loc = Json::object();
+        loc.set("physicalLocation", std::move(phys));
+        Json locs = Json::array();
+        locs.push(std::move(loc));
+
+        Json msg = Json::object();
+        msg.set("text", std::string(d.name) + ": " + d.message +
+                            " [pc " + hexAddr(d.pc) + "]");
+
+        Json result = Json::object();
+        result.set("ruleId", d.id);
+        result.set("level", level(d.severity));
+        result.set("message", std::move(msg));
+        result.set("locations", std::move(locs));
+        results.push(std::move(result));
+    }
+
+    Json driver = Json::object();
+    driver.set("name", "smtsim-lint");
+    driver.set("rules", std::move(rules));
+    Json tool = Json::object();
+    tool.set("driver", std::move(driver));
+    Json run = Json::object();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    Json runs = Json::array();
+    runs.push(std::move(run));
+
+    Json root = Json::object();
+    root.set("$schema",
+             "https://json.schemastore.org/sarif-2.1.0.json");
+    root.set("version", "2.1.0");
+    root.set("runs", std::move(runs));
     return root;
 }
 

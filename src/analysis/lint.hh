@@ -35,6 +35,14 @@ struct LintOptions
     /** Ring FIFO depth assumed by the overflow check (the
      *  interpreter's InterpConfig::queue_depth default). */
     int queue_depth = 4;
+
+    /**
+     * Logical-processor count the cross-slot rules project the
+     * program onto (slot s pushes to slot (s+1) mod slots). The
+     * default matches the engines' default thread-slot count;
+     * smtsim-run's --lint gate passes the run's actual --threads.
+     */
+    int slots = 4;
 };
 
 struct LintReport
@@ -73,6 +81,14 @@ std::string formatText(const LintReport &report,
 /** {"diagnostics": [{id, name, severity, pc, line, col, message}],
  *   "errors": N, "warnings": N} */
 Json toJson(const LintReport &report);
+
+/**
+ * Render as a SARIF 2.1.0 log (one run, tool "smtsim-lint") for CI
+ * code-scanning annotations. @p source_name becomes the artifact
+ * URI; diagnostics without source positions anchor to line 1.
+ */
+Json toSarif(const LintReport &report,
+             const std::string &source_name);
 
 } // namespace smtsim::analysis
 

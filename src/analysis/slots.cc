@@ -1,0 +1,400 @@
+#include "analysis/slots.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "isa/semantics.hh"
+
+namespace smtsim::analysis
+{
+
+namespace
+{
+
+/** Lattice join of two values that both flowed along real paths. */
+SlotValue
+join(const SlotValue &a, const SlotValue &b)
+{
+    if (a.kind == SlotValue::Kind::Top)
+        return b;
+    if (b.kind == SlotValue::Kind::Top)
+        return a;
+    if (a == b)
+        return a;
+    return SlotValue::bottom();
+}
+
+SlotValue
+readRegImpl(const SlotState &st, RegIndex idx,
+            const QueueSummary &qs)
+{
+    if (idx == 0)
+        return SlotValue::constant(0);
+    const RegRef r{RF::Int, idx};
+    // A queue-mapped read pops a run-time value; reading the
+    // shadowed write-port name is architecturally unspecified.
+    if (qs.mapped_read.has(r) || qs.mapped_write.has(r))
+        return SlotValue::bottom();
+    return st.regs[idx];
+}
+
+/** Apply one instruction to @p st. */
+void
+transferImpl(const Insn &insn, SlotState &st,
+             const QueueSummary &qs, int slot, int slots)
+{
+    const RegRef dst = insn.dst();
+    if (!dst.valid())
+        return;
+
+    SlotValue out = SlotValue::bottom();
+    switch (opMeta(insn.op).format) {
+      case Format::R3:
+      case Format::I:
+      case Format::LUIF:
+      case Format::SHI: {
+        const SlotValue a = readRegImpl(st, insn.rs, qs);
+        const SlotValue b = readRegImpl(st, insn.rt, qs);
+        const bool needs_rt = opMeta(insn.op).format == Format::R3;
+        if (a.isConst() && (!needs_rt || b.isConst()))
+            out = SlotValue::constant(execIntOp(insn, a.val, b.val));
+        break;
+      }
+      case Format::THR1D:
+        if (insn.op == Op::TID)
+            out = SlotValue::constant(
+                static_cast<std::uint32_t>(slot));
+        else if (insn.op == Op::NSLOT)
+            out = SlotValue::constant(
+                static_cast<std::uint32_t>(slots));
+        break;
+      default:
+        break;    // loads, FP->int, links: Bottom
+    }
+
+    if (dst.file != RF::Int || dst.idx == 0)
+        return;
+    // Writing a queue-mapped name pushes instead of updating the
+    // architectural register.
+    if (qs.mapped_write.has(dst) || qs.mapped_read.has(dst))
+        return;
+    st.regs[dst.idx] = out;
+}
+
+struct Projector
+{
+    const Cfg &cfg;
+    const QueueSummary &qs;
+    const int slot;
+    const int slots;
+    SlotProjection &proj;
+
+    SlotValue
+    readReg(const SlotState &st, RegIndex idx) const
+    {
+        return readRegImpl(st, idx, qs);
+    }
+
+    void
+    transfer(const Insn &insn, SlotState &st) const
+    {
+        transferImpl(insn, st, qs, slot, slots);
+    }
+
+    /** Three-valued branch outcome over the block's exit state. */
+    void
+    branchFeasibility(const Insn &insn, const SlotState &st,
+                      bool &may_taken, bool &may_fall) const
+    {
+        may_taken = may_fall = true;
+        if (!isCondBranchOp(insn.op))
+            return;
+        const SlotValue a = readReg(st, insn.rs);
+        const Format f = opMeta(insn.op).format;
+        if (f == Format::BR2) {
+            const SlotValue b = readReg(st, insn.rt);
+            if (a.isConst() && b.isConst()) {
+                const bool t = evalBranch(insn.op, a.val, b.val);
+                may_taken = t;
+                may_fall = !t;
+            }
+        } else if (a.isConst()) {
+            const bool t = evalBranch(insn.op, a.val, 0);
+            may_taken = t;
+            may_fall = !t;
+        }
+    }
+
+    /**
+     * Run to fixpoint from @p seeds (block, entry state). Values
+     * only descend and feasibility only grows, so this terminates.
+     */
+    void
+    run(const std::vector<std::pair<std::uint32_t, SlotState>>
+            &seeds)
+    {
+        const std::size_t nb = cfg.blocks.size();
+        proj.feasible.assign(nb, false);
+        proj.in.assign(nb, SlotState{});
+        proj.edge_feasible.assign(nb, 0);
+        proj.active = !seeds.empty();
+
+        std::deque<std::uint32_t> work;
+        std::vector<bool> queued(nb, false);
+        auto inject = [&](std::uint32_t b, const SlotState &st) {
+            bool changed = !proj.feasible[b];
+            if (changed) {
+                proj.in[b] = st;
+                proj.feasible[b] = true;
+            } else {
+                for (int r = 1; r < kNumRegs; ++r) {
+                    const SlotValue v =
+                        join(proj.in[b].regs[r], st.regs[r]);
+                    if (!(v == proj.in[b].regs[r])) {
+                        proj.in[b].regs[r] = v;
+                        changed = true;
+                    }
+                }
+            }
+            if (changed && !queued[b]) {
+                queued[b] = true;
+                work.push_back(b);
+            }
+        };
+        for (const auto &[b, st] : seeds)
+            inject(b, st);
+
+        while (!work.empty()) {
+            const std::uint32_t b = work.front();
+            work.pop_front();
+            queued[b] = false;
+
+            SlotState st = proj.in[b];
+            const BasicBlock &bb = cfg.blocks[b];
+            for (std::uint32_t i = bb.first;
+                 i < bb.first + bb.count; ++i)
+                transfer(cfg.insns[i], st);
+
+            const Insn &last = cfg.insns[bb.first + bb.count - 1];
+            bool may_taken, may_fall;
+            branchFeasibility(last, st, may_taken, may_fall);
+
+            std::uint32_t bits = 0;
+            for (std::size_t k = 0; k < bb.succs.size(); ++k) {
+                const Edge &e = bb.succs[k];
+                // Fork edges model sibling starts, not this slot's
+                // control flow (siblings are seeded separately; a
+                // nested fork is a no-op, see T002).
+                if (e.kind == EdgeKind::Fork)
+                    continue;
+                if (e.kind == EdgeKind::Taken && !may_taken)
+                    continue;
+                if (e.kind == EdgeKind::Fall &&
+                    isCondBranchOp(last.op) && !may_fall)
+                    continue;
+                bits |= 1u << k;
+                inject(e.block, st);
+            }
+            proj.edge_feasible[b] = bits;
+        }
+    }
+};
+
+/** Pop/push counts of one insn under the mapping (same rules as
+ *  queue.cc's trafficOf; duplicated to keep that one file-local). */
+void
+insnTraffic(const Insn &insn, const QueueSummary &qs, int &pops,
+            int &pushes)
+{
+    pops = pushes = 0;
+    RegRef srcs[3];
+    const int n = insn.srcs(srcs);
+    for (int k = 0; k < n; ++k) {
+        if (qs.mapped_read.has(srcs[k]))
+            ++pops;
+    }
+    const RegRef dst = insn.dst();
+    if (dst.valid() && qs.mapped_write.has(dst))
+        ++pushes;
+}
+
+/** Fill the projection's derived queue facts. */
+void
+summarizeTraffic(const Cfg &cfg, const QueueSummary &qs,
+                 SlotProjection &proj,
+                 const std::vector<std::uint32_t> &starts)
+{
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(cfg.blocks.size()); ++b) {
+        if (!proj.feasible[b])
+            continue;
+        const BasicBlock &bb = cfg.blocks[b];
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            int pops, pushes;
+            insnTraffic(cfg.insns[i], qs, pops, pushes);
+            if (pops > 0 && proj.first_pop_insn == ~0u)
+                proj.first_pop_insn = i;
+            if (pushes > 0 && proj.first_push_insn == ~0u)
+                proj.first_push_insn = i;
+        }
+    }
+
+    // Pop-free escape: can the slot push, halt, or run out of code
+    // before its first pop? Block-granular BFS; a block is handled
+    // identically on every path, so a visited set is enough.
+    proj.pop_free_escape = false;
+    std::vector<bool> seen(cfg.blocks.size(), false);
+    std::deque<std::uint32_t> work;
+    for (std::uint32_t b : starts) {
+        if (!seen[b]) {
+            seen[b] = true;
+            work.push_back(b);
+        }
+    }
+    while (!work.empty() && !proj.pop_free_escape) {
+        const std::uint32_t b = work.front();
+        work.pop_front();
+        const BasicBlock &bb = cfg.blocks[b];
+        bool blocked = false;
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            const Insn &insn = cfg.insns[i];
+            int pops, pushes;
+            insnTraffic(insn, qs, pops, pushes);
+            if (pops > 0) {     // reads pop before the write pushes
+                blocked = true;
+                break;
+            }
+            if (pushes > 0 || insn.op == Op::HALT) {
+                proj.pop_free_escape = true;
+                break;
+            }
+        }
+        if (blocked || proj.pop_free_escape)
+            continue;
+        bool any_succ = false;
+        const std::uint32_t bits = proj.edge_feasible[b];
+        for (std::size_t k = 0; k < bb.succs.size(); ++k) {
+            if (!(bits & (1u << k)))
+                continue;
+            any_succ = true;
+            const std::uint32_t s = bb.succs[k].block;
+            if (!seen[s]) {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+        if (!any_succ)
+            proj.pop_free_escape = true;    // code simply ends
+    }
+}
+
+} // namespace
+
+bool
+SlotState::operator==(const SlotState &o) const
+{
+    return std::equal(std::begin(regs), std::end(regs),
+                      std::begin(o.regs));
+}
+
+SlotValue
+readRegValue(const SlotState &st, RegIndex idx,
+             const QueueSummary &qs)
+{
+    return readRegImpl(st, idx, qs);
+}
+
+void
+transferInsn(const Insn &insn, SlotState &st,
+             const QueueSummary &qs, int slot, int slots)
+{
+    transferImpl(insn, st, qs, slot, slots);
+}
+
+SlotAnalysis
+analyzeSlots(const Cfg &cfg, const QueueSummary &qs, int slots)
+{
+    SlotAnalysis sa;
+    sa.slots = slots;
+    if (cfg.insns.empty() || slots < 1)
+        return sa;
+
+    // Refuse programs the projection cannot follow faithfully.
+    if (!cfg.fall_off_insns.empty())
+        return sa;
+    for (std::uint32_t i : cfg.indirect_insns) {
+        if (cfg.blockOfInsn(i).reachable)
+            return sa;
+    }
+    for (std::uint32_t i : cfg.bad_target_insns) {
+        if (cfg.blockOfInsn(i).reachable)
+            return sa;
+    }
+    for (const BasicBlock &bb : cfg.blocks) {
+        if (!bb.reachable)
+            continue;
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i) {
+            // A reachable kill can rescue statically-blocked peers,
+            // so no deadlock verdict over this program is sound.
+            if (cfg.insns[i].op == Op::KILLT)
+                return sa;
+        }
+    }
+    sa.analyzable = true;
+
+    sa.per_slot.resize(static_cast<std::size_t>(slots));
+
+    // Slot 0 runs from the entry with the architecturally
+    // zero-initialized register file.
+    SlotProjection &p0 = sa.per_slot[0];
+    p0.slot = 0;
+    {
+        SlotState entry;
+        for (int r = 0; r < kNumRegs; ++r)
+            entry.regs[r] = SlotValue::constant(0);
+        Projector pr{cfg, qs, 0, slots, p0};
+        pr.run({{cfg.entry_block, entry}});
+        p0.start_blocks = {cfg.entry_block};
+        summarizeTraffic(cfg, qs, p0, p0.start_blocks);
+    }
+
+    // Sibling slots start at every feasible fastfork site with a
+    // copy of slot 0's state after the fork instruction.
+    std::vector<std::pair<std::uint32_t, SlotState>> fork_seeds;
+    std::vector<std::uint32_t> fork_starts;
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(cfg.blocks.size()); ++b) {
+        if (!p0.feasible[b])
+            continue;
+        const BasicBlock &bb = cfg.blocks[b];
+        if (cfg.insns[bb.first + bb.count - 1].op != Op::FASTFORK)
+            continue;
+        SlotState st = p0.in[b];
+        Projector pr{cfg, qs, 0, slots, p0};
+        for (std::uint32_t i = bb.first; i < bb.first + bb.count;
+             ++i)
+            pr.transfer(cfg.insns[i], st);
+        for (const Edge &e : bb.succs) {
+            if (e.kind == EdgeKind::Fork) {
+                fork_seeds.push_back({e.block, st});
+                fork_starts.push_back(e.block);
+            }
+        }
+    }
+
+    for (int s = 1; s < slots; ++s) {
+        SlotProjection &p = sa.per_slot[static_cast<std::size_t>(s)];
+        p.slot = s;
+        Projector pr{cfg, qs, s, slots, p};
+        pr.run(fork_seeds);
+        p.start_blocks = fork_starts;
+        summarizeTraffic(cfg, qs, p, fork_starts);
+    }
+
+    return sa;
+}
+
+} // namespace smtsim::analysis

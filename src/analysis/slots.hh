@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-slot projections of an SPMD program.
+ *
+ * fastfork starts every other thread slot at the parent's next pc
+ * with a copy of the parent's register file, and the TID/NSLOT
+ * instructions are the only way slots diverge afterwards. That makes
+ * the per-slot behavior statically computable: project the shared
+ * CFG once per logical processor by running a conditional
+ * constant propagation whose only "inputs" are TID (the slot index)
+ * and NSLOT (the slot count). Branches whose operands fold to
+ * constants restrict each slot to its feasible sub-CFG, which is
+ * what the cross-slot concurrency rules (analysis/concurrency.hh)
+ * reason about: which slots ever push or pop, and whether a slot
+ * can reach a push before its first blocking pop.
+ *
+ * The projection is deliberately modest: integer registers only
+ * (branches cannot test FP values), loads and queue pops go straight
+ * to Bottom, and any reachable indirect jump makes the whole
+ * analysis refuse (analyzable = false) rather than guess.
+ */
+
+#ifndef SMTSIM_ANALYSIS_SLOTS_HH
+#define SMTSIM_ANALYSIS_SLOTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/queue.hh"
+
+namespace smtsim::analysis
+{
+
+/** Constant-propagation lattice for one integer register. */
+struct SlotValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Top,    ///< no path has defined it yet (optimistic)
+        Const,  ///< same value on every feasible path
+        Bottom  ///< run-time dependent
+    };
+
+    Kind kind = Kind::Top;
+    std::uint32_t val = 0;
+
+    static SlotValue constant(std::uint32_t v)
+    {
+        return {Kind::Const, v};
+    }
+    static SlotValue bottom() { return {Kind::Bottom, 0}; }
+
+    bool isConst() const { return kind == Kind::Const; }
+    bool operator==(const SlotValue &o) const = default;
+};
+
+/** Integer register file lattice state (r0 pinned to 0). */
+struct SlotState
+{
+    SlotValue regs[kNumRegs];
+
+    bool operator==(const SlotState &o) const;
+};
+
+/** One slot's feasible view of the program. */
+struct SlotProjection
+{
+    int slot = 0;
+
+    /** Slot ever starts running (slot 0 always; siblings only when
+     *  a feasible fastfork exists). */
+    bool active = false;
+
+    /** Per-block: feasibly reachable by this slot. */
+    std::vector<bool> feasible;
+
+    /** Converged in-state per feasible block. */
+    std::vector<SlotState> in;
+
+    /** Per block, bit k set = successor edge k is feasible (branch
+     *  conditions folded against the block's out-state). */
+    std::vector<std::uint32_t> edge_feasible;
+
+    /** Blocks this slot starts at (entry / feasible fork sites). */
+    std::vector<std::uint32_t> start_blocks;
+
+    /** Queue traffic visible to this slot (~0u = none). */
+    std::uint32_t first_pop_insn = ~0u;
+    std::uint32_t first_push_insn = ~0u;
+    bool hasPops() const { return first_pop_insn != ~0u; }
+    bool hasPushes() const { return first_push_insn != ~0u; }
+
+    /**
+     * True when some feasible path from the slot's start reaches a
+     * push, a halt, or the end of its code without first popping.
+     * False (with hasPops()) means the slot's first queue action is
+     * unavoidably a pop: it blocks with nothing pushed.
+     */
+    bool pop_free_escape = true;
+};
+
+/** Projections for every slot, plus global analyzability. */
+struct SlotAnalysis
+{
+    int slots = 0;
+
+    /**
+     * False when the program defeats projection: a reachable
+     * indirect jump (unknown targets), a reachable KILLT (a kill
+     * can rescue statically-blocked peers), a branch to a bad
+     * target, or code that can fall off the text end. Consumers
+     * must stay silent rather than diagnose over a refused
+     * projection.
+     */
+    bool analyzable = false;
+
+    std::vector<SlotProjection> per_slot;
+
+    bool
+    slotActive(int s) const
+    {
+        return s >= 0 && s < static_cast<int>(per_slot.size()) &&
+               per_slot[s].active;
+    }
+};
+
+/**
+ * Project @p cfg onto @p slots logical processors. @p qs supplies
+ * the queue mapping (mapped reads pop, mapped writes push; both
+ * make the folded value Bottom).
+ */
+SlotAnalysis analyzeSlots(const Cfg &cfg, const QueueSummary &qs,
+                          int slots);
+
+/** Value of integer register @p idx in @p st under the projection's
+ *  read rules (r0 = 0, queue-mapped names = Bottom). */
+SlotValue readRegValue(const SlotState &st, RegIndex idx,
+                       const QueueSummary &qs);
+
+/** Apply one instruction's transfer function to @p st, for slot
+ *  @p slot of @p slots. */
+void transferInsn(const Insn &insn, SlotState &st,
+                  const QueueSummary &qs, int slot, int slots);
+
+} // namespace smtsim::analysis
+
+#endif // SMTSIM_ANALYSIS_SLOTS_HH

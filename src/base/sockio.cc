@@ -18,10 +18,29 @@ namespace
 
 constexpr std::size_t kMaxLineBytes = 64u << 20;
 
+/** Picks the right interpretation of strerror_r's result for both
+ *  the XSI (int return) and GNU (char* return) signatures; exactly
+ *  one overload is instantiated per platform. */
+[[maybe_unused]] const char *
+strerrorResult(int rc, const char *buf)
+{
+    return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char *
+strerrorResult(const char *msg, const char *)
+{
+    return msg;
+}
+
+/** Thread-safe errno formatting: sockio errors surface from the
+ *  serve daemon's accept/reader/dispatcher threads, so the shared
+ *  static buffer of plain strerror() is off limits. */
 std::string
 errnoString(const char *what)
 {
-    return std::string(what) + ": " + std::strerror(errno);
+    char buf[128] = {};
+    return std::string(what) + ": " +
+           strerrorResult(strerror_r(errno, buf, sizeof(buf)), buf);
 }
 
 /** Fill a sockaddr_un; false when the path does not fit. */

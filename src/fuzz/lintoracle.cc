@@ -1,0 +1,301 @@
+#include "fuzz/lintoracle.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/lint.hh"
+#include "asmr/assembler.hh"
+#include "base/random.hh"
+#include "fuzz/generate.hh"
+#include "fuzz/oracle.hh"
+
+namespace smtsim::fuzz
+{
+
+namespace
+{
+
+/**
+ * A wait-for cycle behind a statically dead seeder guard
+ * (tid == nslot): the path-insensitive rules see a push-first path,
+ * but no slot ever takes it, so every slot's first queue action is
+ * a pop and the whole ring blocks.
+ */
+std::string
+waitCycleText(Rng &rng)
+{
+    const int trip = 4 + static_cast<int>(rng.nextBelow(28));
+    const int inc = 1 + static_cast<int>(rng.nextBelow(7));
+    std::ostringstream oss;
+    oss << "        .text\n"
+        << "main:   qen  r20, r21\n"
+        << "        fastfork\n"
+        << "        tid  r10\n"
+        << "        nslot r11\n"
+        << "        addi r4, r0, " << trip << "\n"
+        << "        beq  r10, r11, seed\n"
+        << "loop:   add  r3, r20, r0\n"
+        << "        addi r3, r3, " << inc << "\n"
+        << "        addi r21, r3, 0\n"
+        << "        addi r4, r4, -1\n"
+        << "        bgtz r4, loop\n"
+        << "        halt\n"
+        << "seed:   addi r21, r0, " << inc << "\n"
+        << "        j    loop\n";
+    return oss.str();
+}
+
+/**
+ * Rate-skewed ring: slot 0 and the followers push/pop different
+ * per-iteration counts, so some link either starves (consumers ask
+ * for two, receive one) or fills until its producer wedges
+ * (producers push two, consumers drain one). The trip count is
+ * large enough that the overrun variant exceeds the FIFO depth.
+ */
+std::string
+rateSkewText(Rng &rng, bool overrun)
+{
+    const int trip = 8 + static_cast<int>(rng.nextBelow(24));
+    const int inc = 1 + static_cast<int>(rng.nextBelow(5));
+    // Slot 0 gets one role, the followers the other; which side
+    // does the double traffic flips the starve/overrun direction.
+    const char *one_pop =
+        "        add  r3, r20, r0\n";
+    const char *two_pops =
+        "        add  r3, r20, r0\n"
+        "        add  r5, r20, r0\n";
+    std::ostringstream one_push, two_pushes;
+    one_push << "        addi r21, r3, " << inc << "\n";
+    two_pushes << "        addi r21, r3, " << inc << "\n"
+               << "        addi r21, r3, " << inc + 1 << "\n";
+
+    std::ostringstream oss;
+    oss << "        .text\n"
+        << "main:   qen  r20, r21\n"
+        << "        fastfork\n"
+        << "        tid  r10\n"
+        << "        addi r21, r0, 1\n"     // seed one value
+        << "        addi r4, r0, " << trip << "\n"
+        << "loop:   bne  r10, r0, follow\n";
+    if (overrun)
+        oss << two_pops << one_push.str();
+    else
+        oss << one_pop << two_pushes.str();
+    oss << "        j    latch\n"
+        << "follow:";
+    if (overrun)
+        oss << one_pop << two_pushes.str();
+    else
+        oss << two_pops << one_push.str();
+    oss << "latch:  addi r4, r4, -1\n"
+        << "        bgtz r4, loop\n"
+        << "        halt\n";
+    return oss.str();
+}
+
+/** Spin wait on a zero-initialised flag word nothing ever stores. */
+std::string
+spinNoStoreText(Rng &rng)
+{
+    const int pad = 4 * static_cast<int>(rng.nextBelow(8));
+    std::ostringstream oss;
+    oss << "        .text\n"
+        << "main:   fastfork\n"
+        << "        la   r8, flag\n"
+        << "spin:   lw   r9, " << pad << "(r8)\n"
+        << "        beq  r9, r0, spin\n"
+        << "        halt\n"
+        << "        .data\n"
+        << "flag:   .space " << pad + 4 << "\n";
+    return oss.str();
+}
+
+/** Hang = deadlock trap or budget exhaustion; finishing cleanly is
+ *  the one outcome an injected bug must never produce. */
+bool
+boundedRunHangs(const Program &prog, int slots,
+                const OracleBudget &budget)
+{
+    RunConfig rc;
+    rc.engine = Engine::Interp;
+    rc.slots = slots;
+    const EngineState st = runEngine(prog, rc, budget);
+    return !st.finished;
+}
+
+void
+writeRepro(const LintOracleOptions &opts, const std::string &name,
+           const std::string &header, const std::string &text)
+{
+    if (opts.repro_dir.empty())
+        return;
+    namespace fs = std::filesystem;
+    fs::create_directories(opts.repro_dir);
+    const fs::path out = fs::path(opts.repro_dir) / name;
+    std::ofstream os(out);
+    os << header << text;
+    if (!opts.quiet)
+        std::printf("  repro: %s\n", out.string().c_str());
+}
+
+} // namespace
+
+const char *
+bugClassName(BugClass c)
+{
+    switch (c) {
+      case BugClass::WaitCycle: return "wait-cycle";
+      case BugClass::RateStarve: return "rate-starve";
+      case BugClass::RateOverrun: return "rate-overrun";
+      case BugClass::SpinNoStore: return "spin-no-store";
+    }
+    return "?";
+}
+
+const char *
+bugClassDiagnostic(BugClass c)
+{
+    switch (c) {
+      case BugClass::WaitCycle: return "Q009";
+      case BugClass::RateStarve: return "Q011";
+      case BugClass::RateOverrun: return "Q012";
+      case BugClass::SpinNoStore: return "S001";
+    }
+    return "?";
+}
+
+std::string
+renderBugProgram(BugClass c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    switch (c) {
+      case BugClass::WaitCycle: return waitCycleText(rng);
+      case BugClass::RateStarve: return rateSkewText(rng, false);
+      case BugClass::RateOverrun: return rateSkewText(rng, true);
+      case BugClass::SpinNoStore: return spinNoStoreText(rng);
+    }
+    return {};
+}
+
+LintOracleStats
+runLintOracle(const LintOracleOptions &opts)
+{
+    LintOracleStats stats;
+    Rng top(opts.seed ? opts.seed : 1);
+
+    analysis::LintOptions lopts;
+    lopts.slots = opts.slots;
+
+    // Injected programs hang by design: a deadlock traps almost
+    // immediately, a spin burns the whole step budget, so keep the
+    // ceiling small. Clean programs get the default headroom.
+    OracleBudget hang_budget;
+    hang_budget.interp_max_steps = 500'000;
+    hang_budget.max_cycles = 500'000;
+
+    constexpr BugClass kClasses[] = {
+        BugClass::WaitCycle, BugClass::RateStarve,
+        BugClass::RateOverrun, BugClass::SpinNoStore};
+
+    for (long long run = 0; run < opts.runs; ++run) {
+        // --- clean arm -----------------------------------------
+        GenOptions gopts;
+        gopts.seed = top.next();
+        const GenProgram gp = generate(gopts);
+        const std::string text = gp.render();
+        const Program image = assemble(text);
+        ++stats.clean_runs;
+
+        const analysis::LintReport lr = analysis::lint(image, lopts);
+        if (!lr.diags.empty()) {
+            ++stats.false_positives;
+            if (!opts.quiet) {
+                std::printf(
+                    "run %lld seed %llu: FALSE POSITIVE\n%s", run,
+                    (unsigned long long)gp.seed,
+                    analysis::formatText(lr, "  <gen>").c_str());
+            }
+            writeRepro(opts,
+                       "lintoracle-fp-" +
+                           std::to_string(gp.seed) + ".s",
+                       "# lint-oracle FALSE POSITIVE: generated "
+                       "clean program got diagnostics\n# seed " +
+                           std::to_string(gp.seed) + "\n",
+                       text);
+        } else if (boundedRunHangs(image, opts.slots, {})) {
+            ++stats.clean_hangs;
+            if (!opts.quiet) {
+                std::printf("run %lld seed %llu: CLEAN HANG\n", run,
+                            (unsigned long long)gp.seed);
+            }
+            writeRepro(opts,
+                       "lintoracle-hang-" +
+                           std::to_string(gp.seed) + ".s",
+                       "# lint-oracle CLEAN HANG: lint-clean "
+                       "generated program failed its bounded run\n"
+                       "# seed " +
+                           std::to_string(gp.seed) + "\n",
+                       text);
+        }
+
+        // --- injected arm --------------------------------------
+        const BugClass klass = kClasses[top.nextBelow(4)];
+        const std::uint64_t bug_seed = top.next();
+        const std::string bug_text =
+            renderBugProgram(klass, bug_seed);
+        const Program bug_image = assemble(bug_text);
+        ++stats.injected_runs;
+
+        const char *want = bugClassDiagnostic(klass);
+        const analysis::LintReport blr =
+            analysis::lint(bug_image, lopts);
+        bool flagged = false;
+        for (const analysis::Diagnostic &d : blr.diags)
+            flagged = flagged || want == std::string(d.id);
+
+        if (!flagged) {
+            ++stats.missed_bugs;
+            if (!opts.quiet) {
+                std::printf(
+                    "run %lld bug %s seed %llu: MISSED (wanted %s, "
+                    "got%s)\n%s",
+                    run, bugClassName(klass),
+                    (unsigned long long)bug_seed, want,
+                    blr.diags.empty() ? " clean" : ":",
+                    analysis::formatText(blr, "  <bug>").c_str());
+            }
+            writeRepro(opts,
+                       std::string("lintoracle-miss-") +
+                           bugClassName(klass) + "-" +
+                           std::to_string(bug_seed) + ".s",
+                       std::string("# lint-oracle MISS: injected ") +
+                           bugClassName(klass) +
+                           " not flagged as " + want + "\n",
+                       bug_text);
+        } else if (!boundedRunHangs(bug_image, opts.slots,
+                                    hang_budget)) {
+            ++stats.phantom_bugs;
+            if (!opts.quiet) {
+                std::printf(
+                    "run %lld bug %s seed %llu: PHANTOM (program "
+                    "finished; the injected bug is not a bug)\n",
+                    run, bugClassName(klass),
+                    (unsigned long long)bug_seed);
+            }
+            writeRepro(opts,
+                       std::string("lintoracle-phantom-") +
+                           bugClassName(klass) + "-" +
+                           std::to_string(bug_seed) + ".s",
+                       std::string("# lint-oracle PHANTOM: "
+                                   "injected ") +
+                           bugClassName(klass) +
+                           " finished its bounded run\n",
+                       bug_text);
+        }
+    }
+    return stats;
+}
+
+} // namespace smtsim::fuzz

@@ -126,6 +126,12 @@ WorkloadSpec::listWalk(int num_nodes, int break_at, bool eager,
 }
 
 WorkloadSpec
+WorkloadSpec::tokenRing(int rounds, int bug)
+{
+    return makeSpec("tokenring", {{"rounds", rounds}, {"bug", bug}});
+}
+
+WorkloadSpec
 WorkloadSpec::fromString(const std::string &text)
 {
     const auto colon = text.find(':');
@@ -149,6 +155,8 @@ WorkloadSpec::fromString(const std::string &text)
         spec = recurrence();
     else if (kind == "listwalk")
         spec = listWalk();
+    else if (kind == "tokenring")
+        spec = tokenRing();
     else
         throw std::invalid_argument("unknown workload kind \"" +
                                     kind + "\"");
@@ -273,6 +281,13 @@ instantiate(const WorkloadSpec &spec)
         p.seed = static_cast<std::uint64_t>(
             param(spec, "seed", static_cast<std::int64_t>(p.seed)));
         return makeListWalk(p);
+    }
+    if (spec.kind == "tokenring") {
+        checkKeys(spec, {"rounds", "bug"});
+        TokenRingParams p;
+        p.rounds = static_cast<int>(param(spec, "rounds", p.rounds));
+        p.bug = static_cast<int>(param(spec, "bug", p.bug));
+        return makeTokenRing(p);
     }
     throw std::invalid_argument("unknown workload kind \"" +
                                 spec.kind + "\"");

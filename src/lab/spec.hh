@@ -49,7 +49,7 @@ constexpr int kCacheSchemaVersion = 1;
 struct WorkloadSpec
 {
     /** Factory name: raytrace, livermore1, matmul, bsearch,
-     *  stencil, radiosity, recurrence, listwalk. */
+     *  stencil, radiosity, recurrence, listwalk, tokenring. */
     std::string kind;
     /** Factory parameters; keys sorted by std::map => canonical. */
     std::map<std::string, std::int64_t> params;
@@ -77,6 +77,7 @@ struct WorkloadSpec
                                  int break_at = -1,
                                  bool eager = false,
                                  std::uint64_t seed = 7);
+    static WorkloadSpec tokenRing(int rounds = 32, int bug = 0);
 
     /**
      * Parse "kind" or "kind:key=value,key=value" (e.g.

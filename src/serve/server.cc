@@ -7,6 +7,8 @@
 
 #include <poll.h>
 
+#include "analysis/lint.hh"
+#include "base/hash.hh"
 #include "lab/executor.hh"
 #include "lab/spec_json.hh"
 #include "serve/protocol.hh"
@@ -198,6 +200,108 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     }
 }
 
+namespace
+{
+
+/** Thread-slot count the job's engine actually runs with (the
+ *  cross-slot lint rules project the program onto it). */
+int
+jobSlots(const lab::Job &job)
+{
+    switch (job.engine) {
+      case lab::EngineKind::Baseline:
+        return 1;
+      case lab::EngineKind::Interp:
+        return job.interp_threads;
+      case lab::EngineKind::Core:
+      case lab::EngineKind::Machine:
+        return job.core.num_slots;
+    }
+    return 1;
+}
+
+/** Content fingerprint of an assembled program image. */
+std::string
+programFingerprint(const Program &prog)
+{
+    Fnv1a h;
+    h.add(&prog.text_base, sizeof(prog.text_base));
+    if (!prog.text.empty())
+        h.add(prog.text.data(),
+              prog.text.size() * sizeof(prog.text[0]));
+    h.add(&prog.data_base, sizeof(prog.data_base));
+    if (!prog.data.empty())
+        h.add(prog.data.data(), prog.data.size());
+    h.add(&prog.entry, sizeof(prog.entry));
+    return hashToHex(h.digest());
+}
+
+} // namespace
+
+bool
+Server::admitLint(const std::vector<lab::Job> &jobs,
+                  std::string *why)
+{
+    // (workload, slots) pairs already handled this submission; a
+    // sweep expands one workload into hundreds of grid cells and
+    // must instantiate it once, not per cell.
+    std::set<std::string> seen;
+    for (const lab::Job &job : jobs) {
+        const int slots = jobSlots(job);
+        if (!seen
+                 .insert(job.workload.canonical() + "@" +
+                         std::to_string(slots))
+                 .second)
+            continue;
+
+        Workload w;
+        try {
+            w = lab::instantiate(job.workload);
+        } catch (const std::exception &) {
+            // Unknown kinds/params surface through the expand or
+            // worker path with their own error reporting.
+            continue;
+        }
+        const std::string key = programFingerprint(w.program) +
+                                "@" + std::to_string(slots);
+
+        bool cached = false;
+        std::string verdict;
+        {
+            std::lock_guard<std::mutex> lock(lint_mutex_);
+            const auto it = lint_verdicts_.find(key);
+            if (it != lint_verdicts_.end()) {
+                cached = true;
+                verdict = it->second;
+            }
+        }
+        if (cached) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.lint_cache_hits;
+        } else {
+            analysis::LintOptions lopts;
+            lopts.slots = slots;
+            const analysis::LintReport lr =
+                analysis::lint(w.program, lopts);
+            if (lr.hasErrors()) {
+                // Same rendering as smtsim-lint / smtsim-run
+                // --lint: "<file>:<line>:<col>: <severity>: ..."
+                verdict = "lint rejected workload " +
+                          job.workload.canonical() + ":\n" +
+                          analysis::formatText(
+                              lr, job.workload.kind + ".s");
+            }
+            std::lock_guard<std::mutex> lock(lint_mutex_);
+            lint_verdicts_[key] = verdict;
+        }
+        if (!verdict.empty()) {
+            *why = verdict;
+            return false;
+        }
+    }
+    return true;
+}
+
 void
 Server::handleSubmit(const std::shared_ptr<Connection> &conn,
                      const Json &request)
@@ -229,6 +333,24 @@ Server::handleSubmit(const std::shared_ptr<Connection> &conn,
         sendTo(conn->id,
                eventRejected(id, "spec expands to zero jobs"));
         return;
+    }
+
+    // Admission lint gate: a program the static verifier can prove
+    // deadlocks (or is otherwise broken) must not consume a queue
+    // slot or a worker. Runs before any cache probe so rejection
+    // cost is one lint per distinct workload, amortized by the
+    // fingerprint verdict cache across submissions.
+    if (opts_.lint_admission) {
+        std::string lint_why;
+        if (!admitLint(jobs, &lint_why)) {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.rejected;
+                ++stats_.lint_rejected;
+            }
+            sendTo(conn->id, eventRejected(id, lint_why));
+            return;
+        }
     }
 
     // Probe the cache before taking the scheduling lock: hits
@@ -531,6 +653,8 @@ Server::statsJson() const
     j.set("coalesced", Json(s.coalesced));
     j.set("overloaded", Json(s.overloaded));
     j.set("rejected", Json(s.rejected));
+    j.set("lint_rejected", Json(s.lint_rejected));
+    j.set("lint_cache_hits", Json(s.lint_cache_hits));
     j.set("retries", Json(s.retries));
     j.set("worker_restarts", Json(s.worker_restarts));
     {

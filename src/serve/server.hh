@@ -80,6 +80,13 @@ struct ServeOptions
     double backoff_seconds = 0.05;
     /** Worker argv override (tests); empty = self + --worker. */
     std::vector<std::string> worker_argv;
+    /**
+     * Lint every distinct workload program at admission and reject
+     * submissions whose program has error-level diagnostics before
+     * they consume a queue slot or a worker. Verdicts are cached in
+     * memory by program fingerprint (see docs/ANALYSIS.md).
+     */
+    bool lint_admission = true;
 };
 
 /** Monotonic counters exposed via the "stats" op. */
@@ -95,6 +102,11 @@ struct ServerStats
     std::uint64_t coalesced = 0;        ///< dedup'd onto a leader
     std::uint64_t overloaded = 0;       ///< submissions shed
     std::uint64_t rejected = 0;         ///< malformed submissions
+    /** Submissions rejected by the admission lint gate (also
+     *  counted in rejected). */
+    std::uint64_t lint_rejected = 0;
+    /** Admission lint verdicts served from the fingerprint cache. */
+    std::uint64_t lint_cache_hits = 0;
     std::uint64_t retries = 0;
     std::uint64_t worker_restarts = 0;
 };
@@ -174,6 +186,17 @@ class Server
                       const Json &request);
 
     /**
+     * Admission lint gate: statically verify every distinct
+     * workload program in @p jobs at its job's slot count. @return
+     * false with *why describing the diagnostics when any program
+     * has error-level findings. Verdicts are cached by program
+     * fingerprint + slot count, so a resubmission of a known
+     * program never re-instantiates the analysis.
+     */
+    bool admitLint(const std::vector<lab::Job> &jobs,
+                   std::string *why);
+
+    /**
      * Deliver @p result for @p key to every single-flight waiter
      * and close out submissions that drained. @p source is what the
      * leader sees ("sim" or "cache"); waiters see "dedup".
@@ -222,6 +245,11 @@ class Server
     mutable std::mutex stats_mutex_;
     ServerStats stats_;
     ServerHistograms hists_;
+
+    /** Admission lint verdicts by "fingerprint@slots"; the value is
+     *  the rejection reason ("" = clean). */
+    mutable std::mutex lint_mutex_;
+    std::map<std::string, std::string> lint_verdicts_;
 };
 
 } // namespace smtsim::serve

@@ -1,0 +1,169 @@
+#include "workloads.hh"
+
+#include <sstream>
+
+#include "asmr/assembler.hh"
+#include "base/logging.hh"
+
+namespace smtsim
+{
+
+namespace
+{
+
+/**
+ * Clean ring relay. Slot 0 is the ring master: it pushes the token
+ * first, then pops the value that travelled the whole ring (each
+ * follower adds one, and so does the master after the pop), so the
+ * link occupancy returns to zero every round and the first queue
+ * action of slot 0 is a push — no wait-for cycle. After the last
+ * round the master publishes token, nslot and an ok flag; the
+ * checker recomputes rounds * nslot from the stored nslot, so the
+ * same program verifies at any thread-slot count.
+ */
+const char *kCleanText = R"(
+        .text
+main:   qen  r20, r21
+        fastfork
+        tid  r10
+        nslot r7
+        li   r4, %R%
+        bne  r10, r0, floop
+        addi r3, r0, 0          # token
+mloop:  addi r21, r3, 0         # master pushes first...
+        add  r3, r20, r0        # ...then pops the round-trip value
+        addi r3, r3, 1
+        addi r4, r4, -1
+        bgtz r4, mloop
+        la   r1, result
+        sw   r3, 0(r1)          # token = rounds * nslot
+        sw   r7, 4(r1)          # nslot, for the checker
+        li   r2, 1
+        sw   r2, 8(r1)          # ok flag
+        halt
+floop:  add  r3, r20, r0        # followers pop...
+        addi r3, r3, 1
+        addi r21, r3, 0         # ...and relay
+        addi r4, r4, -1
+        bgtz r4, floop
+        halt
+)";
+
+/**
+ * Injected wait-for cycle (bug = 1): the seeding push is guarded by
+ * tid == nslot, which is never true in any slot, so every slot's
+ * first real queue action is a pop and all slots block on empty
+ * links forever. The guard makes a push-first path exist in the
+ * CFG, so the path-insensitive Q007 rule stays silent — only the
+ * per-slot projection (Q009) sees the deadlock.
+ */
+const char *kWaitCycleText = R"(
+        .text
+main:   qen  r20, r21
+        fastfork
+        tid  r10
+        nslot r11
+        li   r4, %R%
+        beq  r10, r11, seed     # dead: tid < nslot in every slot
+loop:   add  r3, r20, r0        # every live slot pops first
+        addi r3, r3, 1
+        addi r21, r3, 0
+        addi r4, r4, -1
+        bgtz r4, loop
+        halt
+seed:   addi r21, r0, 0
+        j    loop
+)";
+
+/**
+ * Injected rate skew (bug = 2): slot 0 pops one and pushes two per
+ * iteration while the followers pop two and push one, so the links
+ * between followers starve (Q011) and the ring wedges.
+ */
+const char *kRateSkewText = R"(
+        .text
+main:   qen  r20, r21
+        fastfork
+        tid  r10
+        addi r21, r0, 1         # seed one value downstream
+        li   r4, %R%
+loop:   bne  r10, r0, follow
+        add  r3, r20, r0        # slot 0: pop 1
+        addi r21, r3, 1         # push 2
+        addi r21, r3, 2
+        j    latch
+follow: add  r3, r20, r0        # followers: pop 2
+        add  r5, r20, r0
+        addi r21, r5, 1         # push 1
+latch:  addi r4, r4, -1
+        bgtz r4, loop
+        halt
+)";
+
+const char *kDataText = R"(
+        .data
+        .align 4
+result: .space 12
+)";
+
+} // namespace
+
+Workload
+makeTokenRing(const TokenRingParams &params)
+{
+    const int rounds = params.rounds;
+    SMTSIM_ASSERT(rounds >= 1, "tokenring: need at least 1 round");
+    SMTSIM_ASSERT(params.bug >= 0 && params.bug <= 2,
+                  "tokenring: bug must be 0, 1 or 2");
+
+    const char *text = kCleanText;
+    const char *name = "tokenring";
+    if (params.bug == 1) {
+        text = kWaitCycleText;
+        name = "tokenring.waitcycle";
+    } else if (params.bug == 2) {
+        text = kRateSkewText;
+        name = "tokenring.rateskew";
+    }
+
+    std::string source = std::string(text) + kDataText;
+    const std::string key = "%R%";
+    size_t at;
+    while ((at = source.find(key)) != std::string::npos)
+        source.replace(at, key.size(), std::to_string(rounds));
+
+    Program prog = assemble(source);
+    const Addr result = prog.symbol("result");
+
+    Workload w;
+    w.name = name;
+    w.program = std::move(prog);
+    w.init = [](MainMemory &) {};
+    w.check = [rounds, result](const MainMemory &mem,
+                               std::string *why) {
+        const std::uint32_t token = mem.read32(result);
+        const std::uint32_t nslot = mem.read32(result + 4);
+        const std::uint32_t ok = mem.read32(result + 8);
+        if (ok != 1) {
+            if (why)
+                *why = "ok flag not set (ring never completed)";
+            return false;
+        }
+        const std::uint32_t expect =
+            static_cast<std::uint32_t>(rounds) * nslot;
+        if (nslot < 1 || token != expect) {
+            if (why) {
+                std::ostringstream oss;
+                oss << "token = " << token << ", expected "
+                    << expect << " (" << rounds << " rounds x "
+                    << nslot << " slots)";
+                *why = oss.str();
+            }
+            return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace smtsim

@@ -188,6 +188,33 @@ struct RecurrenceParams
 Workload makeRecurrence(const RecurrenceParams &params);
 
 // ----------------------------------------------------------------
+// Token ring (cross-slot communication exerciser)
+// ----------------------------------------------------------------
+
+/** Parameters for the ring relay. */
+struct TokenRingParams
+{
+    int rounds = 32;
+    /**
+     * Injected concurrency bug, for the static verifier's soundness
+     * tests: 0 = clean, 1 = queue wait-for cycle (no slot ever
+     * seeds the ring), 2 = rate-skewed ring (followers pop two per
+     * iteration but receive one).
+     */
+    int bug = 0;
+};
+
+/**
+ * Token relay around the queue-register ring: slot 0 seeds a token,
+ * every slot increments and forwards it, and after the configured
+ * number of rounds slot 0 publishes token, nslot and an ok flag.
+ * The checker recomputes rounds * nslot from the stored nslot, so
+ * one program verifies at any slot count. The buggy variants are
+ * deliberately broken inputs for lint/serve admission tests.
+ */
+Workload makeTokenRing(const TokenRingParams &params);
+
+// ----------------------------------------------------------------
 // Linked-list walk (Figure 6)
 // ----------------------------------------------------------------
 

@@ -1,0 +1,28 @@
+# Clean negative for Q011/Q012: slot rates differ (even slots pop 1
+# / push 2, odd slots pop 2 / push 1) yet every individual link is
+# balanced -- an even producer's 2 pushes meet an odd consumer's 2
+# pops and vice versa. The rate check compares per-link, not
+# per-slot, so this must stay diagnostic-free.
+#! clean
+        .text
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        andi r12, r10, 1        # slot parity picks the role
+        addi r21, r0, 1         # every slot seeds one value
+        addi r16, r0, 8
+loop:
+        bne r12, r0, odd
+        add r3, r20, r0         # even: pop 1
+        addi r21, r3, 1         # push 2
+        addi r21, r3, 2
+        j latch
+odd:
+        add r3, r20, r0         # odd: pop 2
+        add r4, r20, r0
+        addi r21, r4, 1         # push 1
+latch:
+        addi r16, r16, -1
+        bne r16, r0, loop
+        halt

@@ -1,0 +1,14 @@
+# Q010: only slot 0 pushes; every slot pops. The links out of
+# slots 1..3 are never fed, so slot 0's own pop (fed by slot 3)
+# blocks forever. The shared halt keeps the interval-based Q001
+# silent: on the push path the net count at the halt is zero.
+        .text
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        bne r10, r0, recv
+        addi r21, r0, 5
+recv:
+        add r3, r20, r0         #! expect Q010
+        halt

@@ -1,0 +1,19 @@
+# Q009: wait-for cycle. The seeding push is guarded by tid == nslot,
+# which no slot ever satisfies, so the per-slot projections prove
+# every slot's first real queue action is the pop -- all links stay
+# empty and the ring deadlocks. The push-first path keeps the older
+# path-insensitive Q007 silent; only the cross-slot pass sees it.
+        .text
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        nslot r11
+        beq r10, r11, seeder
+loop:
+        add r3, r20, r0         #! expect Q009
+        addi r21, r3, 1
+        halt
+seeder:
+        addi r21, r0, 7
+        j loop

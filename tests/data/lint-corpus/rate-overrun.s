@@ -1,0 +1,25 @@
+# Q012: overrun ring, the mirror of rate-starvation.s. Slot 0
+# pushes 1 / pops 2 while slots 1..3 push 2 / pop 1: the links
+# 1->2 and 2->3 gain one value per iteration, exceed the FIFO
+# depth, and the producers block on a full link.
+        .text
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        addi r21, r0, 1         # seed
+        addi r16, r0, 8
+loop:
+        bne r10, r0, follower
+        add r3, r20, r0         # slot 0: pop 2
+        add r4, r20, r0
+        addi r21, r4, 1         # push 1
+        j latch
+follower:
+        add r3, r20, r0         # slots 1..3: pop 1
+        addi r21, r3, 1         #! expect Q012
+        addi r21, r3, 2         # slots 1..3: push 2
+latch:
+        addi r16, r16, -1
+        bne r16, r0, loop
+        halt

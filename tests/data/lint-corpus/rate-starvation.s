@@ -1,0 +1,26 @@
+# Q011: rate-skewed ring. Slot 0 pops 1 / pushes 2 per iteration
+# while slots 1..3 pop 2 / push 1, so the links 1->2 and 2->3 are
+# drained faster than they are fed and the consumers starve. Every
+# path through the loop is queue-balanced in the interval sense, so
+# only the per-slot rate analysis catches it.
+        .text
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        addi r21, r0, 1         # seed one value downstream
+        addi r16, r0, 8
+loop:
+        bne r10, r0, follower
+        add r3, r20, r0         # slot 0: pop 1
+        addi r21, r3, 1         # push 2
+        addi r21, r3, 2
+        j latch
+follower:
+        add r3, r20, r0         #! expect Q011
+        add r4, r20, r0         # slots 1..3: pop 2
+        addi r21, r4, 1         # push 1
+latch:
+        addi r16, r16, -1
+        bne r16, r0, loop
+        halt

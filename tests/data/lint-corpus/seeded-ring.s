@@ -1,0 +1,16 @@
+# Clean negative for Q009: the same guarded-seeder shape as
+# queue-wait-cycle.s, but the guard is tid == 0 -- feasible in slot
+# 0, whose projection really does push before popping. One seeded
+# token keeps the whole ring live, so no diagnostic may fire.
+#! clean
+        .text
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        bne r10, r0, loop
+        addi r21, r0, 7         # slot 0 seeds the ring
+loop:
+        add r3, r20, r0
+        addi r21, r3, 1
+        halt

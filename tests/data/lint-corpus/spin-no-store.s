@@ -1,0 +1,17 @@
+# S001: slots 1..3 spin on a flag word in .data that no reachable
+# store in any slot ever writes; the flag's initial value keeps the
+# branch taken, so the spin never exits.
+        .text
+main:
+        fastfork
+        tid r10
+        beq r10, r0, done
+        lui r8, 16
+spin:
+        lw r9, 0(r8)            #! expect S001
+        beq r9, r0, spin
+done:
+        halt
+        .data
+flag:
+        .word 0

@@ -1,0 +1,22 @@
+# Clean negative for S001: the same flag spin as spin-no-store.s,
+# but slot 0 reaches a store to the polled word, so the wait is
+# satisfiable and no diagnostic may fire.
+#! clean
+        .text
+main:
+        fastfork
+        tid r10
+        beq r10, r0, producer
+        lui r8, 16
+spin:
+        lw r9, 0(r8)
+        beq r9, r0, spin
+        halt
+producer:
+        lui r8, 16
+        addi r9, r0, 1
+        sw r9, 0(r8)
+        halt
+        .data
+flag:
+        .word 0

@@ -640,7 +640,7 @@ TEST(LintCorpus, EveryFileFlagsExactlyItsAnnotations)
         if (entry.path().extension() == ".s")
             files.push_back(entry.path());
     std::sort(files.begin(), files.end());
-    ASSERT_GE(files.size(), 6u);
+    ASSERT_GE(files.size(), 14u);
 
     for (const fs::path &file : files) {
         std::ifstream in(file);
@@ -649,9 +649,19 @@ TEST(LintCorpus, EveryFileFlagsExactlyItsAnnotations)
         oss << in.rdbuf();
         const std::string src = oss.str();
 
+        // A "#! clean" marker declares a must-stay-clean negative:
+        // the program resembles a buggy shape but is correct, and
+        // any diagnostic on it is a precision regression.
+        const bool must_be_clean =
+            src.find("#! clean") != std::string::npos;
         const Expectation expected = parseExpectations(src);
-        ASSERT_FALSE(expected.empty())
-            << file << " has no #! expect annotations";
+        if (must_be_clean) {
+            ASSERT_TRUE(expected.empty())
+                << file << " mixes #! clean with #! expect";
+        } else {
+            ASSERT_FALSE(expected.empty())
+                << file << " has no #! expect annotations";
+        }
 
         const LintReport r = lint(assemble(src));
         Expectation actual;
@@ -663,7 +673,7 @@ TEST(LintCorpus, EveryFileFlagsExactlyItsAnnotations)
         EXPECT_EQ(actual, expected)
             << file << ":\n"
             << formatText(r, file.string());
-        EXPECT_TRUE(r.hasErrors()) << file;
+        EXPECT_EQ(r.hasErrors(), !must_be_clean) << file;
     }
 }
 
@@ -713,6 +723,192 @@ TEST(LintClean, Workloads)
     expectClean(makeListWalk({.num_nodes = 16, .eager = true})
                     .program,
                 "listwalk-eager");
+    expectClean(makeTokenRing({.rounds = 8, .bug = 0}).program,
+                "tokenring");
+}
+
+// ===================================================================
+// Cross-slot concurrency rules (Q009+, S001)
+// ===================================================================
+
+TEST(LintConcurrency, TokenRingWaitCycleVariantIsFlagged)
+{
+    const LintReport r =
+        lint(makeTokenRing({.rounds = 8, .bug = 1}).program);
+    expectIds(r, {"Q009"}, "injected wait-for cycle");
+}
+
+TEST(LintConcurrency, TokenRingRateSkewVariantIsFlagged)
+{
+    const LintReport r =
+        lint(makeTokenRing({.rounds = 8, .bug = 2}).program);
+    expectIds(r, {"Q011"}, "injected rate skew");
+}
+
+TEST(LintConcurrency, WaitCycleDetectedPastTidGuards)
+{
+    // tid == nslot is false in every slot, so the "seeder" path is
+    // statically dead in the per-slot projection: every slot's
+    // first queue action is a pop. The path-insensitive Q007 rule
+    // cannot see this; Q009 must.
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        nslot r11
+        beq r10, r11, seeder
+loop:
+        add r3, r20, r0
+        addi r21, r3, 1
+        j loop
+seeder:
+        addi r21, r0, 7
+        j loop
+)"));
+    expectIds(r, {"Q009"}, "infeasible seeder guard");
+}
+
+TEST(LintConcurrency, RealSeederGuardStaysClean)
+{
+    // Same shape, but the guard is tid == 0: slot 0 really does
+    // push first, so the ring is seeded and live.
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        beq r10, r0, seeder
+loop:
+        add r3, r20, r0
+        addi r21, r3, 1
+        j loop
+seeder:
+        addi r21, r0, 7
+        j loop
+)"));
+    expectIds(r, {}, "slot 0 seeds the ring");
+}
+
+TEST(LintConcurrency, LinkNeverFedIsFlagged)
+{
+    // Only slot 0 pushes; every slot pops once. The links out of
+    // slots 1..3 are never fed, so those pops block forever.
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        bne r10, r0, recv
+        addi r21, r0, 5
+recv:
+        add r3, r20, r0
+        halt
+)"));
+    expectIds(r, {"Q010"}, "leader-only pushes");
+}
+
+TEST(LintConcurrency, RateMismatchBothDirections)
+{
+    // Overrun mirror of the tokenring skew: followers push two per
+    // iteration but their consumers pop only one.
+    const LintReport r = lint(prog(R"(
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        addi r21, r0, 1
+        addi r16, r0, 8
+loop:
+        bne r10, r0, follow
+        add r3, r20, r0
+        add r4, r20, r0
+        addi r21, r4, 1
+        j latch
+follow:
+        add r3, r20, r0
+        addi r21, r3, 1
+        addi r21, r3, 2
+latch:
+        addi r16, r16, -1
+        bne r16, r0, loop
+        halt
+)"));
+    expectIds(r, {"Q012"}, "followers overfeed their links");
+}
+
+TEST(LintConcurrency, DeadSpinIsFlagged)
+{
+    // Spin on a data word nothing ever stores to.
+    const LintReport r = lint(prog(R"(
+main:
+        fastfork
+        lui r8, 16
+spin:
+        lw r9, 0(r8)
+        beq r9, r0, spin
+        halt
+)"));
+    expectIds(r, {"S001"}, "flag word never written");
+}
+
+TEST(LintConcurrency, SpinWithMatchingStoreStaysClean)
+{
+    // Same spin, but another slot's path stores the flag.
+    const LintReport r = lint(prog(R"(
+main:
+        fastfork
+        tid r10
+        lui r8, 16
+        bne r10, r0, waiter
+        addi r9, r0, 1
+        sw r9, 0(r8)
+        halt
+waiter:
+        lw r9, 0(r8)
+        beq r9, r0, waiter
+        halt
+)"));
+    expectIds(r, {}, "a sibling slot satisfies the spin");
+}
+
+TEST(LintConcurrency, RecurrenceMemoryVariantStaysClean)
+{
+    // The flag addresses are loop-varying (strided): the spin rule
+    // must not resolve them and must stay silent.
+    const LintReport r = lint(
+        makeRecurrence({.n = 16,
+                        .variant = RecurrenceVariant::DoacrossMemory})
+            .program);
+    expectIds(r, {}, "strided flag spin");
+}
+
+TEST(LintConcurrency, SlotsOptionChangesProjection)
+{
+    // The seeder guard is tid == 2: feasible at 4 slots (slot 2
+    // pushes first, one token keeps the whole ring live), dead at
+    // 2 slots (every slot's first action is a pop).
+    const std::string src = R"(
+main:
+        qen r20, r21
+        fastfork
+        tid r10
+        addi r11, r0, 2
+        bne r10, r11, loop
+        addi r21, r0, 7
+loop:
+        add r3, r20, r0
+        addi r21, r3, 1
+        j loop
+)";
+    LintOptions four;
+    four.slots = 4;
+    expectIds(lint(prog(src), four), {},
+              "4 slots: slot 2 seeds the ring");
+    LintOptions two;
+    two.slots = 2;
+    expectIds(lint(prog(src), two), {"Q009"},
+              "2 slots: the seeder slot does not exist");
 }
 
 TEST(LintClean, DemoProgram)

@@ -16,7 +16,9 @@
 
 #include "asmr/assembler.hh"
 #include "asmr/disasm.hh"
+#include "analysis/lint.hh"
 #include "fuzz/generate.hh"
+#include "fuzz/lintoracle.hh"
 #include "fuzz/oracle.hh"
 #include "fuzz/repro.hh"
 #include "fuzz/shrink.hh"
@@ -127,6 +129,65 @@ TEST(FuzzOracle, GridRespectsFeatureExclusions)
     }
     EXPECT_TRUE(saw_baseline);
     EXPECT_TRUE(saw_remote);
+}
+
+TEST(LintOracle, SmallCellHasNoMismatches)
+{
+    LintOracleOptions opts;
+    opts.runs = 12;
+    opts.seed = 7;
+    opts.quiet = true;
+    const LintOracleStats stats = runLintOracle(opts);
+    EXPECT_EQ(stats.clean_runs, 12);
+    EXPECT_EQ(stats.injected_runs, 12);
+    EXPECT_TRUE(stats.ok())
+        << stats.false_positives << " fp, " << stats.clean_hangs
+        << " hang, " << stats.missed_bugs << " miss, "
+        << stats.phantom_bugs << " phantom";
+}
+
+TEST(LintOracle, EveryBugClassIsFlaggedAndHangs)
+{
+    for (const BugClass c :
+         {BugClass::WaitCycle, BugClass::RateStarve,
+          BugClass::RateOverrun, BugClass::SpinNoStore}) {
+        for (std::uint64_t seed : {1ull, 9ull, 23ull}) {
+            const Program p =
+                assemble(renderBugProgram(c, seed));
+            const analysis::LintReport lr = analysis::lint(p);
+            bool flagged = false;
+            for (const analysis::Diagnostic &d : lr.diags) {
+                flagged = flagged ||
+                          std::string(d.id) == bugClassDiagnostic(c);
+            }
+            EXPECT_TRUE(flagged)
+                << bugClassName(c) << " seed " << seed
+                << " not flagged as " << bugClassDiagnostic(c)
+                << ":\n"
+                << analysis::formatText(lr, "<bug>");
+
+            RunConfig rc;
+            rc.engine = Engine::Interp;
+            rc.slots = 4;
+            OracleBudget budget;
+            budget.interp_max_steps = 200'000;
+            budget.max_cycles = 200'000;
+            const EngineState st = runEngine(p, rc, budget);
+            EXPECT_FALSE(st.finished)
+                << bugClassName(c) << " seed " << seed
+                << " finished: the injected bug is not a bug";
+        }
+    }
+}
+
+TEST(LintOracle, RenderingIsDeterministic)
+{
+    for (const BugClass c :
+         {BugClass::WaitCycle, BugClass::RateStarve,
+          BugClass::RateOverrun, BugClass::SpinNoStore}) {
+        EXPECT_EQ(renderBugProgram(c, 42),
+                  renderBugProgram(c, 42));
+    }
 }
 
 TEST(FuzzShrink, MinimizesWhilePreservingPredicate)

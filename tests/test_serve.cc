@@ -636,6 +636,92 @@ TEST(ServeServer, MalformedAndInvalidSubmissionsAreRejected)
     server2.stop();
 }
 
+TEST(ServeServer, LintGateRejectsDeadlockedSpecBeforeAdmission)
+{
+    TempDir tmp("lint");
+    Server server(serverOptions(tmp, 1));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect(tmp.str("serve.sock"), &error))
+        << error;
+
+    // The tokenring wait-cycle variant deadlocks every slot; the
+    // static verifier proves it, so admission must reject the spec
+    // without consuming a queue slot or a worker.
+    ExperimentSpec bad;
+    bad.name = "bad";
+    bad.workloads = {WorkloadSpec::tokenRing(8, 1)};
+    bad.slots = {4};
+    const SubmitOutcome out =
+        client.submitAndWait("bad", bad, 10000);
+    EXPECT_EQ(out.status, "rejected");
+    EXPECT_NE(out.error.find("Q009"), std::string::npos)
+        << out.error;
+    // Rejections use the same rendering as smtsim-lint:
+    // "<file>:<line>:<col>: <severity>: <ID> <name>: ..."
+    EXPECT_NE(out.error.find("tokenring.s:"), std::string::npos)
+        << out.error;
+
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.lint_rejected, 1u);
+    EXPECT_EQ(s.lint_cache_hits, 0u);
+    EXPECT_EQ(s.executed, 0u);
+
+    // Resubmission: the verdict is served from the program
+    // fingerprint cache, not re-analyzed.
+    const SubmitOutcome again =
+        client.submitAndWait("bad-again", bad, 10000);
+    EXPECT_EQ(again.status, "rejected");
+    EXPECT_NE(again.error.find("Q009"), std::string::npos)
+        << again.error;
+    s = server.stats();
+    EXPECT_EQ(s.lint_rejected, 2u);
+    EXPECT_GE(s.lint_cache_hits, 1u);
+    EXPECT_EQ(s.executed, 0u);
+
+    // The clean ring passes the same gate and actually simulates.
+    ExperimentSpec good;
+    good.name = "good";
+    good.workloads = {WorkloadSpec::tokenRing(4, 0)};
+    good.slots = {2};
+    const SubmitOutcome ok =
+        client.submitAndWait("good", good, 30000);
+    EXPECT_EQ(ok.status, "done") << ok.error;
+    EXPECT_EQ(server.stats().lint_rejected, 2u);
+    server.stop();
+}
+
+TEST(ServeServer, NoLintOptionDisablesTheGate)
+{
+    TempDir tmp("nolint");
+    ServeOptions opts = serverOptions(tmp, 1);
+    opts.lint_admission = false;
+    opts.job_timeout_seconds = 2.0;
+    opts.max_retries = 0;
+    Server server(std::move(opts));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect(tmp.str("serve.sock"), &error))
+        << error;
+
+    // With the gate off the deadlocked spec is admitted; the job
+    // then fails in the worker (deadlock trap or timeout kill)
+    // instead of being turned away up front.
+    ExperimentSpec bad;
+    bad.name = "bad";
+    bad.workloads = {WorkloadSpec::tokenRing(8, 1)};
+    bad.slots = {4};
+    const SubmitOutcome out =
+        client.submitAndWait("bad", bad, 30000);
+    EXPECT_NE(out.status, "rejected") << out.error;
+    EXPECT_EQ(server.stats().lint_rejected, 0u);
+    server.stop();
+}
+
 TEST(ServeServer, InvalidSpecValuesAreRejectedNotFatal)
 {
     TempDir tmp("badspec");

@@ -244,6 +244,30 @@ TEST(ListWalk, BreakAtEveryEarlyPosition)
     }
 }
 
+TEST(TokenRing, CleanCorrectAtEverySlotCount)
+{
+    TokenRingParams p;
+    p.rounds = 12;
+    const Workload w = makeTokenRing(p);
+    for (int threads : {1, 2, 4, 8})
+        EXPECT_TRUE(runInterp(w, threads).ok)
+            << "threads " << threads;
+    CoreConfig cfg;
+    cfg.num_slots = 4;
+    EXPECT_TRUE(runCore(w, cfg).ok);
+}
+
+TEST(TokenRing, CheckerRejectsUnfinishedRing)
+{
+    const Workload w = makeTokenRing({.rounds = 4, .bug = 0});
+    MainMemory mem;
+    w.program.loadInto(mem);
+    w.init(mem);
+    std::string why;
+    EXPECT_FALSE(w.check(mem, &why));   // never ran: ok flag 0
+    EXPECT_FALSE(why.empty());
+}
+
 TEST(Workloads, CheckersRejectCorruptedOutput)
 {
     // The result checkers must actually detect wrong answers.

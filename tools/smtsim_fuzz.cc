@@ -18,6 +18,14 @@
  *                    run. Applies to freshly generated programs
  *                    only -- shrink candidates and replayed repros
  *                    are minimized and routinely drop init code.
+ *     --lint-oracle N  run the lint soundness cell instead of the
+ *                    differential grid: N freshly generated
+ *                    programs must lint clean and finish a bounded
+ *                    run, and N programs with injected concurrency
+ *                    bugs (wait-for cycles, rate-skewed rings,
+ *                    dead spin waits) must be flagged with the
+ *                    class's diagnostic and hang. --corpus receives
+ *                    mismatch repros; --seed varies the programs.
  *     --emit         print every generated program (debugging aid)
  *     --quiet        suppress per-divergence detail
  *
@@ -42,6 +50,7 @@
 #include "base/random.hh"
 #include "base/strutil.hh"
 #include "fuzz/generate.hh"
+#include "fuzz/lintoracle.hh"
 #include "fuzz/oracle.hh"
 #include "fuzz/repro.hh"
 #include "fuzz/shrink.hh"
@@ -57,8 +66,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--runs N] [--seed S] [--shrink] "
-                 "[--lint] [--corpus DIR] [--replay PATH] "
-                 "[--emit] [--quiet]\n",
+                 "[--lint] [--lint-oracle N] [--corpus DIR] "
+                 "[--replay PATH] [--emit] [--quiet]\n",
                  argv0);
     std::exit(2);
 }
@@ -131,6 +140,7 @@ int
 main(int argc, char **argv)
 {
     long long runs = 100;
+    long long lint_oracle_runs = 0;
     unsigned long long seed = 1;
     bool do_shrink = false;
     bool do_lint = false;
@@ -157,6 +167,10 @@ main(int argc, char **argv)
             do_shrink = true;
         } else if (arg == "--lint") {
             do_lint = true;
+        } else if (arg == "--lint-oracle") {
+            if (!parseInt(need_value(i), &lint_oracle_runs) ||
+                lint_oracle_runs < 1)
+                usage(argv[0]);
         } else if (arg == "--corpus") {
             corpus_dir = need_value(i);
         } else if (arg == "--replay") {
@@ -173,6 +187,23 @@ main(int argc, char **argv)
     try {
         if (!replay_path.empty())
             return replay(replay_path, quiet);
+
+        if (lint_oracle_runs > 0) {
+            LintOracleOptions lo;
+            lo.runs = lint_oracle_runs;
+            lo.seed = seed;
+            lo.repro_dir = corpus_dir;
+            lo.quiet = quiet;
+            const LintOracleStats stats = runLintOracle(lo);
+            std::printf(
+                "lint-oracle: %lld clean + %lld injected runs, "
+                "%lld false positive(s), %lld clean hang(s), "
+                "%lld missed bug(s), %lld phantom bug(s)\n",
+                stats.clean_runs, stats.injected_runs,
+                stats.false_positives, stats.clean_hangs,
+                stats.missed_bugs, stats.phantom_bugs);
+            return stats.ok() ? 0 : 1;
+        }
 
         if (!corpus_dir.empty())
             std::filesystem::create_directories(corpus_dir);

@@ -6,9 +6,14 @@
  *
  * Options:
  *     --json           one JSON object per input file on stdout
+ *     --sarif          one SARIF 2.1.0 log per input file on stdout
+ *                      (for CI code-scanning annotations)
  *     --werror         treat warnings as errors for the exit code
  *     --queue-depth N  ring FIFO depth assumed by the overflow
  *                      check (default 4, the interpreter default)
+ *     --slots N        issue-slot count assumed by the cross-slot
+ *                      concurrency passes (default 4; Q009+ and
+ *                      S001, docs/ANALYSIS.md)
  *
  * Inputs may be assembly source or assembled object images (the
  * "SMTP" binary format); images carry no source positions, so
@@ -40,7 +45,8 @@ namespace
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--json] [--werror] [--queue-depth N] "
+                 "usage: %s [--json|--sarif] [--werror] "
+                 "[--queue-depth N] [--slots N] "
                  "program.s [more.s ...]\n",
                  argv0);
     std::exit(2);
@@ -52,6 +58,7 @@ int
 main(int argc, char **argv)
 {
     bool want_json = false;
+    bool want_sarif = false;
     bool werror = false;
     analysis::LintOptions opts;
     std::vector<std::string> paths;
@@ -60,6 +67,8 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--json") {
             want_json = true;
+        } else if (arg == "--sarif") {
+            want_sarif = true;
         } else if (arg == "--werror") {
             werror = true;
         } else if (arg == "--queue-depth") {
@@ -74,13 +83,25 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.queue_depth = static_cast<int>(v);
+        } else if (arg == "--slots") {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            long long v = 0;
+            if (!parseInt(argv[++i], &v) || v < 1) {
+                std::fprintf(stderr,
+                             "%s: --slots needs a positive "
+                             "integer, got \"%s\"\n",
+                             argv[0], argv[i]);
+                return 2;
+            }
+            opts.slots = static_cast<int>(v);
         } else if (!arg.empty() && arg[0] == '-') {
             usage(argv[0]);
         } else {
             paths.push_back(arg);
         }
     }
-    if (paths.empty())
+    if (paths.empty() || (want_json && want_sarif))
         usage(argv[0]);
 
     bool any_error = false;
@@ -118,6 +139,9 @@ main(int argc, char **argv)
             Json j = analysis::toJson(report);
             j.set("file", path);
             std::cout << j.dump(2) << '\n';
+        } else if (want_sarif) {
+            std::cout << analysis::toSarif(report, path).dump(2)
+                      << '\n';
         } else {
             std::cout << analysis::formatText(report, path);
         }
@@ -125,7 +149,7 @@ main(int argc, char **argv)
         any_warning = any_warning || report.warningCount() > 0;
     }
 
-    if (!want_json && !any_error && !any_warning)
+    if (!want_json && !want_sarif && !any_error && !any_warning)
         std::fprintf(stderr, "%zu file(s) clean\n", paths.size());
     return any_error || (werror && any_warning) ? 1 : 0;
 }

@@ -39,7 +39,8 @@
  *     --quantum N        machine: barrier quantum (0 = auto)
  *     --dump-word ADDR   print a 32-bit word of memory after the run
  *     --dump-double ADDR print a double after the run
- *     --lint             run the static verifier first; any
+ *     --lint             run the static verifier first, at the
+ *                        run's own slot count and queue depth; any
  *                        error-severity diagnostic aborts the run
  *                        with exit 1 (docs/ANALYSIS.md)
  *     --stats            print the detailed stall counters (core)
@@ -416,7 +417,17 @@ main(int argc, char **argv)
             }
         }
         if (want_lint) {
-            const analysis::LintReport lr = analysis::lint(prog);
+            // Verify against the configuration about to run, not
+            // the defaults: the concurrency passes project the
+            // program per slot, so the verdict depends on the slot
+            // count and FIFO depth.
+            analysis::LintOptions lopts;
+            lopts.queue_depth = cfg.queue_reg_depth;
+            lopts.slots = engine == "baseline" ? 1
+                          : engine == "core"   ? cfg.num_slots
+                                               : threads;
+            const analysis::LintReport lr =
+                analysis::lint(prog, lopts);
             std::cerr << analysis::formatText(lr, path);
             if (lr.hasErrors()) {
                 std::fprintf(stderr,

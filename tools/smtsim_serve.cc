@@ -18,6 +18,10 @@
  *     --job-timeout SEC  per-job wall budget; a worker exceeding it
  *                        is killed (default 300)
  *     --retries N        crash retries per job (default 2)
+ *     --no-lint          skip the admission lint gate (on by
+ *                        default: specs whose workload program has
+ *                        error-level static diagnostics are
+ *                        rejected before consuming a queue slot)
  *
  * The daemon serves until a client sends the "shutdown" op or it
  * receives SIGINT/SIGTERM. Protocol and operational notes live in
@@ -118,6 +122,8 @@ main(int argc, char **argv)
             if (!parseInt(need_value(i), &v) || v < 0)
                 die("--retries needs a non-negative integer");
             opts.max_retries = static_cast<int>(v);
+        } else if (arg == "--no-lint") {
+            opts.lint_admission = false;
         } else {
             usage(argv[0]);
         }
